@@ -1,0 +1,113 @@
+//===- bench/bench_apps.cpp - E1/E7: the paper's applications ------------------===//
+//
+// Reproduces the shape of the paper's §7 results: every application runs
+// on the (simulated) Silver stack, and sort's cost scales with input
+// size.  The paper reports "sort on a 1000-line file takes a few
+// seconds" on the 32 MHz-class FPGA; the Instructions counter together
+// with bench_cpi's cycles-per-instruction projects the FPGA wall-clock
+// (see EXPERIMENTS.md).
+//
+// Counters: Instructions = dynamic Silver instructions; SimMips =
+// simulated instructions per host second; ProjFpgaSec = projected
+// seconds on a 32 MHz FPGA at the measured circuit-level CPI (4.65).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Apps.h"
+#include "stack/Stack.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace silver;
+using namespace silver::stack;
+
+namespace {
+
+constexpr double NominalFpgaHz = 32e6;
+constexpr double MeasuredCpi = 4.65; // from bench_cpi, latency 1
+
+void runIsaApp(benchmark::State &State, const char *Source,
+               const std::string &Stdin,
+               const std::vector<std::string> &Cl = {"prog"}) {
+  RunSpec Spec;
+  Spec.Source = Source;
+  Spec.StdinData = Stdin;
+  Spec.CommandLine = Cl;
+  Spec.Compile.Layout.MemSize = 16u << 20;
+  Spec.Compile.Layout.StdinCap = 2u << 20;
+  Spec.MaxSteps = 4'000'000'000ull;
+
+  Result<Prepared> P = prepare(Spec);
+  if (!P) {
+    State.SkipWithError(P.error().str().c_str());
+    return;
+  }
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    Result<Observed> R = runLevel(Spec, *P, Level::Isa);
+    if (!R || !R->Terminated) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    Instructions = R->Instructions;
+  }
+  State.counters["Instructions"] = static_cast<double>(Instructions);
+  State.counters["SimMips"] = benchmark::Counter(
+      static_cast<double>(Instructions) * State.iterations() / 1e6,
+      benchmark::Counter::kIsRate);
+  State.counters["ProjFpgaSec"] =
+      Instructions * MeasuredCpi / NominalFpgaHz;
+}
+
+void BM_Hello(benchmark::State &State) {
+  runIsaApp(State, helloSource(), "");
+}
+BENCHMARK(BM_Hello)->Unit(benchmark::kMillisecond);
+
+void BM_Cat(benchmark::State &State) {
+  runIsaApp(State, catSource(), randomLines(200, 1));
+}
+BENCHMARK(BM_Cat)->Unit(benchmark::kMillisecond);
+
+void BM_Wc(benchmark::State &State) {
+  runIsaApp(State, wcSource(),
+            randomLines(static_cast<unsigned>(State.range(0)), 2),
+            {"wc"});
+}
+BENCHMARK(BM_Wc)->Arg(10)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_Sort(benchmark::State &State) {
+  // E1: the paper's sort workload, swept over line counts (1000 is the
+  // paper's reported size).
+  runIsaApp(State, sortSource(),
+            randomLines(static_cast<unsigned>(State.range(0)), 3),
+            {"sort"});
+}
+BENCHMARK(BM_Sort)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProofChecker(benchmark::State &State) {
+  // Repeat the valid p->p derivation many times (each block re-proves).
+  std::string Proof;
+  for (int I = 0; I != State.range(0); ++I)
+    Proof += sampleValidProof();
+  // Rewrite M step indices to stay block-local is unnecessary: indices
+  // refer to the growing proved list, and earlier conclusions stay valid.
+  runIsaApp(State, proofCheckerSource(), Proof, {"check"});
+}
+BENCHMARK(BM_ProofChecker)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_TinCompile(benchmark::State &State) {
+  runIsaApp(State, tinCompilerSource(),
+            sampleTinProgram(static_cast<unsigned>(State.range(0))),
+            {"tin"});
+}
+BENCHMARK(BM_TinCompile)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+//===- bench/bench_layers.cpp - E3: the cost of each Figure-1 layer ------------===//
+//
+// Simulates the same program at each abstraction level of the paper's
+// Figure 1 — ISA (layer 2), circuit implementation (layer 3), and the
+// generated Verilog under verilog_sem (layer 4, via the compiled
+// simulator) — and reports throughput.  The ordering ISA >> circuit >
+// Verilog quantifies what each layer of modelling fidelity costs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Apps.h"
+#include "stack/Stack.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace silver;
+using namespace silver::stack;
+
+namespace {
+
+RunSpec helloSpec() {
+  RunSpec Spec;
+  Spec.Source = helloSource();
+  Spec.MaxSteps = 100'000'000;
+  return Spec;
+}
+
+void runAtLevel(benchmark::State &State, Level L) {
+  RunSpec Spec = helloSpec();
+  Result<Prepared> P = prepare(Spec);
+  if (!P) {
+    State.SkipWithError(P.error().str().c_str());
+    return;
+  }
+  uint64_t Instructions = 0, Cycles = 0;
+  for (auto _ : State) {
+    Result<Observed> R = runLevel(Spec, *P, L);
+    if (!R || !R->Terminated) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    Instructions = R->Instructions;
+    Cycles = R->Cycles;
+  }
+  State.counters["Instructions"] = static_cast<double>(Instructions);
+  State.counters["InstrPerSec"] = benchmark::Counter(
+      static_cast<double>(Instructions) * State.iterations(),
+      benchmark::Counter::kIsRate);
+  if (Cycles) {
+    State.counters["Cycles"] = static_cast<double>(Cycles);
+    State.counters["CyclesPerSec"] = benchmark::Counter(
+        static_cast<double>(Cycles) * State.iterations(),
+        benchmark::Counter::kIsRate);
+  }
+}
+
+void BM_Layer_Isa(benchmark::State &State) {
+  runAtLevel(State, Level::Isa);
+}
+BENCHMARK(BM_Layer_Isa)->Unit(benchmark::kMillisecond);
+
+void BM_Layer_Circuit(benchmark::State &State) {
+  runAtLevel(State, Level::Rtl);
+}
+BENCHMARK(BM_Layer_Circuit)->Unit(benchmark::kMillisecond);
+
+void BM_Layer_Verilog(benchmark::State &State) {
+  runAtLevel(State, Level::Verilog);
+}
+BENCHMARK(BM_Layer_Verilog)->Unit(benchmark::kMillisecond);
+
+void BM_Layer_Spec(benchmark::State &State) {
+  // Layer 0, for scale: the reference interpreter.
+  RunSpec Spec = helloSpec();
+  for (auto _ : State) {
+    Result<Observed> R = run(Spec, Level::Spec);
+    if (!R) {
+      State.SkipWithError("spec run failed");
+      return;
+    }
+    benchmark::DoNotOptimize(R->StdoutData);
+  }
+}
+BENCHMARK(BM_Layer_Spec)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

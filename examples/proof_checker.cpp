@@ -1,0 +1,36 @@
+//===- examples/proof_checker.cpp - A proof checker on Silver ------------------===//
+//
+// The paper runs an OpenTheory proof checker on the verified processor;
+// this example runs the reproduction's Hilbert-style propositional
+// checker on the Silver ISA, checking a valid derivation of p -> p and a
+// bogus axiom instance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Apps.h"
+#include "stack/Stack.h"
+
+#include <cstdio>
+
+using namespace silver;
+
+int main() {
+  for (const std::string &Proof :
+       {stack::sampleValidProof(), stack::sampleInvalidProof()}) {
+    stack::RunSpec Spec;
+    Spec.Source = stack::proofCheckerSource();
+    Spec.StdinData = Proof;
+    Result<stack::Observed> R = stack::run(Spec, stack::Level::Isa);
+    if (!R) {
+      std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
+      return 1;
+    }
+    std::string Expected = stack::proofSpec(Proof);
+    std::printf("proof:\n%schecker: %sspec:    %s%s\n\n", Proof.c_str(),
+                R->StdoutData.c_str(), Expected.c_str(),
+                R->StdoutData == Expected ? "(agree)" : "(MISMATCH)");
+    if (R->StdoutData != Expected)
+      return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,200 @@
+//===- examples/silverc.cpp - the SilverStack compiler driver ------------------===//
+//
+// A command-line front end for the whole stack:
+//
+//   silverc prog.cml                      compile + run on the Silver ISA
+//   silverc --level=rtl prog.cml          ... on the cycle-accurate core
+//   silverc --level=verilog prog.cml      ... on the generated Verilog
+//   silverc --level=spec prog.cml         ... in the reference semantics
+//   silverc --check prog.cml              run every level and compare
+//   silverc --emit=asm prog.cml           disassembled machine code
+//   silverc --emit=flat prog.cml          the Flat IR after optimisation
+//   silverc -O0 ... / -O1 ...             optimisation level (default -O1)
+//   silverc --stdin-file=f --args="a b"   program world
+//
+// Reads the program from the named file, or from stdin when the file is
+// "-".  Exit code: the program's exit code (run modes), or 1 on errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Disassembler.h"
+#include "cml/CodeGen.h"
+#include "cml/Flat.h"
+#include "cml/Infer.h"
+#include "cml/Lower.h"
+#include "cml/Parser.h"
+#include "stack/Stack.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace silver;
+
+namespace {
+
+std::string readAll(std::istream &In) {
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+int fail(const std::string &Message) {
+  std::fprintf(stderr, "silverc: error: %s\n", Message.c_str());
+  return 1;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: silverc [--level=spec|machine|isa|rtl|verilog]\n"
+               "               [--check] [--emit=asm|flat|core] [-O0|-O1]\n"
+               "               [--stdin-file=FILE] [--args=\"...\"] FILE\n");
+  return 1;
+}
+
+int emitStage(const std::string &Source, const std::string &What,
+              const cml::OptOptions &Opt) {
+  Result<cml::Program> Prog =
+      cml::parseProgram(cml::withPrelude(Source));
+  if (!Prog)
+    return fail("parse: " + Prog.error().str());
+  if (Result<std::map<std::string, cml::Scheme>> T =
+          cml::inferProgram(*Prog);
+      !T)
+    return fail("type: " + T.error().str());
+  Result<cml::CoreProgram> Core = cml::lowerProgram(*Prog);
+  if (!Core)
+    return fail(Core.error().str());
+  cml::optimizeCore(*Core, Opt);
+  if (What == "core") {
+    std::printf("%s\n", cml::coreToString(*Core->Main).c_str());
+    return 0;
+  }
+  cml::FlatProgram Flat = cml::flattenProgram(std::move(*Core));
+  if (What == "flat") {
+    std::printf("%s", cml::flatToString(Flat).c_str());
+    return 0;
+  }
+  if (What == "asm") {
+    cml::CompileOptions Options;
+    Options.Opt = Opt;
+    Result<cml::Compiled> Compiled = cml::compileProgram(Source, Options);
+    if (!Compiled)
+      return fail(Compiled.error().str());
+    std::printf("%s",
+                assembler::formatListing(
+                    assembler::disassemble(Compiled->Program,
+                                           Compiled->CodeBase))
+                    .c_str());
+    return 0;
+  }
+  return fail("unknown --emit kind '" + What + "'");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Level = "isa";
+  std::string Emit;
+  std::string File;
+  std::string StdinFile;
+  std::string Args;
+  bool Check = false;
+  cml::OptOptions Opt = cml::OptOptions::all();
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (startsWith(A, "--level="))
+      Level = A.substr(8);
+    else if (startsWith(A, "--emit="))
+      Emit = A.substr(7);
+    else if (A == "--check")
+      Check = true;
+    else if (A == "-O0")
+      Opt = cml::OptOptions::none();
+    else if (A == "-O1")
+      Opt = cml::OptOptions::all();
+    else if (startsWith(A, "--stdin-file="))
+      StdinFile = A.substr(13);
+    else if (startsWith(A, "--args="))
+      Args = A.substr(7);
+    else if (!A.empty() && A[0] == '-' && A != "-")
+      return usage();
+    else if (File.empty())
+      File = A;
+    else
+      return usage();
+  }
+  if (File.empty())
+    return usage();
+
+  std::string Source;
+  if (File == "-") {
+    Source = readAll(std::cin);
+  } else {
+    std::ifstream In(File);
+    if (!In)
+      return fail("cannot open '" + File + "'");
+    Source = readAll(In);
+  }
+
+  if (!Emit.empty())
+    return emitStage(Source, Emit, Opt);
+
+  stack::RunSpec Spec;
+  Spec.Source = Source;
+  Spec.Compile.Opt = Opt;
+  Spec.CommandLine = {File == "-" ? "prog" : File};
+  if (!Args.empty())
+    for (const std::string &Arg : splitString(Args, ' '))
+      if (!Arg.empty())
+        Spec.CommandLine.push_back(Arg);
+  if (!StdinFile.empty()) {
+    std::ifstream In(StdinFile, std::ios::binary);
+    if (!In)
+      return fail("cannot open '" + StdinFile + "'");
+    Spec.StdinData = readAll(In);
+  }
+
+  if (Check) {
+    Result<std::vector<stack::Observed>> R = stack::checkEndToEnd(
+        Spec, {stack::Level::Machine, stack::Level::Isa, stack::Level::Rtl,
+               stack::Level::Verilog});
+    if (!R)
+      return fail(R.error().str());
+    std::fprintf(stderr, "silverc: all levels agree\n");
+    std::fwrite(R->back().StdoutData.data(), 1,
+                R->back().StdoutData.size(), stdout);
+    return R->back().ExitCode;
+  }
+
+  stack::Level L;
+  if (Level == "spec")
+    L = stack::Level::Spec;
+  else if (Level == "machine")
+    L = stack::Level::Machine;
+  else if (Level == "isa")
+    L = stack::Level::Isa;
+  else if (Level == "rtl")
+    L = stack::Level::Rtl;
+  else if (Level == "verilog")
+    L = stack::Level::Verilog;
+  else
+    return usage();
+
+  Result<stack::Observed> R = stack::run(Spec, L);
+  if (!R)
+    return fail(R.error().str());
+  if (!R->Terminated)
+    return fail("program did not terminate within the step budget");
+  std::fwrite(R->StdoutData.data(), 1, R->StdoutData.size(), stdout);
+  std::fwrite(R->StderrData.data(), 1, R->StderrData.size(), stderr);
+  std::fprintf(stderr, "silverc: [%s] %llu instructions", Level.c_str(),
+               (unsigned long long)R->Instructions);
+  if (R->Cycles)
+    std::fprintf(stderr, ", %llu cycles", (unsigned long long)R->Cycles);
+  std::fprintf(stderr, ", exit %d\n", R->ExitCode);
+  return R->ExitCode;
+}

@@ -1,0 +1,306 @@
+//===- asm/Assembler.cpp - Silver assembler --------------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+
+#include <cassert>
+
+using namespace silver;
+using namespace silver::assembler;
+using silver::isa::Func;
+using silver::isa::Instruction;
+using silver::isa::Operand;
+
+Word Assembled::addressOf(const std::string &Label) const {
+  auto It = Symbols.find(Label);
+  assert(It != Symbols.end() && "unknown label");
+  return It->second;
+}
+
+void Assembler::label(const std::string &Name) {
+  Item I;
+  I.K = Kind::Label;
+  I.Sym = Name;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::emit(const Instruction &Instr) {
+  Item I;
+  I.K = Kind::Fixed;
+  I.Instr = Instr;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::emitLi(unsigned Reg, Word Value) {
+  if (Value <= 0x1fffff) {
+    emit(Instruction::loadConstant(Reg, /*Negate=*/false, Value));
+    return;
+  }
+  if ((0u - Value) <= 0x1fffff) {
+    emit(Instruction::loadConstant(Reg, /*Negate=*/true, 0u - Value));
+    return;
+  }
+  emit(Instruction::loadConstant(Reg, /*Negate=*/false, Value & 0x1fffff));
+  emit(Instruction::loadUpperConstant(Reg, Value >> 21));
+}
+
+void Assembler::emitLiLabel(unsigned Reg, const std::string &Label) {
+  Item I;
+  I.K = Kind::LiLabel;
+  I.Sym = Label;
+  I.Reg = Reg;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::emitBranch(bool WhenZero, Func F, Operand A, Operand B,
+                           const std::string &Label) {
+  Item I;
+  I.K = Kind::Branch;
+  I.WhenZero = WhenZero;
+  I.F = F;
+  I.A = A;
+  I.B = B;
+  I.Sym = Label;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::emitJump(const std::string &Label) {
+  Item I;
+  I.K = Kind::Jump;
+  I.Sym = Label;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::emitCall(const std::string &Label, unsigned LinkReg) {
+  Item I;
+  I.K = Kind::Call;
+  I.Sym = Label;
+  I.Reg = LinkReg;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::emitRet(unsigned LinkReg) {
+  emit(Instruction::jump(Func::Snd, abi::TmpReg, Operand::reg(LinkReg)));
+}
+
+void Assembler::emitHalt() { emit(Instruction::halt()); }
+
+void Assembler::word(Word Value) {
+  Item I;
+  I.K = Kind::Word;
+  I.Data = Value;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::bytes(const std::vector<uint8_t> &Data) {
+  Item I;
+  I.K = Kind::Bytes;
+  I.Blob = Data;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::ascii(const std::string &Text) {
+  bytes(std::vector<uint8_t>(Text.begin(), Text.end()));
+}
+
+void Assembler::align(Word Alignment) {
+  assert((Alignment & (Alignment - 1)) == 0 && "alignment not a power of 2");
+  Item I;
+  I.K = Kind::Align;
+  I.Data = Alignment;
+  Items.push_back(std::move(I));
+}
+
+void Assembler::space(Word Count) {
+  Item I;
+  I.K = Kind::Space;
+  I.Data = Count;
+  Items.push_back(std::move(I));
+}
+
+namespace {
+
+/// Per-item layout state used during relaxation.
+struct Layout {
+  std::vector<bool> Far;       // Branch/Jump items promoted to far form
+  std::vector<Word> Offset;    // item offset from base
+  Word TotalSize = 0;
+};
+
+} // namespace
+
+Result<Assembled>
+Assembler::assemble(Word BaseAddr,
+                    const std::map<std::string, Word> &Externs) const {
+  Layout L;
+  L.Far.assign(Items.size(), false);
+  L.Offset.assign(Items.size(), 0);
+
+  std::map<std::string, Word> Symbols;
+
+  // Iterative relaxation.  Item sizes are monotone except Align padding,
+  // so bound the iteration count and require a stable final pass.
+  const int MaxIterations = 64;
+  bool Stable = false;
+  for (int Iter = 0; Iter != MaxIterations && !Stable; ++Iter) {
+    // Phase 1: lay out with the current Far flags and bind labels.
+    Symbols = Externs;
+    Word At = 0;
+    for (size_t I = 0, E = Items.size(); I != E; ++I) {
+      const Item &It = Items[I];
+      L.Offset[I] = At;
+      switch (It.K) {
+      case Kind::Label: {
+        auto [Pos, Inserted] = Symbols.insert({It.Sym, BaseAddr + At});
+        if (!Inserted)
+          return Error("duplicate label '" + It.Sym + "'");
+        break;
+      }
+      case Kind::Fixed:
+        At += 4;
+        break;
+      case Kind::LiLabel:
+        At += 8;
+        break;
+      case Kind::Branch:
+        At += L.Far[I] ? 16 : 4;
+        break;
+      case Kind::Jump:
+        At += L.Far[I] ? 12 : 4;
+        break;
+      case Kind::Call:
+        At += 12;
+        break;
+      case Kind::Word:
+        At += 4;
+        break;
+      case Kind::Bytes:
+        At += static_cast<Word>(It.Blob.size());
+        break;
+      case Kind::Align:
+        At = alignUp(At + BaseAddr, It.Data) - BaseAddr;
+        break;
+      case Kind::Space:
+        At += It.Data;
+        break;
+      }
+    }
+    L.TotalSize = At;
+
+    // Phase 2: check ranges; promote out-of-range items to far form.
+    Stable = true;
+    for (size_t I = 0, E = Items.size(); I != E; ++I) {
+      const Item &It = Items[I];
+      if ((It.K != Kind::Branch && It.K != Kind::Jump) || L.Far[I])
+        continue;
+      auto Sym = Symbols.find(It.Sym);
+      if (Sym == Symbols.end())
+        return Error("undefined label '" + It.Sym + "'");
+      Word ItemAddr = BaseAddr + L.Offset[I];
+      int64_t Delta =
+          static_cast<int64_t>(Sym->second) - static_cast<int64_t>(ItemAddr);
+      bool Fits = It.K == Kind::Branch
+                      ? (Delta % 4 == 0 && fitsSigned(Delta / 4, 10))
+                      : fitsSigned(Delta, 6);
+      if (!Fits) {
+        L.Far[I] = true;
+        Stable = false;
+      }
+    }
+  }
+  if (!Stable)
+    return Error("branch relaxation did not converge");
+
+  // Phase 3: encode.
+  Assembled Out;
+  Out.BaseAddr = BaseAddr;
+  Out.Symbols = Symbols;
+  Out.Bytes.reserve(L.TotalSize);
+
+  auto EmitWord = [&Out](Word W) {
+    Out.Bytes.push_back(static_cast<uint8_t>(W));
+    Out.Bytes.push_back(static_cast<uint8_t>(W >> 8));
+    Out.Bytes.push_back(static_cast<uint8_t>(W >> 16));
+    Out.Bytes.push_back(static_cast<uint8_t>(W >> 24));
+  };
+  auto EmitInstr = [&EmitWord](const Instruction &Instr) {
+    EmitWord(isa::encode(Instr));
+  };
+  auto EmitLiValue = [&EmitInstr](unsigned Reg, Word Value) {
+    // The label form is always two instructions (layout-independent).
+    EmitInstr(Instruction::loadConstant(Reg, false, Value & 0x1fffff));
+    EmitInstr(Instruction::loadUpperConstant(Reg, Value >> 21));
+  };
+
+  for (size_t I = 0, E = Items.size(); I != E; ++I) {
+    const Item &It = Items[I];
+    Word ItemAddr = BaseAddr + L.Offset[I];
+    switch (It.K) {
+    case Kind::Label:
+      break;
+    case Kind::Fixed:
+      EmitInstr(It.Instr);
+      break;
+    case Kind::LiLabel:
+      EmitLiValue(It.Reg, Symbols.at(It.Sym));
+      break;
+    case Kind::Branch: {
+      Word Target = Symbols.at(It.Sym);
+      if (!L.Far[I]) {
+        int32_t Off = static_cast<int32_t>(
+            (static_cast<int64_t>(Target) - ItemAddr) / 4);
+        EmitInstr(It.WhenZero
+                      ? Instruction::jumpIfZero(It.F, It.A, It.B, Off)
+                      : Instruction::jumpIfNotZero(It.F, It.A, It.B, Off));
+      } else {
+        // Inverted condition skips the 3-instruction far jump.
+        EmitInstr(It.WhenZero
+                      ? Instruction::jumpIfNotZero(It.F, It.A, It.B, 4)
+                      : Instruction::jumpIfZero(It.F, It.A, It.B, 4));
+        EmitLiValue(abi::TmpReg, Target);
+        EmitInstr(Instruction::jump(Func::Snd, abi::TmpReg,
+                                    Operand::reg(abi::TmpReg)));
+      }
+      break;
+    }
+    case Kind::Jump: {
+      Word Target = Symbols.at(It.Sym);
+      if (!L.Far[I]) {
+        int32_t Delta = static_cast<int32_t>(Target - ItemAddr);
+        EmitInstr(Instruction::jump(Func::Add, abi::TmpReg,
+                                    Operand::imm(Delta)));
+      } else {
+        EmitLiValue(abi::TmpReg, Target);
+        EmitInstr(Instruction::jump(Func::Snd, abi::TmpReg,
+                                    Operand::reg(abi::TmpReg)));
+      }
+      break;
+    }
+    case Kind::Call: {
+      EmitLiValue(abi::TmpReg, Symbols.at(It.Sym));
+      EmitInstr(
+          Instruction::jump(Func::Snd, It.Reg, Operand::reg(abi::TmpReg)));
+      break;
+    }
+    case Kind::Word:
+      EmitWord(It.Data);
+      break;
+    case Kind::Bytes:
+      Out.Bytes.insert(Out.Bytes.end(), It.Blob.begin(), It.Blob.end());
+      break;
+    case Kind::Align:
+      while ((BaseAddr + Out.Bytes.size()) % It.Data != 0)
+        Out.Bytes.push_back(0);
+      break;
+    case Kind::Space:
+      Out.Bytes.insert(Out.Bytes.end(), It.Data, 0);
+      break;
+    }
+  }
+  assert(Out.Bytes.size() == L.TotalSize && "layout/encoding size mismatch");
+  return Out;
+}

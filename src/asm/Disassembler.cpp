@@ -1,0 +1,58 @@
+//===- asm/Disassembler.cpp - Silver disassembler --------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Disassembler.h"
+
+#include "support/StringUtils.h"
+
+using namespace silver;
+using namespace silver::assembler;
+
+std::vector<DisasmLine>
+silver::assembler::disassemble(const std::vector<uint8_t> &Bytes,
+                               Word BaseAddr) {
+  std::vector<DisasmLine> Lines;
+  size_t I = 0;
+  for (; I + 4 <= Bytes.size(); I += 4) {
+    DisasmLine Line;
+    Line.Addr = BaseAddr + static_cast<Word>(I);
+    Line.Encoded = static_cast<Word>(Bytes[I]) |
+                   (static_cast<Word>(Bytes[I + 1]) << 8) |
+                   (static_cast<Word>(Bytes[I + 2]) << 16) |
+                   (static_cast<Word>(Bytes[I + 3]) << 24);
+    Result<isa::Instruction> Decoded = isa::decode(Line.Encoded);
+    if (Decoded) {
+      Line.Valid = true;
+      Line.Text = isa::toString(*Decoded);
+    } else {
+      Line.Text = ".word " + toHex(Line.Encoded);
+    }
+    Lines.push_back(std::move(Line));
+  }
+  for (; I < Bytes.size(); ++I) {
+    DisasmLine Line;
+    Line.Addr = BaseAddr + static_cast<Word>(I);
+    Line.Encoded = Bytes[I];
+    Line.Text = ".byte " + std::to_string(Bytes[I]);
+    Lines.push_back(std::move(Line));
+  }
+  return Lines;
+}
+
+std::string
+silver::assembler::formatListing(const std::vector<DisasmLine> &Lines) {
+  std::string Out;
+  for (const DisasmLine &Line : Lines) {
+    Out += toHex(Line.Addr);
+    Out += ": ";
+    Out += toHex(Line.Encoded);
+    Out += "  ";
+    Out += Line.Text;
+    Out += '\n';
+  }
+  return Out;
+}

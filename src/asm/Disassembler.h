@@ -1,0 +1,45 @@
+//===- asm/Disassembler.h - Silver disassembler ----------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disassembles Silver machine code back to a textual listing.  Used by
+/// the examples and by debugging aids; also the inverse half of the
+/// encode/decode round-trip property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ASM_DISASSEMBLER_H
+#define SILVER_ASM_DISASSEMBLER_H
+
+#include "isa/Encoding.h"
+
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace assembler {
+
+/// One line of a disassembly listing.
+struct DisasmLine {
+  Word Addr = 0;
+  Word Encoded = 0;
+  bool Valid = false; ///< false for words that do not decode
+  std::string Text;   ///< instruction text, or ".word 0x..." when invalid
+};
+
+/// Disassembles \p Bytes loaded at \p BaseAddr.  A trailing partial word
+/// is rendered as ".byte" lines.
+std::vector<DisasmLine> disassemble(const std::vector<uint8_t> &Bytes,
+                                    Word BaseAddr);
+
+/// Renders a listing as "ADDR: ENCODING  text" lines.
+std::string formatListing(const std::vector<DisasmLine> &Lines);
+
+} // namespace assembler
+} // namespace silver
+
+#endif // SILVER_ASM_DISASSEMBLER_H

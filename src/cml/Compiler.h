@@ -1,0 +1,57 @@
+//===- cml/Compiler.h - The MiniCake compiler driver ------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler driver: the reproduction's analogue of the paper's
+/// `compile confAg prog = Some compiled_prog` (theorem (3)).  Pipeline:
+/// parse -> type-check -> lower -> optimise -> flatten (ANF + closure
+/// conversion) -> code generation -> assembly.  The program is assembled
+/// twice: once at address 0 to learn its size, then at the CodeBase the
+/// memory layout (paper Fig. 2) derives from that size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_COMPILER_H
+#define SILVER_CML_COMPILER_H
+
+#include "cml/Opt.h"
+#include "support/Result.h"
+#include "sys/Layout.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace cml {
+
+struct CompileOptions {
+  OptOptions Opt = OptOptions::all();
+  sys::LayoutParams Layout; ///< determines memory size and CodeBase
+  bool IncludePrelude = true;
+};
+
+struct Compiled {
+  std::vector<uint8_t> Program; ///< code+data to load at Layout CodeBase
+  Word CodeBase = 0;            ///< where the bytes were linked
+  OptStats Stats;               ///< optimiser statistics
+  unsigned NumFunctions = 0;    ///< Flat functions (excluding main)
+  unsigned NumGlobals = 0;
+};
+
+/// Compiles MiniCake source to a Silver program image fragment.
+Result<Compiled> compileProgram(const std::string &Source,
+                                const CompileOptions &Options = {});
+
+/// Prepends the basis prelude to user source (what compileProgram and
+/// the interpreter-based differential tests both use).
+std::string withPrelude(const std::string &Source);
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_COMPILER_H

@@ -1,0 +1,211 @@
+//===- cml/Core.h - MiniCake core IR ---------------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core intermediate representation, produced from the typed AST by
+/// cml/Lower.cpp.  At this level: names are globally unique; pattern
+/// matches are compiled to tests; bools/chars/unit are integers; basis
+/// primitives are saturated PrimOp applications; top-level bindings are
+/// global slots.  The optimiser (cml/Opt.cpp) rewrites this IR; the
+/// flattener (cml/Flatten.cpp) then A-normalises and closure-converts it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_CORE_H
+#define SILVER_CML_CORE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace cml {
+
+/// Primitive operations at the Core/Flat level.
+enum class PrimKind : uint8_t {
+  // Integer arithmetic (31-bit wrapping; Div/Mod trap on zero).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  // Structural equality (runtime recursion over the heap).
+  PolyEq,
+  // Lists and pairs.
+  Cons,
+  Head,
+  Tail,
+  IsNil,
+  MkPair,
+  Fst,
+  Snd,
+  // Strings and characters.
+  StrConcat,
+  StrSize,
+  StrSub,
+  Substring,
+  Strcmp,
+  ConcatList,
+  Implode,
+  Ord,
+  Chr,
+  // IO and process control (lowered to Silver FFI calls).
+  Print,
+  PrintErr,
+  ReadChunk,
+  ArgCount,
+  ArgN,
+  Exit,
+  // Globals (top-level bindings).
+  GlobalGet, ///< Imm = slot
+  GlobalSet, ///< Imm = slot
+  // Unconditional trap (match failure etc.); Imm = exit code.
+  Trap,
+  // Closure operations (introduced by closure conversion; Flat IR only).
+  AllocClosure, ///< Imm = function id, Imm2 = free-var count
+  ClosSet,      ///< Imm = slot; args: closure, value
+  ClosEnv,      ///< Imm = slot; args: closure
+};
+
+/// Number of value arguments a primitive consumes at the Flat level.
+unsigned primArgCount(PrimKind K);
+/// Printable name (for IR dumps and tests).
+const char *primName(PrimKind K);
+/// True when evaluating the primitive has no side effect and cannot trap
+/// (dead lets binding such primitives may be removed).
+bool primIsPure(PrimKind K);
+
+struct CExp;
+using CExpPtr = std::unique_ptr<CExp>;
+
+enum class CExpKind : uint8_t {
+  Var,
+  IntConst, ///< ints, chars, bools (0/1), unit (0)
+  StrConst,
+  NilConst,
+  Fn,     ///< single-parameter lambda
+  App,    ///< general application
+  Prim,   ///< saturated primitive
+  If,
+  Let,
+  Letrec, ///< group of single-parameter recursive functions
+};
+
+/// One function of a Letrec group (already curried to one parameter).
+struct CoreFun {
+  std::string Name;
+  std::string Param;
+  CExpPtr Body;
+};
+
+struct CExp {
+  CExpKind Kind = CExpKind::IntConst;
+  std::string Name;   // Var / Fn param / Let name
+  int32_t Int = 0;    // IntConst
+  std::string Str;    // StrConst
+  PrimKind Prim = PrimKind::Add;
+  int32_t Imm = 0;    // Prim immediate (global slot, trap code, ...)
+  std::vector<CExpPtr> Args; // Prim args / App [fn, arg] / If [c,t,e] /
+                             // Let [bound, body] / Fn [body]
+  std::vector<CoreFun> Funs; // Letrec (body in Args[0])
+
+  static CExpPtr var(std::string N) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::Var;
+    E->Name = std::move(N);
+    return E;
+  }
+  static CExpPtr intConst(int32_t V) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::IntConst;
+    E->Int = V;
+    return E;
+  }
+  static CExpPtr strConst(std::string S) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::StrConst;
+    E->Str = std::move(S);
+    return E;
+  }
+  static CExpPtr nil() {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::NilConst;
+    return E;
+  }
+  static CExpPtr fn(std::string Param, CExpPtr Body) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::Fn;
+    E->Name = std::move(Param);
+    E->Args.push_back(std::move(Body));
+    return E;
+  }
+  static CExpPtr app(CExpPtr F, CExpPtr A) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::App;
+    E->Args.push_back(std::move(F));
+    E->Args.push_back(std::move(A));
+    return E;
+  }
+  static CExpPtr prim(PrimKind K, std::vector<CExpPtr> Args,
+                      int32_t Imm = 0) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::Prim;
+    E->Prim = K;
+    E->Imm = Imm;
+    E->Args = std::move(Args);
+    return E;
+  }
+  static CExpPtr ifExp(CExpPtr C, CExpPtr T, CExpPtr F) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::If;
+    E->Args.push_back(std::move(C));
+    E->Args.push_back(std::move(T));
+    E->Args.push_back(std::move(F));
+    return E;
+  }
+  static CExpPtr let(std::string N, CExpPtr Bound, CExpPtr Body) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::Let;
+    E->Name = std::move(N);
+    E->Args.push_back(std::move(Bound));
+    E->Args.push_back(std::move(Body));
+    return E;
+  }
+  static CExpPtr letrec(std::vector<CoreFun> Funs, CExpPtr Body) {
+    auto E = std::make_unique<CExp>();
+    E->Kind = CExpKind::Letrec;
+    E->Funs = std::move(Funs);
+    E->Args.push_back(std::move(Body));
+    return E;
+  }
+
+  /// Deep copy (used by the inliner).
+  CExpPtr clone() const;
+  /// Number of nodes (inlining heuristics, tests).
+  size_t size() const;
+};
+
+/// Renders the IR for tests and debugging.
+std::string coreToString(const CExp &E);
+
+/// A lowered program: the main expression (evaluating all top-level
+/// declarations in order, ending in unit) plus the global-slot count.
+struct CoreProgram {
+  CExpPtr Main;
+  unsigned GlobalCount = 0;
+  std::vector<std::string> GlobalNames; ///< slot -> source name (debugging)
+};
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_CORE_H

@@ -1,0 +1,49 @@
+//===- cml/Infer.h - Hindley-Milner type inference --------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm-W-style type inference for MiniCake with level-based
+/// let-polymorphism.  `=`/`<>` are checked post hoc to be used only at
+/// equality types (no function type inside).  The initial environment
+/// binds the compiler primitives (see primitiveSchemes), and the prelude
+/// (cml/Prelude.h) provides the rest of the basis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_INFER_H
+#define SILVER_CML_INFER_H
+
+#include "cml/Ast.h"
+#include "cml/Types.h"
+#include "support/Result.h"
+
+#include <map>
+#include <string>
+
+namespace silver {
+namespace cml {
+
+/// Description of a compiler primitive: its arity at the Flat IR level
+/// and its type scheme.
+struct PrimitiveInfo {
+  unsigned Arity = 1;
+  Scheme TypeScheme;
+};
+
+/// The primitives every MiniCake program may use: string operations,
+/// character conversions, the I/O hooks lowered to Silver FFI calls, and
+/// exit.  Keyed by source-level name.
+const std::map<std::string, PrimitiveInfo> &primitiveSchemes();
+
+/// Type-checks a whole program.  On success returns the types of the
+/// top-level bindings (for tooling/tests); on failure, a located error.
+Result<std::map<std::string, Scheme>> inferProgram(const Program &Prog);
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_INFER_H

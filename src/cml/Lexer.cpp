@@ -1,0 +1,258 @@
+//===- cml/Lexer.cpp - MiniCake lexer --------------------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cml/Lexer.h"
+
+#include <cctype>
+
+using namespace silver;
+using namespace silver::cml;
+
+bool silver::cml::isKeyword(const std::string &Name) {
+  static const char *Keywords[] = {
+      "val", "fun", "fn", "let", "in",  "end",    "if",   "then",
+      "else", "case", "of", "and", "andalso", "orelse", "true", "false",
+      "div", "mod"};
+  for (const char *K : Keywords)
+    if (Name == K)
+      return true;
+  return false;
+}
+
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) {}
+
+  Result<std::vector<Token>> run();
+
+private:
+  const std::string &Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+  Loc here() const { return {Line, Col}; }
+  Error errorHere(const std::string &Message) const {
+    return Error(Message, Line, Col);
+  }
+
+  Result<void> skipSpaceAndComments();
+  Result<Token> lexString(Loc Where);
+};
+
+Result<void> Lexer::skipSpaceAndComments() {
+  for (;;) {
+    while (!atEnd() && std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '(' && peek(1) == '*') {
+      Loc Start = here();
+      advance();
+      advance();
+      int Depth = 1;
+      while (Depth > 0) {
+        if (atEnd())
+          return Error("unterminated comment", Start.Line, Start.Col);
+        if (peek() == '(' && peek(1) == '*') {
+          advance();
+          advance();
+          ++Depth;
+        } else if (peek() == '*' && peek(1) == ')') {
+          advance();
+          advance();
+          --Depth;
+        } else {
+          advance();
+        }
+      }
+      continue;
+    }
+    return {};
+  }
+}
+
+Result<Token> Lexer::lexString(Loc Where) {
+  Token T;
+  T.Kind = TokKind::StrLit;
+  T.Where = Where;
+  for (;;) {
+    if (atEnd())
+      return Error("unterminated string literal", Where.Line, Where.Col);
+    char C = advance();
+    if (C == '"')
+      return T;
+    if (C == '\\') {
+      if (atEnd())
+        return Error("unterminated escape", Where.Line, Where.Col);
+      char E = advance();
+      switch (E) {
+      case 'n':
+        T.Text.push_back('\n');
+        break;
+      case 't':
+        T.Text.push_back('\t');
+        break;
+      case '\\':
+        T.Text.push_back('\\');
+        break;
+      case '"':
+        T.Text.push_back('"');
+        break;
+      case '0':
+        T.Text.push_back('\0');
+        break;
+      default:
+        return errorHere(std::string("unknown escape '\\") + E + "'");
+      }
+      continue;
+    }
+    T.Text.push_back(C);
+  }
+}
+
+Result<std::vector<Token>> Lexer::run() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    if (Result<void> Skip = skipSpaceAndComments(); !Skip)
+      return Skip.error();
+    Loc Where = here();
+    if (atEnd()) {
+      Token T;
+      T.Kind = TokKind::Eof;
+      T.Where = Where;
+      Tokens.push_back(std::move(T));
+      return Tokens;
+    }
+    char C = peek();
+
+    // Integer literals, with SML's ~ negation.
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '~' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      bool Negative = C == '~';
+      if (Negative)
+        advance();
+      int64_t Value = 0;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        Value = Value * 10 + (advance() - '0');
+        if (Value > (int64_t(1) << 32))
+          return errorHere("integer literal out of range");
+      }
+      Token T;
+      T.Kind = TokKind::IntLit;
+      T.Where = Where;
+      T.Int = static_cast<int32_t>(Negative ? -Value : Value);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    // Character literals #"c".
+    if (C == '#' && peek(1) == '"') {
+      advance();
+      advance();
+      if (atEnd())
+        return errorHere("unterminated character literal");
+      char V = advance();
+      if (V == '\\') {
+        char E = advance();
+        switch (E) {
+        case 'n':
+          V = '\n';
+          break;
+        case 't':
+          V = '\t';
+          break;
+        case '\\':
+          V = '\\';
+          break;
+        case '"':
+          V = '"';
+          break;
+        case '0':
+          V = '\0';
+          break;
+        default:
+          return errorHere("unknown escape in character literal");
+        }
+      }
+      if (advance() != '"')
+        return errorHere("character literal must hold exactly one character");
+      Token T;
+      T.Kind = TokKind::CharLit;
+      T.Where = Where;
+      T.Int = static_cast<unsigned char>(V);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    // String literals.
+    if (C == '"') {
+      advance();
+      Result<Token> T = lexString(Where);
+      if (!T)
+        return T.error();
+      Tokens.push_back(T.take());
+      continue;
+    }
+
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Name;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_' || peek() == '\'')
+        Name.push_back(advance());
+      Token T;
+      T.Kind = Name == "_" ? TokKind::Punct : TokKind::Ident;
+      T.Where = Where;
+      T.Text = Name;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    // Punctuation and symbolic operators (longest match).
+    static const char *Puncts[] = {"=>", "::", "<>", "<=", ">=", "(",  ")",
+                                   "[",  "]",  ",",  ";",  "|",  "=",  "<",
+                                   ">",  "+",  "-",  "*",  "^",  "_"};
+    bool Matched = false;
+    for (const char *P : Puncts) {
+      size_t Len = std::string(P).size();
+      if (Src.compare(Pos, Len, P) == 0) {
+        for (size_t I = 0; I != Len; ++I)
+          advance();
+        Token T;
+        T.Kind = TokKind::Punct;
+        T.Where = Where;
+        T.Text = P;
+        Tokens.push_back(std::move(T));
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched)
+      return errorHere(std::string("unexpected character '") + C + "'");
+  }
+}
+
+} // namespace
+
+Result<std::vector<Token>> silver::cml::tokenize(const std::string &Source) {
+  return Lexer(Source).run();
+}

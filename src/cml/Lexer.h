@@ -1,0 +1,59 @@
+//===- cml/Lexer.h - MiniCake lexer ----------------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokeniser for MiniCake.  SML-style lexical syntax: (* ... *) comments
+/// (nesting), ~ as the negation sign of integer literals, #"c" character
+/// literals, and alphanumeric/symbolic identifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_LEXER_H
+#define SILVER_CML_LEXER_H
+
+#include "cml/Ast.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace cml {
+
+enum class TokKind : uint8_t {
+  Ident,   ///< identifiers and keywords (Text holds the spelling)
+  IntLit,  ///< Int holds the value
+  CharLit, ///< Int holds the character code
+  StrLit,  ///< Text holds the contents
+  Punct,   ///< punctuation / operators (Text holds the spelling)
+  Eof,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  Loc Where;
+  std::string Text;
+  int32_t Int = 0;
+
+  bool is(TokKind K, const std::string &T) const {
+    return Kind == K && Text == T;
+  }
+  bool isIdent(const std::string &T) const { return is(TokKind::Ident, T); }
+  bool isPunct(const std::string &T) const { return is(TokKind::Punct, T); }
+};
+
+/// Tokenises \p Source.  The resulting vector always ends with an Eof
+/// token.  Fails on malformed literals and unterminated comments.
+Result<std::vector<Token>> tokenize(const std::string &Source);
+
+/// True when \p Name is a reserved word (not usable as an identifier).
+bool isKeyword(const std::string &Name);
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_LEXER_H

@@ -1,0 +1,34 @@
+//===- cml/Lower.h - AST to Core lowering ----------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the type-checked AST to the Core IR: alpha-renames all binders,
+/// compiles pattern matches to test trees, saturates (or eta-expands)
+/// basis primitives, curries multi-parameter functions, and turns
+/// top-level declarations into global slots evaluated by a single main
+/// expression.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_LOWER_H
+#define SILVER_CML_LOWER_H
+
+#include "cml/Ast.h"
+#include "cml/Core.h"
+#include "support/Result.h"
+
+namespace silver {
+namespace cml {
+
+/// Lowers a type-checked program.  Assumes inferProgram succeeded (binding
+/// errors assert rather than diagnose).
+Result<CoreProgram> lowerProgram(const Program &Prog);
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_LOWER_H

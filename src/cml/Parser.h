@@ -1,0 +1,35 @@
+//===- cml/Parser.h - MiniCake parser --------------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniCake.  Operator precedence (loosest
+/// to tightest): orelse, andalso, comparisons (non-associative), ^,
+/// :: (right), + -, * div mod, application.  `case` and `fn` extend as
+/// far to the right as possible, as in SML.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_PARSER_H
+#define SILVER_CML_PARSER_H
+
+#include "cml/Ast.h"
+#include "cml/Lexer.h"
+#include "support/Result.h"
+
+namespace silver {
+namespace cml {
+
+/// Parses a whole program (a sequence of val/fun declarations).
+Result<Program> parseProgram(const std::string &Source);
+
+/// Parses a single expression (used by tests and the REPL-style example).
+Result<ExpPtr> parseExpression(const std::string &Source);
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_PARSER_H

@@ -1,0 +1,113 @@
+//===- cml/Prelude.cpp - The MiniCake basis library --------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cml/Prelude.h"
+
+const char *silver::cml::preludeSource() {
+  return R"PRELUDE(
+(* --- MiniCake basis library ------------------------------------------ *)
+(* Lists *)
+fun not b = if b then false else true;
+fun fst p = case p of (a, _) => a;
+fun snd p = case p of (_, b) => b;
+fun min a b = if a < b then a else b;
+fun max a b = if a > b then a else b;
+fun abs n = if n < 0 then 0 - n else n;
+fun null l = case l of [] => true | _ => false;
+fun hd l = case l of h :: _ => h;
+fun tl l = case l of _ :: t => t;
+fun length l =
+  let fun length_aux l acc =
+        case l of [] => acc | _ :: t => length_aux t (acc + 1)
+  in length_aux l 0 end;
+fun rev l =
+  let fun rev_aux l acc =
+        case l of [] => acc | h :: t => rev_aux t (h :: acc)
+  in rev_aux l [] end;
+fun append a b = case a of [] => b | h :: t => h :: append t b;
+fun map f l = case l of [] => [] | h :: t => f h :: map f t;
+fun filter p l =
+  case l of
+    [] => []
+  | h :: t => if p h then h :: filter p t else filter p t;
+fun foldl f acc l =
+  case l of [] => acc | h :: t => foldl f (f acc h) t;
+fun foldr f acc l =
+  case l of [] => acc | h :: t => f h (foldr f acc t);
+fun exists p l =
+  case l of [] => false | h :: t => if p h then true else exists p t;
+fun all p l =
+  case l of [] => true | h :: t => if p h then all p t else false;
+fun nth l i =
+  case l of h :: t => if i = 0 then h else nth t (i - 1);
+fun take l n =
+  if n <= 0 then [] else case l of [] => [] | h :: t => h :: take t (n - 1);
+fun drop l n =
+  if n <= 0 then l else case l of [] => [] | _ :: t => drop t (n - 1);
+fun member x l =
+  case l of [] => false | h :: t => if h = x then true else member x t;
+
+(* Strings *)
+fun concat l = concat_list l;
+fun explode s =
+  let fun explode_aux i acc =
+        if i < 0 then acc else explode_aux (i - 1) (str_sub s i :: acc)
+  in explode_aux (str_size s - 1) [] end;
+fun str c = implode [c];
+fun string_lt a b = strcmp a b < 0;
+fun string_le a b = strcmp a b <= 0;
+fun join sep l =
+  case l of
+    [] => ""
+  | h :: t => (case t of [] => h | _ => h ^ sep ^ join sep t);
+(* int_to_string is total except for the most negative 31-bit integer. *)
+fun int_to_string n =
+  let fun digits n acc =
+        if n = 0 then acc
+        else digits (n div 10) (substring "0123456789" (n mod 10) 1 ^ acc)
+  in
+    if n = 0 then "0"
+    else if n < 0 then "~" ^ digits (0 - n) ""
+    else digits n ""
+  end;
+
+(* Splits a string on a character predicate; the paper's wc counts
+   `tokens is_space input`. *)
+fun tokens p s =
+  let
+    val n = str_size s
+    fun token_aux i start acc =
+      if i >= n then
+        (if i > start then substring s start (i - start) :: acc else acc)
+      else if p (str_sub s i) then
+        token_aux (i + 1) (i + 1)
+          (if i > start then substring s start (i - start) :: acc else acc)
+      else
+        token_aux (i + 1) start acc
+  in rev (token_aux 0 0 []) end;
+fun is_space c =
+  let val n = ord c in
+    n = 32 orelse (n >= 9 andalso n <= 13)
+  end;
+fun lines s = tokens (fn c => ord c = 10) s;
+
+(* IO *)
+fun input_all u =
+  let fun input_aux acc =
+        let val chunk = read_chunk 59999 in
+          if str_size chunk = 0 then concat_list (rev acc)
+          else input_aux (chunk :: acc)
+        end
+  in input_aux [] end;
+fun arguments u =
+  let fun args_aux i n =
+        if i >= n then [] else arg_n i :: args_aux (i + 1) n
+  in args_aux 0 (arg_count ()) end;
+fun print_line s = print (s ^ "\n");
+(* --- end of basis ------------------------------------------------------ *)
+)PRELUDE";
+}

@@ -1,0 +1,29 @@
+//===- cml/Prelude.h - The MiniCake basis library ---------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The basis library, written in MiniCake itself and prepended to every
+/// compiled (and interpreted) program — the analogue of CakeML's basis:
+/// list functions, string helpers, integer printing, and the I/O
+/// functions (input_all, arguments) built over the read_chunk/arg_*
+/// primitives that the runtime lowers to Silver FFI calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_PRELUDE_H
+#define SILVER_CML_PRELUDE_H
+
+namespace silver {
+namespace cml {
+
+/// MiniCake source of the basis library.
+const char *preludeSource();
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_PRELUDE_H

@@ -1,0 +1,693 @@
+//===- cml/Runtime.cpp - Compiled-code runtime routines ---------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cml/Runtime.h"
+
+#include "cml/Interp.h"
+#include "isa/Abi.h"
+#include "machine/MachineSem.h"
+#include "sys/Syscalls.h"
+
+using namespace silver;
+using namespace silver::cml;
+using assembler::Assembler;
+using isa::Func;
+using isa::Instruction;
+using isa::Operand;
+using isa::ShiftKind;
+
+namespace {
+// Register names used throughout the runtime.
+constexpr unsigned A0 = 5, A1 = 6, A2 = 7; // arguments / FFI registers
+constexpr unsigned S0 = 8, S1 = 9;         // scratch (also FFI r8/r9)
+constexpr unsigned S2 = abi::SysTmpReg;    // r56
+constexpr unsigned S3 = abi::SysTmp2Reg;   // r57
+constexpr unsigned S4 = abi::Tmp2Reg;      // r62
+constexpr unsigned HP = abi::HeapReg;      // r58
+constexpr unsigned LIM = abi::HeapEndReg;  // r59
+constexpr unsigned SP = abi::StackReg;     // r60
+constexpr unsigned LR = abi::LinkReg;      // r61
+
+Operand R(unsigned Reg) { return Operand::reg(Reg); }
+Operand Imm(int32_t V) { return Operand::imm(V); }
+
+void addImm(Assembler &A, unsigned Dst, unsigned Src, int32_t K) {
+  A.emit(Instruction::normal(Func::Add, Dst, R(Src), Imm(K)));
+}
+void mov(Assembler &A, unsigned Dst, unsigned Src) {
+  A.emit(Instruction::normal(Func::Snd, Dst, Imm(0), R(Src)));
+}
+void movImm(Assembler &A, unsigned Dst, int32_t K) {
+  A.emit(Instruction::normal(Func::Snd, Dst, Imm(0), Imm(K)));
+}
+void bz(Assembler &A, unsigned Reg, const std::string &L) {
+  A.emitBranch(/*WhenZero=*/true, Func::Snd, Imm(0), R(Reg), L);
+}
+void bnz(Assembler &A, unsigned Reg, const std::string &L) {
+  A.emitBranch(/*WhenZero=*/false, Func::Snd, Imm(0), R(Reg), L);
+}
+void beqImm(Assembler &A, unsigned Reg, int32_t K, const std::string &L) {
+  A.emitBranch(/*WhenZero=*/false, Func::Equal, R(Reg), Imm(K), L);
+}
+
+/// SP-relative frame slots (slot 0 = saved LR by convention).
+void storeSlot(Assembler &A, unsigned Src, unsigned Slot) {
+  if (Slot == 0) {
+    A.emit(Instruction::storeMem(R(Src), R(SP)));
+    return;
+  }
+  addImm(A, abi::TmpReg, SP, static_cast<int32_t>(Slot * 4));
+  A.emit(Instruction::storeMem(R(Src), R(abi::TmpReg)));
+}
+void loadSlot(Assembler &A, unsigned Dst, unsigned Slot) {
+  if (Slot == 0) {
+    A.emit(Instruction::loadMem(Dst, R(SP)));
+    return;
+  }
+  addImm(A, Dst, SP, static_cast<int32_t>(Slot * 4));
+  A.emit(Instruction::loadMem(Dst, R(Dst)));
+}
+
+/// Opens a frame of \p Words slots (<= 8, so the SP adjustment fits an
+/// immediate) and saves LR into slot 0.
+void pushFrame(Assembler &A, unsigned Words) {
+  addImm(A, SP, SP, -static_cast<int32_t>(Words * 4));
+  storeSlot(A, LR, 0);
+}
+/// Restores LR and closes the frame.
+void popFrame(Assembler &A, unsigned Words) {
+  loadSlot(A, LR, 0);
+  addImm(A, SP, SP, static_cast<int32_t>(Words * 4));
+}
+
+void ret(Assembler &A) {
+  A.emit(Instruction::jump(Func::Snd, abi::TmpReg, R(LR)));
+}
+
+/// Calls the FFI dispatcher (r3); clobbers r5-r9 and the sys scratch.
+/// LR must be saved by the caller.
+void ffiCall(Assembler &A) {
+  A.emit(Instruction::jump(Func::Snd, LR, R(abi::FfiTableReg)));
+}
+
+/// Bump-allocates \p SizeReg bytes (word multiple): Result <- old HP.
+/// SizeReg is clobbered; jumps to rt_oom when the heap is exhausted.
+void allocDynamic(Assembler &A, unsigned SizeReg, unsigned Result) {
+  std::string Ok = "al_ok" + std::to_string(A.size());
+  A.emit(Instruction::normal(Func::Add, SizeReg, R(HP), R(SizeReg)));
+  A.emit(Instruction::normal(Func::Lower, abi::TmpReg, R(LIM), R(SizeReg)));
+  bz(A, abi::TmpReg, Ok);
+  A.emitJump("rt_oom");
+  A.label(Ok);
+  mov(A, Result, HP);
+  mov(A, HP, SizeReg);
+}
+
+/// Emits a byte-copy loop (Count bytes from Src to Dst); all three are
+/// clobbered, \p Tmp is scratch.
+void copyLoop(Assembler &A, const std::string &Prefix, unsigned Src,
+              unsigned Dst, unsigned Count, unsigned Tmp) {
+  A.label(Prefix + "_cl");
+  bz(A, Count, Prefix + "_cl_done");
+  A.emit(Instruction::loadMemByte(Tmp, R(Src)));
+  A.emit(Instruction::storeMemByte(R(Tmp), R(Dst)));
+  A.emit(Instruction::normal(Func::Inc, Src, R(Src), Imm(0)));
+  A.emit(Instruction::normal(Func::Inc, Dst, R(Dst), Imm(0)));
+  A.emit(Instruction::normal(Func::Dec, Count, R(Count), Imm(0)));
+  A.emitJump(Prefix + "_cl");
+  A.label(Prefix + "_cl_done");
+}
+
+/// Loads the byte-length of the string block pointed to by Str.
+void strLen(Assembler &A, unsigned Dst, unsigned Str) {
+  A.emit(Instruction::loadMem(Dst, R(Str)));
+  A.emit(Instruction::shift(ShiftKind::LogicalRight, Dst, R(Dst), Imm(8)));
+}
+
+/// Builds a string header Tag|Len<<8 into Dst (clobbers Dst).
+void strHeader(Assembler &A, unsigned Dst, unsigned LenReg) {
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, Dst, R(LenReg), Imm(8)));
+  A.emit(Instruction::normal(Func::Or, Dst, R(Dst),
+                             Imm(static_cast<int32_t>(TagString))));
+}
+
+/// Rounds LenReg bytes up to a whole number of words plus the header:
+/// Dst = 4 + ((LenReg + 3) & ~3).
+void strAllocSize(Assembler &A, unsigned Dst, unsigned LenReg) {
+  addImm(A, Dst, LenReg, 3);
+  A.emit(Instruction::shift(ShiftKind::LogicalRight, Dst, R(Dst), Imm(2)));
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, Dst, R(Dst), Imm(2)));
+  addImm(A, Dst, Dst, 4);
+}
+
+// --- individual routines ----------------------------------------------------
+
+void emitTrapsAndExit(Assembler &A) {
+  // rt_exit: r5 = tagged exit code.
+  A.label("rt_exit");
+  A.emit(Instruction::shift(ShiftKind::ArithRight, A0, R(A0), Imm(1)));
+  A.label("rt_exit_raw"); // r5 = raw code byte
+  A.emitLiLabel(S0, "ffi_small");
+  A.emit(Instruction::storeMemByte(R(A0), R(S0)));
+  movImm(A, A0, int32_t(sys::FfiIndex::Exit));
+  mov(A, A1, S0);
+  movImm(A, A2, 0);
+  // S0 (r8) already points at the byte array; length 1.
+  movImm(A, S1, 1);
+  ffiCall(A); // never returns: the exit syscall halts
+
+  A.label("rt_oom");
+  movImm(A, A0, machine::OomExitCode);
+  A.emitJump("rt_exit_raw");
+  A.label("rt_trap_div");
+  movImm(A, A0, TrapDivCode);
+  A.emitJump("rt_exit_raw");
+  A.label("rt_trap_match");
+  movImm(A, A0, TrapMatchCode);
+  A.emitJump("rt_exit_raw");
+  A.label("rt_trap_subscript");
+  movImm(A, A0, TrapSubscriptCode);
+  A.emitJump("rt_exit_raw");
+}
+
+void emitDivMod(Assembler &A) {
+  // rt_div / rt_mod: r5 = tagged a, r6 = tagged b; result r5 tagged.
+  // Floor semantics: q = same-signs ? ua/ub : -((ua+ub-1)/ub);
+  // r = a - q*b.
+  A.label("rt_div");
+  movImm(A, S4, 0);
+  A.emitJump("rt_divmod");
+  A.label("rt_mod");
+  movImm(A, S4, 1);
+
+  A.label("rt_divmod");
+  beqImm(A, A1, 1, "rt_trap_div"); // tagged 0 divisor
+  A.emit(Instruction::shift(ShiftKind::ArithRight, A0, R(A0), Imm(1)));
+  A.emit(Instruction::shift(ShiftKind::ArithRight, A1, R(A1), Imm(1)));
+  // Frame: [mode][same][a][b]  (no LR save: no calls inside).
+  addImm(A, SP, SP, -16);
+  A.emit(Instruction::storeMem(R(S4), R(SP)));
+  addImm(A, abi::TmpReg, SP, 8);
+  A.emit(Instruction::storeMem(R(A0), R(abi::TmpReg)));
+  addImm(A, abi::TmpReg, SP, 12);
+  A.emit(Instruction::storeMem(R(A1), R(abi::TmpReg)));
+  // sa -> S0, sb -> S1.
+  A.emit(Instruction::normal(Func::Less, S0, R(A0), Imm(0)));
+  A.emit(Instruction::normal(Func::Less, S1, R(A1), Imm(0)));
+  // ua, ub.
+  bz(A, S0, "dm_ua_done");
+  A.emit(Instruction::normal(Func::Sub, A0, Imm(0), R(A0)));
+  A.label("dm_ua_done");
+  bz(A, S1, "dm_ub_done");
+  A.emit(Instruction::normal(Func::Sub, A1, Imm(0), R(A1)));
+  A.label("dm_ub_done");
+  // same = (sa == sb); store to frame slot 1.
+  A.emit(Instruction::normal(Func::Equal, S0, R(S0), R(S1)));
+  addImm(A, abi::TmpReg, SP, 4);
+  A.emit(Instruction::storeMem(R(S0), R(abi::TmpReg)));
+  // num = same ? ua : ua + ub - 1.
+  bnz(A, S0, "dm_num_done");
+  A.emit(Instruction::normal(Func::Add, A0, R(A0), R(A1)));
+  A.emit(Instruction::normal(Func::Dec, A0, R(A0), Imm(0)));
+  A.label("dm_num_done");
+  // Unsigned division A0 / A1: quotient S0, remainder S1, counter A2,
+  // temp S4.
+  movImm(A, S0, 0);
+  movImm(A, S1, 0);
+  A.emitLi(A2, 32);
+  A.label("dm_loop");
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, S1, R(S1), Imm(1)));
+  A.emit(Instruction::shift(ShiftKind::LogicalRight, S4, R(A0), Imm(31)));
+  A.emit(Instruction::normal(Func::Or, S1, R(S1), R(S4)));
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, A0, R(A0), Imm(1)));
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, S0, R(S0), Imm(1)));
+  A.emit(Instruction::normal(Func::Lower, S4, R(S1), R(A1)));
+  bnz(A, S4, "dm_next");
+  A.emit(Instruction::normal(Func::Sub, S1, R(S1), R(A1)));
+  A.emit(Instruction::normal(Func::Or, S0, R(S0), Imm(1)));
+  A.label("dm_next");
+  A.emit(Instruction::normal(Func::Dec, A2, R(A2), Imm(0)));
+  bnz(A, A2, "dm_loop");
+  // q = same ? q0 : -q0.
+  addImm(A, S4, SP, 4);
+  A.emit(Instruction::loadMem(S4, R(S4)));
+  bnz(A, S4, "dm_q_done");
+  A.emit(Instruction::normal(Func::Sub, S0, Imm(0), R(S0)));
+  A.label("dm_q_done");
+  // Reload a, b, mode; r = a - q*b.
+  addImm(A, S4, SP, 12);
+  A.emit(Instruction::loadMem(A1, R(S4))); // b
+  addImm(A, S4, SP, 8);
+  A.emit(Instruction::loadMem(A0, R(S4))); // a
+  A.emit(Instruction::loadMem(S4, R(SP))); // mode
+  addImm(A, SP, SP, 16);
+  A.emit(Instruction::normal(Func::Mul, S1, R(S0), R(A1)));
+  A.emit(Instruction::normal(Func::Sub, S1, R(A0), R(S1))); // r
+  // Select and retag.
+  bnz(A, S4, "dm_pick_r");
+  mov(A, A0, S0);
+  A.emitJump("dm_fin");
+  A.label("dm_pick_r");
+  mov(A, A0, S1);
+  A.label("dm_fin");
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, A0, R(A0), Imm(1)));
+  A.emit(Instruction::normal(Func::Or, A0, R(A0), Imm(1)));
+  ret(A);
+}
+
+void emitPolyEq(Assembler &A) {
+  // rt_poly_eq: r5, r6 -> r5 = tagged bool.  Recursive over pairs/conses;
+  // strings compare bytewise; anything with equal bits is equal.
+  A.label("rt_poly_eq");
+  A.emit(Instruction::normal(Func::Equal, S0, R(A0), R(A1)));
+  bnz(A, S0, "pe_true");
+  // If either is a small value (bit0 set), unequal bits mean unequal.
+  A.emit(Instruction::normal(Func::Or, S0, R(A0), R(A1)));
+  A.emit(Instruction::normal(Func::And, S0, R(S0), Imm(1)));
+  bnz(A, S0, "pe_false");
+  // Both heap blocks: headers must match exactly (tag and length).
+  A.emit(Instruction::loadMem(S0, R(A0)));
+  A.emit(Instruction::loadMem(S1, R(A1)));
+  A.emit(Instruction::normal(Func::Equal, S2, R(S0), R(S1)));
+  bz(A, S2, "pe_false");
+  A.emit(Instruction::normal(Func::And, S1, R(S0), Imm(0xff >> 3)));
+  // S1 = tag (low bits; tags are < 8 so the masked immediate works).
+  beqImm(A, S1, static_cast<int32_t>(TagString), "pe_string");
+  beqImm(A, S1, static_cast<int32_t>(TagClosure), "pe_false");
+  // Pair/cons: compare first fields recursively, then loop on second.
+  // Frame: [LR][a][b].
+  pushFrame(A, 3);
+  storeSlot(A, A0, 1);
+  storeSlot(A, A1, 2);
+  addImm(A, A0, A0, 4);
+  A.emit(Instruction::loadMem(A0, R(A0)));
+  addImm(A, A1, A1, 4);
+  A.emit(Instruction::loadMem(A1, R(A1)));
+  A.emitCall("rt_poly_eq");
+  // A0 = tagged bool; false (tagged 0 == 1) -> pop and return false.
+  beqImm(A, A0, 1, "pe_pop_false");
+  loadSlot(A, A0, 1);
+  loadSlot(A, A1, 2);
+  popFrame(A, 3);
+  addImm(A, A0, A0, 8);
+  A.emit(Instruction::loadMem(A0, R(A0)));
+  addImm(A, A1, A1, 8);
+  A.emit(Instruction::loadMem(A1, R(A1)));
+  A.emitJump("rt_poly_eq"); // tail call on the second fields
+  A.label("pe_pop_false");
+  popFrame(A, 3);
+  A.emitJump("pe_false");
+  // Strings: same header (so same length); compare bytes.
+  A.label("pe_string");
+  A.emit(Instruction::shift(ShiftKind::LogicalRight, S0, R(S0), Imm(8)));
+  addImm(A, A0, A0, 4);
+  addImm(A, A1, A1, 4);
+  A.label("pe_str_loop");
+  bz(A, S0, "pe_true");
+  A.emit(Instruction::loadMemByte(S1, R(A0)));
+  A.emit(Instruction::loadMemByte(S2, R(A1)));
+  A.emit(Instruction::normal(Func::Equal, S1, R(S1), R(S2)));
+  bz(A, S1, "pe_false");
+  A.emit(Instruction::normal(Func::Inc, A0, R(A0), Imm(0)));
+  A.emit(Instruction::normal(Func::Inc, A1, R(A1), Imm(0)));
+  A.emit(Instruction::normal(Func::Dec, S0, R(S0), Imm(0)));
+  A.emitJump("pe_str_loop");
+  A.label("pe_true");
+  movImm(A, A0, 3); // tagged true
+  ret(A);
+  A.label("pe_false");
+  movImm(A, A0, 1); // tagged false
+  ret(A);
+}
+
+void emitStringOps(Assembler &A) {
+  // rt_str_concat: r5 ++ r6.
+  A.label("rt_str_concat");
+  strLen(A, S0, A0);
+  strLen(A, S1, A1);
+  A.emit(Instruction::normal(Func::Add, S2, R(S0), R(S1))); // n
+  strAllocSize(A, S3, S2);
+  allocDynamic(A, S3, S4); // S4 = block
+  strHeader(A, S3, S2);
+  A.emit(Instruction::storeMem(R(S3), R(S4)));
+  // Copy first string: src A0+4, dst S4+4, count S0.
+  addImm(A, A0, A0, 4);
+  addImm(A, A2, S4, 4);
+  copyLoop(A, "sc1", A0, A2, S0, S3);
+  // Copy second: src A1+4, dst continues in A2.
+  addImm(A, A1, A1, 4);
+  copyLoop(A, "sc2", A1, A2, S1, S3);
+  mov(A, A0, S4);
+  ret(A);
+
+  // rt_str_sub: r5 = string, r6 = tagged index -> tagged char.
+  A.label("rt_str_sub");
+  A.emit(Instruction::shift(ShiftKind::ArithRight, A1, R(A1), Imm(1)));
+  strLen(A, S0, A0);
+  A.emit(Instruction::normal(Func::Lower, S1, R(A1), R(S0)));
+  bz(A, S1, "rt_trap_subscript"); // index >=u len (covers negatives)
+  addImm(A, A0, A0, 4);
+  A.emit(Instruction::normal(Func::Add, A0, R(A0), R(A1)));
+  A.emit(Instruction::loadMemByte(A0, R(A0)));
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, A0, R(A0), Imm(1)));
+  A.emit(Instruction::normal(Func::Or, A0, R(A0), Imm(1)));
+  ret(A);
+
+  // rt_chr: r5 = tagged int -> tagged char in [0,255] or Subscript trap.
+  A.label("rt_chr");
+  A.emit(Instruction::shift(ShiftKind::ArithRight, S0, R(A0), Imm(1)));
+  A.emitLi(S1, 256);
+  A.emit(Instruction::normal(Func::Lower, S1, R(S0), R(S1)));
+  bz(A, S1, "rt_trap_subscript");
+  ret(A); // the tagged value is already the char
+
+  // rt_substring: r5 = string, r6 = tagged start, r7 = tagged len.
+  A.label("rt_substring");
+  A.emit(Instruction::shift(ShiftKind::ArithRight, A1, R(A1), Imm(1)));
+  A.emit(Instruction::shift(ShiftKind::ArithRight, A2, R(A2), Imm(1)));
+  strLen(A, S0, A0);
+  // Bounds: start <=u size, len <=u size - start (unsigned catches <0).
+  A.emit(Instruction::normal(Func::Lower, S1, R(S0), R(A1)));
+  bnz(A, S1, "rt_trap_subscript");
+  A.emit(Instruction::normal(Func::Sub, S1, R(S0), R(A1)));
+  A.emit(Instruction::normal(Func::Lower, S2, R(S1), R(A2)));
+  bnz(A, S2, "rt_trap_subscript");
+  strAllocSize(A, S3, A2);
+  allocDynamic(A, S3, S4);
+  strHeader(A, S3, A2);
+  A.emit(Instruction::storeMem(R(S3), R(S4)));
+  addImm(A, A0, A0, 4);
+  A.emit(Instruction::normal(Func::Add, A0, R(A0), R(A1))); // src
+  addImm(A, S0, S4, 4);                                     // dst
+  copyLoop(A, "ss", A0, S0, A2, S3);
+  mov(A, A0, S4);
+  ret(A);
+
+  // rt_strcmp: -1/0/1 (tagged).
+  A.label("rt_strcmp");
+  strLen(A, S0, A0);
+  strLen(A, S1, A1);
+  addImm(A, A0, A0, 4);
+  addImm(A, A1, A1, 4);
+  A.label("cmp_loop");
+  bz(A, S0, "cmp_a_end");
+  bz(A, S1, "cmp_gt"); // b ended first -> a > b
+  A.emit(Instruction::loadMemByte(S2, R(A0)));
+  A.emit(Instruction::loadMemByte(S3, R(A1)));
+  A.emit(Instruction::normal(Func::Lower, S4, R(S2), R(S3)));
+  bnz(A, S4, "cmp_lt");
+  A.emit(Instruction::normal(Func::Lower, S4, R(S3), R(S2)));
+  bnz(A, S4, "cmp_gt");
+  A.emit(Instruction::normal(Func::Inc, A0, R(A0), Imm(0)));
+  A.emit(Instruction::normal(Func::Inc, A1, R(A1), Imm(0)));
+  A.emit(Instruction::normal(Func::Dec, S0, R(S0), Imm(0)));
+  A.emit(Instruction::normal(Func::Dec, S1, R(S1), Imm(0)));
+  A.emitJump("cmp_loop");
+  A.label("cmp_a_end");
+  bz(A, S1, "cmp_eq");
+  A.label("cmp_lt");
+  movImm(A, A0, -1); // tagged -1 = (-1<<1)|1 = -1 in two's complement
+  ret(A);
+  A.label("cmp_gt");
+  movImm(A, A0, 3);
+  ret(A);
+  A.label("cmp_eq");
+  movImm(A, A0, 1);
+  ret(A);
+
+  // rt_concat_list: r5 = string list -> one string.
+  A.label("rt_concat_list");
+  // Pass 1: total length into S0 (walk with S1).
+  movImm(A, S0, 0);
+  mov(A, S1, A0);
+  A.label("cat_sum");
+  A.emit(Instruction::normal(Func::And, S2, R(S1), Imm(1)));
+  bnz(A, S2, "cat_sum_done"); // nil
+  addImm(A, S2, S1, 4);
+  A.emit(Instruction::loadMem(S2, R(S2))); // head string
+  strLen(A, S3, S2);
+  A.emit(Instruction::normal(Func::Add, S0, R(S0), R(S3)));
+  addImm(A, S1, S1, 8);
+  A.emit(Instruction::loadMem(S1, R(S1))); // tail
+  A.emitJump("cat_sum");
+  A.label("cat_sum_done");
+  strAllocSize(A, S3, S0);
+  allocDynamic(A, S3, S4);
+  strHeader(A, S3, S0);
+  A.emit(Instruction::storeMem(R(S3), R(S4)));
+  // Pass 2: copy each element; A1 = write cursor.
+  addImm(A, A1, S4, 4);
+  A.label("cat_copy");
+  A.emit(Instruction::normal(Func::And, S2, R(A0), Imm(1)));
+  bnz(A, S2, "cat_done");
+  addImm(A, S2, A0, 4);
+  A.emit(Instruction::loadMem(S2, R(S2))); // head string
+  strLen(A, S3, S2);
+  addImm(A, S2, S2, 4);
+  copyLoop(A, "cat", S2, A1, S3, S1);
+  addImm(A, A0, A0, 8);
+  A.emit(Instruction::loadMem(A0, R(A0)));
+  A.emitJump("cat_copy");
+  A.label("cat_done");
+  mov(A, A0, S4);
+  ret(A);
+
+  // rt_implode: r5 = char list -> string.
+  A.label("rt_implode");
+  movImm(A, S0, 0); // length
+  mov(A, S1, A0);
+  A.label("imp_count");
+  A.emit(Instruction::normal(Func::And, S2, R(S1), Imm(1)));
+  bnz(A, S2, "imp_counted");
+  A.emit(Instruction::normal(Func::Inc, S0, R(S0), Imm(0)));
+  addImm(A, S1, S1, 8);
+  A.emit(Instruction::loadMem(S1, R(S1)));
+  A.emitJump("imp_count");
+  A.label("imp_counted");
+  strAllocSize(A, S3, S0);
+  allocDynamic(A, S3, S4);
+  strHeader(A, S3, S0);
+  A.emit(Instruction::storeMem(R(S3), R(S4)));
+  addImm(A, A1, S4, 4);
+  A.label("imp_copy");
+  A.emit(Instruction::normal(Func::And, S2, R(A0), Imm(1)));
+  bnz(A, S2, "imp_done");
+  addImm(A, S2, A0, 4);
+  A.emit(Instruction::loadMem(S2, R(S2))); // tagged char
+  A.emit(Instruction::shift(ShiftKind::ArithRight, S2, R(S2), Imm(1)));
+  A.emit(Instruction::storeMemByte(R(S2), R(A1)));
+  A.emit(Instruction::normal(Func::Inc, A1, R(A1), Imm(0)));
+  addImm(A, A0, A0, 8);
+  A.emit(Instruction::loadMem(A0, R(A0)));
+  A.emitJump("imp_copy");
+  A.label("imp_done");
+  mov(A, A0, S4);
+  ret(A);
+}
+
+void emitIo(Assembler &A) {
+  // rt_print_out / rt_print_err: r5 = string.  Writes fd 1/2 in chunks.
+  A.label("rt_print_out");
+  A.emitLiLabel(S4, "conf_stdout");
+  A.emitJump("rt_print_common");
+  A.label("rt_print_err");
+  A.emitLiLabel(S4, "conf_stderr");
+  A.label("rt_print_common");
+  // Frame: [LR][s][off][conf].
+  pushFrame(A, 4);
+  storeSlot(A, A0, 1);
+  movImm(A, S0, 0);
+  storeSlot(A, S0, 2);
+  storeSlot(A, S4, 3);
+  A.label("prn_loop");
+  loadSlot(A, S0, 1); // s
+  loadSlot(A, S1, 2); // off
+  strLen(A, S2, S0);
+  A.emit(Instruction::normal(Func::Sub, S2, R(S2), R(S1))); // remaining
+  bz(A, S2, "prn_done");
+  // k = min(remaining, IoChunkBytes) -> S2.
+  A.emitLi(S3, IoChunkBytes);
+  A.emit(Instruction::normal(Func::Lower, S4, R(S3), R(S2)));
+  bz(A, S4, "prn_k_ok");
+  mov(A, S2, S3);
+  A.label("prn_k_ok");
+  // Header in io_buf: count k, offset 0.
+  A.emitLiLabel(S3, "io_buf");
+  A.emit(Instruction::shift(ShiftKind::LogicalRight, S4, R(S2), Imm(8)));
+  A.emit(Instruction::storeMemByte(R(S4), R(S3)));
+  addImm(A, S4, S3, 1);
+  A.emit(Instruction::storeMemByte(R(S2), R(S4)));
+  addImm(A, S4, S3, 2);
+  A.emit(Instruction::storeMemByte(Imm(0), R(S4)));
+  addImm(A, S4, S3, 3);
+  A.emit(Instruction::storeMemByte(Imm(0), R(S4)));
+  // Copy k bytes from s+4+off to io_buf+4.
+  A.emit(Instruction::normal(Func::Add, S0, R(S0), R(S1)));
+  addImm(A, S0, S0, 4); // src
+  addImm(A, S4, S3, 4); // dst
+  // Advance off before clobbering k.
+  A.emit(Instruction::normal(Func::Add, S1, R(S1), R(S2)));
+  storeSlot(A, S1, 2);
+  mov(A, S1, S2); // counter (preserve k in S2 for the FFI length)
+  copyLoop(A, "prn", S0, S4, S1, A2);
+  // FFI write.
+  movImm(A, A0, int32_t(sys::FfiIndex::Write));
+  loadSlot(A, A1, 3);
+  movImm(A, A2, 8);
+  A.emitLiLabel(S0, "io_buf");
+  mov(A, 8, S0); // r8 = bytes pointer
+  addImm(A, 9, S2, 4); // r9 = k + 4
+  ffiCall(A);
+  A.emitJump("prn_loop");
+  A.label("prn_done");
+  movImm(A, A0, 1); // unit
+  popFrame(A, 4);
+  ret(A);
+
+  // rt_read_chunk: r5 = tagged max -> fresh string ("" at EOF).
+  A.label("rt_read_chunk");
+  pushFrame(A, 1);
+  A.emit(Instruction::shift(ShiftKind::ArithRight, A0, R(A0), Imm(1)));
+  // Clamp to [0, IoChunkBytes].
+  A.emit(Instruction::normal(Func::Less, S0, R(A0), Imm(0)));
+  bz(A, S0, "rc_nonneg");
+  movImm(A, A0, 0);
+  A.label("rc_nonneg");
+  A.emitLi(S0, IoChunkBytes);
+  A.emit(Instruction::normal(Func::Lower, S1, R(S0), R(A0)));
+  bz(A, S1, "rc_clamped");
+  mov(A, A0, S0);
+  A.label("rc_clamped");
+  // io_buf[0..1] = k.
+  A.emitLiLabel(S0, "io_buf");
+  A.emit(Instruction::shift(ShiftKind::LogicalRight, S1, R(A0), Imm(8)));
+  A.emit(Instruction::storeMemByte(R(S1), R(S0)));
+  addImm(A, S1, S0, 1);
+  A.emit(Instruction::storeMemByte(R(A0), R(S1)));
+  // FFI read: fd 0.
+  addImm(A, 9, A0, 4); // r9 = k + 4
+  movImm(A, A0, int32_t(sys::FfiIndex::Read));
+  A.emitLiLabel(A1, "conf_stdin");
+  movImm(A, A2, 8);
+  mov(A, 8, S0); // r8 = io_buf
+  ffiCall(A);
+  // n = io_buf[1..2].
+  A.emitLiLabel(S0, "io_buf");
+  addImm(A, S1, S0, 1);
+  A.emit(Instruction::loadMemByte(S1, R(S1)));
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, S1, R(S1), Imm(8)));
+  addImm(A, S2, S0, 2);
+  A.emit(Instruction::loadMemByte(S2, R(S2)));
+  A.emit(Instruction::normal(Func::Or, S1, R(S1), R(S2))); // n
+  strAllocSize(A, S3, S1);
+  allocDynamic(A, S3, S4);
+  strHeader(A, S3, S1);
+  A.emit(Instruction::storeMem(R(S3), R(S4)));
+  addImm(A, S0, S0, 4); // src
+  addImm(A, S2, S4, 4); // dst
+  copyLoop(A, "rc", S0, S2, S1, A2);
+  mov(A, A0, S4);
+  popFrame(A, 1);
+  ret(A);
+
+  // rt_arg_count: -> tagged argc.
+  A.label("rt_arg_count");
+  pushFrame(A, 1);
+  movImm(A, A0, int32_t(sys::FfiIndex::GetArgCount));
+  A.emitLiLabel(A1, "conf_stdin");
+  movImm(A, A2, 0);
+  A.emitLiLabel(8, "io_buf");
+  movImm(A, 9, 2);
+  ffiCall(A);
+  A.emitLiLabel(S0, "io_buf");
+  A.emit(Instruction::loadMemByte(S1, R(S0)));
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, S1, R(S1), Imm(8)));
+  addImm(A, S2, S0, 1);
+  A.emit(Instruction::loadMemByte(S2, R(S2)));
+  A.emit(Instruction::normal(Func::Or, S1, R(S1), R(S2)));
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, A0, R(S1), Imm(1)));
+  A.emit(Instruction::normal(Func::Or, A0, R(A0), Imm(1)));
+  popFrame(A, 1);
+  ret(A);
+
+  // rt_arg_n: r5 = tagged index -> string.
+  A.label("rt_arg_n");
+  // Frame: [LR][i][len].
+  pushFrame(A, 3);
+  A.emit(Instruction::shift(ShiftKind::ArithRight, A0, R(A0), Imm(1)));
+  storeSlot(A, A0, 1);
+  // get_arg_length.
+  A.emitLiLabel(S0, "io_buf");
+  A.emit(Instruction::shift(ShiftKind::LogicalRight, S1, R(A0), Imm(8)));
+  A.emit(Instruction::storeMemByte(R(S1), R(S0)));
+  addImm(A, S1, S0, 1);
+  A.emit(Instruction::storeMemByte(R(A0), R(S1)));
+  movImm(A, A0, int32_t(sys::FfiIndex::GetArgLength));
+  A.emitLiLabel(A1, "conf_stdin");
+  movImm(A, A2, 0);
+  mov(A, 8, S0);
+  movImm(A, 9, 2);
+  ffiCall(A);
+  A.emitLiLabel(S0, "io_buf");
+  A.emit(Instruction::loadMemByte(S1, R(S0)));
+  A.emit(Instruction::shift(ShiftKind::LogicalLeft, S1, R(S1), Imm(8)));
+  addImm(A, S2, S0, 1);
+  A.emit(Instruction::loadMemByte(S2, R(S2)));
+  A.emit(Instruction::normal(Func::Or, S1, R(S1), R(S2))); // len
+  storeSlot(A, S1, 2);
+  // get_arg: bytes[0..1] = i again; r9 = len + 2.
+  loadSlot(A, A0, 1);
+  A.emit(Instruction::shift(ShiftKind::LogicalRight, S2, R(A0), Imm(8)));
+  A.emit(Instruction::storeMemByte(R(S2), R(S0)));
+  addImm(A, S2, S0, 1);
+  A.emit(Instruction::storeMemByte(R(A0), R(S2)));
+  addImm(A, 9, S1, 2);
+  movImm(A, A0, int32_t(sys::FfiIndex::GetArg));
+  A.emitLiLabel(A1, "conf_stdin");
+  movImm(A, A2, 0);
+  mov(A, 8, S0);
+  ffiCall(A);
+  // Build the string.
+  loadSlot(A, S1, 2); // len
+  strAllocSize(A, S3, S1);
+  allocDynamic(A, S3, S4);
+  strHeader(A, S3, S1);
+  A.emit(Instruction::storeMem(R(S3), R(S4)));
+  A.emitLiLabel(S0, "io_buf");
+  addImm(A, S2, S4, 4);
+  copyLoop(A, "an", S0, S2, S1, A2);
+  mov(A, A0, S4);
+  popFrame(A, 3);
+  ret(A);
+}
+
+void emitData(Assembler &A) {
+  A.align(4);
+  A.label("conf_stdin");
+  A.bytes({0, 0, 0, 0, 0, 0, 0, 0});
+  A.label("conf_stdout");
+  A.bytes({0, 0, 0, 0, 0, 0, 0, 1});
+  A.label("conf_stderr");
+  A.bytes({0, 0, 0, 0, 0, 0, 0, 2});
+  A.align(4);
+  A.label("ffi_small");
+  A.space(16);
+  A.label("io_buf");
+  A.space(IoChunkBytes + 16);
+  A.align(4);
+}
+
+} // namespace
+
+void silver::cml::emitRuntime(Assembler &A) {
+  emitTrapsAndExit(A);
+  emitDivMod(A);
+  emitPolyEq(A);
+  emitStringOps(A);
+  emitIo(A);
+  emitData(A);
+}

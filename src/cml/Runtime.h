@@ -1,0 +1,53 @@
+//===- cml/Runtime.h - Compiled-code runtime routines ----------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime library linked into every compiled MiniCake program:
+/// hand-written Silver assembly for software division (Silver's ALU has
+/// no divider), polymorphic structural equality, string operations, the
+/// FFI wrappers (print/read/args/exit) that speak the system-call
+/// convention of sys/Syscalls.h, and the trap/OOM exits.
+///
+/// Calling convention for rt_* routines: arguments in r5-r7, result in
+/// r5; they may clobber r5-r9, r56, r57, r62, r63, the flags, and the
+/// heap pointer (r58); everything else is preserved.  Values are in the
+/// compiled representation: bit0=1 tags a 31-bit integer; even words are
+/// pointers to [tag|len<<8]-headed heap blocks (tag 0 pair, 1 cons,
+/// 2 closure, 3 string).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_RUNTIME_H
+#define SILVER_CML_RUNTIME_H
+
+#include "asm/Assembler.h"
+
+namespace silver {
+namespace cml {
+
+/// Heap block tags.
+inline constexpr uint32_t TagPair = 0;
+inline constexpr uint32_t TagCons = 1;
+inline constexpr uint32_t TagClosure = 2;
+inline constexpr uint32_t TagString = 3;
+
+/// Maximum payload bytes per FFI write/read chunk (fits the 16-bit count
+/// field and the static IO buffer).
+inline constexpr uint32_t IoChunkBytes = 60000;
+
+/// Emits the runtime routines and their static data (FFI configuration
+/// words, the IO buffer, the scratch byte) into \p A.  Labels: rt_div,
+/// rt_mod, rt_poly_eq, rt_str_concat, rt_str_sub, rt_substring,
+/// rt_strcmp, rt_concat_list, rt_implode, rt_chr, rt_print_out,
+/// rt_print_err, rt_read_chunk, rt_arg_count, rt_arg_n, rt_exit, rt_oom,
+/// rt_trap_div, rt_trap_match, rt_trap_subscript.
+void emitRuntime(assembler::Assembler &A);
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_RUNTIME_H

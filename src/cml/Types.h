@@ -1,0 +1,91 @@
+//===- cml/Types.h - MiniCake types ----------------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type representation for MiniCake's Hindley-Milner inference: type
+/// variables with union-find links and generalisation levels, and type
+/// constructors (int, bool, char, string, unit, list, pair, ->).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CML_TYPES_H
+#define SILVER_CML_TYPES_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace cml {
+
+struct Type;
+using TypePtr = std::shared_ptr<Type>;
+
+/// A type: either an unresolved variable (possibly linked after
+/// unification) or a constructor application.
+struct Type {
+  enum class Kind : uint8_t { Var, Con };
+  Kind K = Kind::Var;
+
+  // Var fields.
+  int Id = 0;      ///< unique id (also used for printing 'a, 'b, ...)
+  int Level = 0;   ///< generalisation level (lambda-rank)
+  TypePtr Link;    ///< set once unified with another type
+
+  // Con fields.
+  std::string Name;
+  std::vector<TypePtr> Args;
+
+  static TypePtr var(int Id, int Level) {
+    auto T = std::make_shared<Type>();
+    T->K = Kind::Var;
+    T->Id = Id;
+    T->Level = Level;
+    return T;
+  }
+  static TypePtr con(std::string Name, std::vector<TypePtr> Args = {}) {
+    auto T = std::make_shared<Type>();
+    T->K = Kind::Con;
+    T->Name = std::move(Name);
+    T->Args = std::move(Args);
+    return T;
+  }
+};
+
+inline TypePtr tyInt() { return Type::con("int"); }
+inline TypePtr tyBool() { return Type::con("bool"); }
+inline TypePtr tyChar() { return Type::con("char"); }
+inline TypePtr tyString() { return Type::con("string"); }
+inline TypePtr tyUnit() { return Type::con("unit"); }
+inline TypePtr tyList(TypePtr Elem) {
+  return Type::con("list", {std::move(Elem)});
+}
+inline TypePtr tyPair(TypePtr A, TypePtr B) {
+  return Type::con("pair", {std::move(A), std::move(B)});
+}
+inline TypePtr tyFun(TypePtr Arg, TypePtr Res) {
+  return Type::con("->", {std::move(Arg), std::move(Res)});
+}
+
+/// Follows union-find links to the representative.
+TypePtr resolve(TypePtr T);
+
+/// Pretty-prints a type ("int -> 'a list").
+std::string typeToString(const TypePtr &T);
+
+/// A polymorphic type scheme: forall Quantified. Body.
+struct Scheme {
+  std::vector<int> Quantified; ///< ids of the bound variables
+  TypePtr Body;
+
+  static Scheme mono(TypePtr T) { return Scheme{{}, std::move(T)}; }
+};
+
+} // namespace cml
+} // namespace silver
+
+#endif // SILVER_CML_TYPES_H

@@ -1,0 +1,152 @@
+//===- cpu/Check.cpp - ISA/RTL correspondence and RTL runners ----------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpu/Check.h"
+
+#include "support/StringUtils.h"
+
+using namespace silver;
+using namespace silver::cpu;
+
+static Result<std::unique_ptr<CoreSim>> makeSim(const SilverCore &Core,
+                                                SimLevel Level) {
+  if (Level == SimLevel::Circuit) {
+    std::unique_ptr<CoreSim> S = makeCircuitSim(Core);
+    return S;
+  }
+  return makeVerilogSim(Core);
+}
+
+Result<CoreRunResult> silver::cpu::runCore(const sys::MemoryImage &Image,
+                                           const RunOptions &Options) {
+  SilverCore Core = buildSilverCore();
+  if (Result<void> V = Core.Circuit.validate(); !V)
+    return V.error();
+  Result<std::unique_ptr<CoreSim>> SimOr = makeSim(Core, Options.Level);
+  if (!SimOr)
+    return SimOr.error();
+  CoreSim &Sim = **SimOr;
+
+  LabEnv Env(Image.Memory, Image.Layout, Options.Env);
+  CoreRunResult R;
+  std::map<std::string, uint64_t> Outputs;
+
+  while (R.Cycles < Options.MaxCycles) {
+    Word PcBefore = Sim.archState().Pc;
+    std::map<std::string, uint64_t> Inputs = Env.inputsForCycle();
+    if (Result<void> S = Sim.step(Inputs, Outputs); !S)
+      return S.error();
+    if (Result<void> O = Env.observeOutputs(Outputs); !O)
+      return O.error();
+    ++R.Cycles;
+    if (Outputs.at("retire")) {
+      ++R.Instructions;
+      if (static_cast<Word>(Outputs.at("retire_pc")) == PcBefore) {
+        // The halt self-loop: the machine will stay here forever.
+        R.Halted = true;
+        break;
+      }
+    }
+  }
+
+  R.StdoutData = Env.collectedStdout();
+  R.StderrData = Env.collectedStderr();
+  R.FinalMemory = Env.memory();
+  isa::MachineState Tmp(R.FinalMemory.size());
+  Tmp.Memory = R.FinalMemory;
+  R.Exit = sys::readExitStatus(Tmp, Image.Layout);
+  return R;
+}
+
+Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,
+                                          uint64_t MaxInstructions,
+                                          const RunOptions &Options,
+                                          const sys::MemoryLayout *Layout) {
+  SilverCore Core = buildSilverCore();
+  if (Result<void> V = Core.Circuit.validate(); !V)
+    return V.error();
+  Result<std::unique_ptr<CoreSim>> SimOr = makeSim(Core, Options.Level);
+  if (!SimOr)
+    return SimOr.error();
+  CoreSim &Sim = **SimOr;
+  Sim.primeArchState(Initial);
+
+  // The ISA side: its own copy of the machine state and environment.
+  isa::MachineState Isa = Initial;
+  std::unique_ptr<sys::SysEnv> SysEnv;
+  if (Layout)
+    SysEnv = std::make_unique<sys::SysEnv>(*Layout);
+  isa::IsaEnv &IsaEnv = SysEnv ? *SysEnv : isa::nullEnv();
+
+  LabEnv Env(Initial.Memory,
+             Layout ? *Layout : sys::MemoryLayout{}, Options.Env);
+
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+  std::map<std::string, uint64_t> Outputs;
+
+  auto CompareArch = [&](uint64_t At) -> Result<void> {
+    ArchState A = Sim.archState();
+    if (A.Pc != Isa.PC)
+      return Error("instruction " + std::to_string(At) + ": PC " +
+                   toHex(A.Pc) + " vs ISA " + toHex(Isa.PC));
+    if (A.Carry != Isa.CarryFlag || A.Overflow != Isa.OverflowFlag)
+      return Error("instruction " + std::to_string(At) + ": flags differ");
+    for (unsigned I = 0; I != isa::NumRegs; ++I)
+      if (A.Regs[I] != Isa.Regs[I])
+        return Error("instruction " + std::to_string(At) + ": r" +
+                     std::to_string(I) + " = " + toHex(A.Regs[I]) +
+                     " vs ISA " + toHex(Isa.Regs[I]));
+    if (A.DataOut != Isa.DataOut)
+      return Error("instruction " + std::to_string(At) +
+                   ": data_out differs");
+    return {};
+  };
+
+  while (Instructions < MaxInstructions) {
+    if (isa::isHalted(Isa))
+      break;
+    if (Cycles > Options.MaxCycles)
+      return Error("cycle budget exhausted before instruction " +
+                   std::to_string(Instructions));
+    std::map<std::string, uint64_t> Inputs = Env.inputsForCycle();
+    if (Result<void> S = Sim.step(Inputs, Outputs); !S)
+      return S.error();
+    if (Result<void> O = Env.observeOutputs(Outputs); !O)
+      return O.error();
+    ++Cycles;
+    if (!Outputs.at("retire"))
+      continue;
+
+    // One implementation retire corresponds to one ISA Next step.
+    isa::StepResult S = isa::step(Isa, IsaEnv);
+    if (!S.ok())
+      return Error("ISA faulted at instruction " +
+                   std::to_string(Instructions) +
+                   " (the check covers fault-free programs)");
+    ++Instructions;
+    if (Result<void> C = CompareArch(Instructions); !C)
+      return C.error();
+  }
+
+  // Memories must agree at the end (ag32_eq_* includes memory equality).
+  if (Env.memory() != Isa.Memory) {
+    const auto &M = Env.memory();
+    for (size_t I = 0; I != M.size(); ++I)
+      if (M[I] != Isa.Memory[I])
+        return Error("memory differs at " + toHex(static_cast<Word>(I)) +
+                     " after " + std::to_string(Instructions) +
+                     " instructions");
+  }
+  if (SysEnv) {
+    if (Env.collectedStdout() != SysEnv->collectedStdout())
+      return Error("collected stdout differs between levels");
+    if (Env.collectedStderr() != SysEnv->collectedStderr())
+      return Error("collected stderr differs between levels");
+  }
+  return Instructions;
+}

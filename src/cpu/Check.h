@@ -1,0 +1,72 @@
+//===- cpu/Check.h - ISA/RTL correspondence and RTL runners -----*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterparts of the processor correctness theorems:
+///
+///  - checkIsaRtl: theorem (9) — every instruction cycle of the ISA is
+///    simulated by some number of clock cycles of the implementation.
+///    Runs the core (circuit or Verilog level) against the lab
+///    environment and the ISA interpreter in lock-step, comparing the
+///    full architectural state (the ag32_eq_* relation family) at every
+///    retire pulse, and the memories at the end.
+///
+///  - runCore: executes a memory image on the core and reports the
+///    observable behaviour (the hardware half of theorem (8)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CPU_CHECK_H
+#define SILVER_CPU_CHECK_H
+
+#include "cpu/LabEnv.h"
+#include "cpu/Sim.h"
+#include "isa/Interp.h"
+
+namespace silver {
+namespace cpu {
+
+/// Which implementation level to run.
+enum class SimLevel : uint8_t { Circuit, Verilog };
+
+struct RunOptions {
+  SimLevel Level = SimLevel::Circuit;
+  LabEnvOptions Env;
+  uint64_t MaxCycles = 100'000'000ull;
+};
+
+struct CoreRunResult {
+  bool Halted = false;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  std::string StdoutData;
+  std::string StderrData;
+  sys::ExitStatus Exit;
+  std::vector<uint8_t> FinalMemory;
+};
+
+/// Runs a bootable image on the Silver core until the halt self-loop is
+/// first executed, the cycle budget runs out, or the environment reports
+/// a protocol violation.
+Result<CoreRunResult> runCore(const sys::MemoryImage &Image,
+                              const RunOptions &Options);
+
+/// Lock-step ISA/implementation check from an arbitrary initial machine
+/// state.  \p Layout enables the interrupt-observables comparison (pass
+/// the image layout for compiled programs; nullptr for random-program
+/// tests that avoid Interrupt).  Stops at the ISA halt, after
+/// \p MaxInstructions, or at the first disagreement (returned as an
+/// error naming the instruction index and the differing component).
+Result<uint64_t> checkIsaRtl(const isa::MachineState &Initial,
+                             uint64_t MaxInstructions,
+                             const RunOptions &Options,
+                             const sys::MemoryLayout *Layout);
+
+} // namespace cpu
+} // namespace silver
+
+#endif // SILVER_CPU_CHECK_H

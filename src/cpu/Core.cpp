@@ -1,0 +1,285 @@
+//===- cpu/Core.cpp - The Silver processor core (circuit level) --------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpu/Core.h"
+
+#include "isa/Instruction.h"
+
+using namespace silver;
+using namespace silver::cpu;
+using rtl::Builder;
+using rtl::NodeId;
+
+static uint64_t opc(isa::Opcode Op) { return static_cast<uint64_t>(Op); }
+
+SilverCore silver::cpu::buildSilverCore() {
+  Builder B("silver_cpu");
+  SilverCore Core;
+
+  // --- environment interfaces ---
+  NodeId MemRdata = B.input("mem_rdata", 32);
+  NodeId MemReady = B.input("mem_ready", 1);
+  NodeId MemStart = B.input("mem_start_ready", 1);
+  NodeId IntAck = B.input("interrupt_ack", 1);
+  NodeId DataIn = B.input("data_in", 32);
+
+  // --- architectural and control state ---
+  Core.StateReg = B.reg("state", 3, uint64_t(CoreState::Init));
+  Core.PcReg = B.reg("pc", 32, 0);
+  Core.InstrReg = B.reg("instr", 32, 0);
+  Core.CarryReg = B.reg("carry", 1, 0);
+  Core.OverflowReg = B.reg("overflow", 1, 0);
+  Core.DataOutReg = B.reg("data_out", 32, 0);
+  Core.RegFileMem = B.mem("regs", 32, isa::NumRegs);
+
+  NodeId St = B.regRead(Core.StateReg);
+  NodeId Pc = B.regRead(Core.PcReg);
+  NodeId Ir = B.regRead(Core.InstrReg);
+  NodeId Carry = B.regRead(Core.CarryReg);
+  NodeId Ovf = B.regRead(Core.OverflowReg);
+  NodeId DOut = B.regRead(Core.DataOutReg);
+
+  auto StIs = [&](CoreState S) {
+    return B.eq(St, B.constant(3, uint64_t(S)));
+  };
+  NodeId InInit = StIs(CoreState::Init);
+  NodeId InFetch = StIs(CoreState::Fetch);
+  NodeId InFetchWait = StIs(CoreState::FetchWait);
+  NodeId InExec = StIs(CoreState::Exec);
+  NodeId InLoadWait = StIs(CoreState::LoadWait);
+  NodeId InStoreWait = StIs(CoreState::StoreWait);
+  NodeId InIntWait = StIs(CoreState::IntWait);
+
+  // --- decode (from the instruction register) ---
+  NodeId Op = B.slice(Ir, 31, 28);
+  NodeId Fn = B.slice(Ir, 27, 24);
+  NodeId Shk = B.slice(Ir, 25, 24);
+  NodeId WN = B.slice(Ir, 23, 18);
+  NodeId WC = B.slice(Ir, 27, 22);
+  NodeId AImm = B.slice(Ir, 17, 17);
+  NodeId AVal = B.slice(Ir, 16, 11);
+  NodeId BImm = B.slice(Ir, 10, 10);
+  NodeId BVal = B.slice(Ir, 9, 4);
+  NodeId Neg = B.slice(Ir, 21, 21);
+  NodeId Imm21 = B.slice(Ir, 20, 0);
+  NodeId Imm11 = B.slice(Ir, 10, 0);
+  NodeId BrOffRaw = B.concat(B.slice(Ir, 23, 18), B.slice(Ir, 3, 0));
+  NodeId BrOffBytes =
+      B.shl(B.signExt(32, BrOffRaw), B.constant(3, 2)); // words * 4
+
+  auto OpIs = [&](isa::Opcode O) {
+    return B.eq(Op, B.constant(4, opc(O)));
+  };
+  NodeId IsNormal = OpIs(isa::Opcode::Normal);
+  NodeId IsShift = OpIs(isa::Opcode::Shift);
+  NodeId IsLoadW = OpIs(isa::Opcode::LoadMEM);
+  NodeId IsLoadB = OpIs(isa::Opcode::LoadMEMByte);
+  NodeId IsStoreW = OpIs(isa::Opcode::StoreMEM);
+  NodeId IsStoreB = OpIs(isa::Opcode::StoreMEMByte);
+  NodeId IsLc = OpIs(isa::Opcode::LoadConstant);
+  NodeId IsLuc = OpIs(isa::Opcode::LoadUpperConstant);
+  NodeId IsJump = OpIs(isa::Opcode::Jump);
+  NodeId IsBz = OpIs(isa::Opcode::JumpIfZero);
+  NodeId IsBnz = OpIs(isa::Opcode::JumpIfNotZero);
+  NodeId IsInt = OpIs(isa::Opcode::Interrupt);
+  NodeId IsIn = OpIs(isa::Opcode::In);
+  NodeId IsOut = OpIs(isa::Opcode::Out);
+  NodeId IsLoad = B.bitOr(IsLoadW, IsLoadB);
+  NodeId IsStore = B.bitOr(IsStoreW, IsStoreB);
+  NodeId IsByteOp = B.bitOr(IsLoadB, IsStoreB);
+
+  // --- register file reads (the ISA's R function) ---
+  NodeId AReg = B.memRead(Core.RegFileMem, AVal);
+  NodeId BReg = B.memRead(Core.RegFileMem, BVal);
+  NodeId WcReg = B.memRead(Core.RegFileMem, WC);
+
+  NodeId AOp = B.mux(AImm, B.signExt(32, AVal), AReg);
+  NodeId BOp = B.mux(BImm, B.signExt(32, BVal), BReg);
+
+  // The shared ALU: first operand is the PC for Jump (PC-relative and
+  // computed jumps), the a-operand otherwise.
+  NodeId AluA = B.mux(IsJump, Pc, AOp);
+  NodeId AluB = B.mux(IsJump, AOp, BOp);
+
+  NodeId C0 = B.constant(32, 0);
+  NodeId C1 = B.constant(32, 1);
+
+  // Adder with carry/overflow (33-bit wide shared adder).
+  NodeId WideA = B.zeroExt(33, AluA);
+  NodeId WideB = B.zeroExt(33, AluB);
+  NodeId SumAdd = B.add(WideA, WideB);
+  NodeId SumAddc =
+      B.add(B.add(WideA, WideB), B.zeroExt(33, Carry));
+  NodeId Add32 = B.slice(SumAdd, 31, 0);
+  NodeId Addc32 = B.slice(SumAddc, 31, 0);
+  NodeId CarryAdd = B.slice(SumAdd, 32, 32);
+  NodeId CarryAddc = B.slice(SumAddc, 32, 32);
+  NodeId AxB = B.bitXor(AluA, AluB);
+  NodeId OvfAdd = B.slice(
+      B.bitAnd(B.bitNot(AxB), B.bitXor(AluA, Add32)), 31, 31);
+  NodeId OvfAddc = B.slice(
+      B.bitAnd(B.bitNot(AxB), B.bitXor(AluA, Addc32)), 31, 31);
+  NodeId Sub32 = B.sub(AluA, AluB);
+  NodeId CarrySub = B.bitNot(B.ltU(AluA, AluB)); // "no borrow"
+  NodeId OvfSub =
+      B.slice(B.bitAnd(AxB, B.bitXor(AluA, Sub32)), 31, 31);
+
+  std::vector<NodeId> AluCases(isa::NumFuncs, rtl::NoNode);
+  auto FuncCase = [&](isa::Func F, NodeId V) {
+    AluCases[static_cast<unsigned>(F)] = V;
+  };
+  FuncCase(isa::Func::Add, Add32);
+  FuncCase(isa::Func::AddCarry, Addc32);
+  FuncCase(isa::Func::Sub, Sub32);
+  FuncCase(isa::Func::Carry, B.zeroExt(32, Carry));
+  FuncCase(isa::Func::Overflow, B.zeroExt(32, Ovf));
+  FuncCase(isa::Func::Inc, B.add(AluA, C1));
+  FuncCase(isa::Func::Dec, B.sub(AluA, C1));
+  FuncCase(isa::Func::Mul, B.mul(AluA, AluB));
+  FuncCase(isa::Func::MulHigh, B.mulHigh(AluA, AluB));
+  FuncCase(isa::Func::And, B.bitAnd(AluA, AluB));
+  FuncCase(isa::Func::Or, B.bitOr(AluA, AluB));
+  FuncCase(isa::Func::Xor, B.bitXor(AluA, AluB));
+  FuncCase(isa::Func::Equal, B.zeroExt(32, B.eq(AluA, AluB)));
+  FuncCase(isa::Func::Less, B.zeroExt(32, B.ltS(AluA, AluB)));
+  FuncCase(isa::Func::Lower, B.zeroExt(32, B.ltU(AluA, AluB)));
+  FuncCase(isa::Func::Snd, AluB);
+  NodeId AluOut = B.selectByValue(Fn, AluCases, Add32);
+
+  // Flag updates: Add/AddCarry/Sub executed by Normal, Jump, JumpIf*.
+  auto FnIs = [&](isa::Func F) {
+    return B.eq(Fn, B.constant(4, static_cast<uint64_t>(F)));
+  };
+  NodeId FlagFunc = B.bitOr(FnIs(isa::Func::Add),
+                            B.bitOr(FnIs(isa::Func::AddCarry),
+                                    FnIs(isa::Func::Sub)));
+  NodeId FlagOp = B.bitOr(B.bitOr(IsNormal, IsJump), B.bitOr(IsBz, IsBnz));
+  NodeId FlagsGate = B.bitAnd(B.bitAnd(InExec, FlagOp), FlagFunc);
+  NodeId NewCarry = B.mux(
+      FnIs(isa::Func::Add), CarryAdd,
+      B.mux(FnIs(isa::Func::AddCarry), CarryAddc, CarrySub));
+  NodeId NewOvf = B.mux(FnIs(isa::Func::Add), OvfAdd,
+                        B.mux(FnIs(isa::Func::AddCarry), OvfAddc, OvfSub));
+  B.regNext(Core.CarryReg, B.mux(FlagsGate, NewCarry, Carry));
+  B.regNext(Core.OverflowReg, B.mux(FlagsGate, NewOvf, Ovf));
+
+  // Shift unit.
+  NodeId Amount = B.slice(BOp, 4, 0);
+  NodeId ShOut = B.selectByValue(
+      Shk,
+      {B.shl(AOp, Amount), B.shrL(AOp, Amount), B.shrA(AOp, Amount),
+       B.rotR(AOp, Amount)},
+      B.shl(AOp, Amount));
+
+  // Constant loads.
+  NodeId LcVal = B.mux(Neg, B.sub(C0, B.zeroExt(32, Imm21)),
+                       B.zeroExt(32, Imm21));
+  NodeId LucVal = B.concat(Imm11, B.slice(WcReg, 20, 0));
+
+  // Next-PC logic (one shared adder for PC+4).
+  NodeId PcPlus4 = B.add(Pc, B.constant(32, 4));
+  NodeId BrTarget = B.add(Pc, BrOffBytes);
+  NodeId BrIsZero = B.eq(AluOut, C0);
+  NodeId ExecNextPc = B.mux(
+      IsJump, AluOut,
+      B.mux(IsBz, B.mux(BrIsZero, BrTarget, PcPlus4),
+            B.mux(IsBnz, B.mux(BrIsZero, PcPlus4, BrTarget), PcPlus4)));
+
+  // Completion pulses.
+  NodeId ExecIssuesMem = B.bitOr(IsLoad, IsStore);
+  NodeId ExecCompletes = B.bitAnd(
+      InExec,
+      B.bitNot(B.bitOr(ExecIssuesMem, IsInt)));
+  NodeId LoadCompletes = B.bitAnd(InLoadWait, MemReady);
+  NodeId StoreCompletes = B.bitAnd(InStoreWait, MemReady);
+  NodeId IntCompletes = B.bitAnd(InIntWait, IntAck);
+  NodeId WaitCompletes =
+      B.bitOr(B.bitOr(LoadCompletes, StoreCompletes), IntCompletes);
+  NodeId Retire = B.bitOr(ExecCompletes, WaitCompletes);
+
+  // PC register.
+  NodeId PcNext = B.mux(ExecCompletes, ExecNextPc,
+                        B.mux(WaitCompletes, PcPlus4, Pc));
+  B.regNext(Core.PcReg, PcNext);
+
+  // Instruction register: latch on fetch completion.
+  NodeId FetchDone = B.bitAnd(InFetchWait, MemReady);
+  B.regNext(Core.InstrReg, B.mux(FetchDone, MemRdata, Ir));
+
+  // Register-file write port (shared between Exec and LoadWait).
+  NodeId ExecWbEn = B.bitOr(
+      B.bitOr(B.bitOr(IsNormal, IsShift), B.bitOr(IsLc, IsLuc)),
+      B.bitOr(IsJump, IsIn));
+  NodeId ExecWbData = B.mux(
+      IsShift, ShOut,
+      B.mux(IsLc, LcVal,
+            B.mux(IsLuc, LucVal, B.mux(IsJump, PcPlus4,
+                                       B.mux(IsIn, DataIn, AluOut)))));
+  NodeId ExecWbAddr = B.mux(B.bitOr(IsLc, IsLuc), WC, WN);
+  NodeId LoadData = B.mux(IsByteOp, B.zeroExt(32, B.slice(MemRdata, 7, 0)),
+                          MemRdata);
+  NodeId Wen =
+      B.bitOr(B.bitAnd(ExecCompletes, ExecWbEn), LoadCompletes);
+  NodeId WAddr = B.mux(InLoadWait, WN, ExecWbAddr);
+  NodeId WData = B.mux(InLoadWait, LoadData, ExecWbData);
+  B.memWrite(Core.RegFileMem, Wen, WAddr, WData);
+
+  // Data-out register (Out instruction).
+  B.regNext(Core.DataOutReg,
+            B.mux(B.bitAnd(InExec, IsOut), AOp, DOut));
+
+  // State machine.
+  auto StC = [&](CoreState S) { return B.constant(3, uint64_t(S)); };
+  NodeId ExecNextState = B.mux(
+      IsLoad, StC(CoreState::LoadWait),
+      B.mux(IsStore, StC(CoreState::StoreWait),
+            B.mux(IsInt, StC(CoreState::IntWait), StC(CoreState::Fetch))));
+  NodeId StateNext = B.mux(
+      InInit, B.mux(MemStart, StC(CoreState::Fetch), StC(CoreState::Init)),
+      B.mux(
+          InFetch, StC(CoreState::FetchWait),
+          B.mux(
+              InFetchWait,
+              B.mux(MemReady, StC(CoreState::Exec),
+                    StC(CoreState::FetchWait)),
+              B.mux(
+                  InExec, ExecNextState,
+                  B.mux(InLoadWait,
+                        B.mux(MemReady, StC(CoreState::Fetch),
+                              StC(CoreState::LoadWait)),
+                        B.mux(InStoreWait,
+                              B.mux(MemReady, StC(CoreState::Fetch),
+                                    StC(CoreState::StoreWait)),
+                              B.mux(InIntWait,
+                                    B.mux(IntAck, StC(CoreState::Fetch),
+                                          StC(CoreState::IntWait)),
+                                    St)))))));
+  B.regNext(Core.StateReg, StateNext);
+
+  // --- outputs (the environment-dependent glue reads these) ---
+  NodeId MemRen = B.zeroExt(
+      1, B.bitOr(InFetch, B.bitAnd(InExec, IsLoad)));
+  NodeId MemWen = B.zeroExt(1, B.bitAnd(InExec, IsStore));
+  NodeId MemAddr = B.mux(InFetch, Pc, B.mux(IsStore, BOp, AOp));
+  B.output("mem_addr", MemAddr);
+  B.output("mem_ren", MemRen);
+  B.output("mem_wen", MemWen);
+  // Byte-ness comes from the decoded instruction, which is stale during
+  // a fetch request: gate it so fetches always read whole words.
+  B.output("mem_wbyte",
+           B.zeroExt(1, B.bitAnd(IsByteOp, B.bitNot(InFetch))));
+  B.output("mem_wdata", AOp);
+  B.output("interrupt_req",
+           B.zeroExt(1, B.bitAnd(InExec, IsInt)));
+  B.output("retire", B.zeroExt(1, Retire));
+  B.output("retire_pc", PcNext);
+  B.output("dbg_state", B.zeroExt(3, St));
+  B.output("data_out", DOut);
+
+  Core.Circuit = B.take();
+  return Core;
+}

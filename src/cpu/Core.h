@@ -1,0 +1,75 @@
+//===- cpu/Core.h - The Silver processor core (circuit level) ---*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Silver processor implementation (paper §4.2): a non-pipelined,
+/// in-order, multi-cycle core expressed in the circuit IR so it can be
+/// simulated cycle-accurately, translated to Verilog by the code
+/// generator, and checked against the ISA (cpu/Check.h).  The core is
+/// environment-independent; it talks to the outside world through the
+/// paper's interfaces:
+///   is_mem                 mem_addr/mem_ren/mem_wen/mem_wbyte/mem_wdata
+///                          out, mem_rdata/mem_ready in (request pulses,
+///                          a ready pulse completes the transaction);
+///   is_mem_start_interface mem_start_ready in (memory pre-filled);
+///   is_interrupt_interface interrupt_req out / interrupt_ack in.
+///
+/// De-duplication (the paper's refinement step): the next-PC adder, the
+/// ALU, and the register-file write port are single shared components
+/// selected by muxes, instead of one copy per instruction as a naive
+/// translation of the ISA would produce.
+///
+/// Instruction timing: fetch issue (1) + fetch wait (1+L) + execute (1),
+/// plus a memory access (1 + 1+L) for loads/stores and the acknowledge
+/// delay for Interrupt, where L is the memory latency — the "additional
+/// wait states that do not correspond to any state in the ISA" (§4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CPU_CORE_H
+#define SILVER_CPU_CORE_H
+
+#include "rtl/Circuit.h"
+
+namespace silver {
+namespace cpu {
+
+/// Core FSM states.
+enum class CoreState : uint8_t {
+  Init = 0,      ///< waiting for is_mem_start_interface
+  Fetch = 1,     ///< pulse the instruction-fetch request
+  FetchWait = 2, ///< wait for memory; latch the instruction
+  Exec = 3,      ///< decode + execute (single-cycle instructions retire)
+  LoadWait = 4,  ///< wait for load data; write back and retire
+  StoreWait = 5, ///< wait for store completion; retire
+  IntWait = 6,   ///< wait for the interrupt acknowledge; retire
+};
+
+/// The built core: the circuit plus the indices of its architectural
+/// state (for the ISA correspondence checker and the runners).
+struct SilverCore {
+  rtl::Circuit Circuit;
+  unsigned StateReg = 0;
+  unsigned PcReg = 0;
+  unsigned InstrReg = 0;
+  unsigned CarryReg = 0;
+  unsigned OverflowReg = 0;
+  unsigned DataOutReg = 0;
+  unsigned RegFileMem = 0;
+};
+
+/// Builds the Silver core.  Output ports: mem_addr, mem_ren, mem_wen,
+/// mem_wbyte, mem_wdata, interrupt_req, retire (pulses when an
+/// instruction completes), retire_pc (the next PC at a retire pulse),
+/// dbg_state.  Input ports: mem_rdata, mem_ready, mem_start_ready,
+/// interrupt_ack, data_in.
+SilverCore buildSilverCore();
+
+} // namespace cpu
+} // namespace silver
+
+#endif // SILVER_CPU_CORE_H

@@ -1,0 +1,95 @@
+//===- cpu/LabEnv.cpp - The lab-setup environment model ----------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpu/LabEnv.h"
+
+using namespace silver;
+using namespace silver::cpu;
+
+std::map<std::string, uint64_t> LabEnv::inputsForCycle() {
+  ReadyNow = false;
+  AckNow = false;
+  RData = 0;
+
+  if (MemBusy) {
+    if (MemRemaining == 0) {
+      // Complete the transaction now.
+      if (MemIsWrite) {
+        if (MemIsByte)
+          Memory[MemAddr] = static_cast<uint8_t>(MemWData);
+        else
+          for (unsigned I = 0; I != 4; ++I)
+            Memory[MemAddr + I] =
+                static_cast<uint8_t>(MemWData >> (8 * I));
+      } else if (MemIsByte) {
+        RData = Memory[MemAddr];
+      } else {
+        RData = static_cast<Word>(Memory[MemAddr]) |
+                (static_cast<Word>(Memory[MemAddr + 1]) << 8) |
+                (static_cast<Word>(Memory[MemAddr + 2]) << 16) |
+                (static_cast<Word>(Memory[MemAddr + 3]) << 24);
+      }
+      ReadyNow = true;
+      MemBusy = false;
+    } else {
+      --MemRemaining;
+    }
+  }
+  if (IntBusy) {
+    if (IntRemaining == 0) {
+      AckNow = true;
+      IntBusy = false;
+    } else {
+      --IntRemaining;
+    }
+  }
+
+  std::map<std::string, uint64_t> In;
+  In["mem_rdata"] = RData;
+  In["mem_ready"] = ReadyNow ? 1 : 0;
+  In["mem_start_ready"] = Cycle >= Opt.StartDelay ? 1 : 0;
+  In["interrupt_ack"] = AckNow ? 1 : 0;
+  In["data_in"] = 0;
+  ++Cycle;
+  return In;
+}
+
+Result<void>
+LabEnv::observeOutputs(const std::map<std::string, uint64_t> &Out) {
+  uint64_t Ren = Out.at("mem_ren");
+  uint64_t Wen = Out.at("mem_wen");
+  if (Ren || Wen) {
+    if (MemBusy)
+      return Error("lab env: memory request while a transaction is busy");
+    Word Addr = static_cast<Word>(Out.at("mem_addr"));
+    bool IsByte = Out.at("mem_wbyte") != 0;
+    if (!IsByte && (Addr & 3))
+      return Error("lab env: misaligned word access at " +
+                   std::to_string(Addr));
+    Word Span = IsByte ? 1 : 4;
+    if (Addr > Memory.size() || Memory.size() - Addr < Span)
+      return Error("lab env: memory access out of range at " +
+                   std::to_string(Addr));
+    MemBusy = true;
+    MemRemaining = Opt.MemLatency;
+    MemIsWrite = Wen != 0;
+    MemIsByte = IsByte;
+    MemAddr = Addr;
+    MemWData = static_cast<Word>(Out.at("mem_wdata"));
+  }
+  if (Out.at("interrupt_req")) {
+    if (IntBusy)
+      return Error("lab env: interrupt request while one is pending");
+    // The observable action happens at notification time, matching the
+    // ISA semantics of the Interrupt instruction.
+    sys::interruptObservable(Memory, Layout, Stdout, Stderr);
+    ++Interrupts;
+    IntBusy = true;
+    IntRemaining = Opt.AckDelay;
+  }
+  return {};
+}

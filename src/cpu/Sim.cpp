@@ -1,0 +1,128 @@
+//===- cpu/Sim.cpp - Core simulators (circuit and Verilog) -------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpu/Sim.h"
+
+#include "hdl/FastSim.h"
+
+using namespace silver;
+using namespace silver::cpu;
+
+CoreSim::~CoreSim() = default;
+
+namespace {
+
+class CircuitSim : public CoreSim {
+public:
+  explicit CircuitSim(const SilverCore &Core)
+      : Core(Core), State(rtl::CircuitState::init(Core.Circuit)) {}
+
+  Result<void> step(const std::map<std::string, uint64_t> &Inputs,
+                    std::map<std::string, uint64_t> &Outputs) override {
+    return rtl::stepCircuit(Core.Circuit, State, Inputs, &Outputs);
+  }
+
+  ArchState archState() const override {
+    ArchState A;
+    A.Pc = static_cast<Word>(State.Regs[Core.PcReg]);
+    A.Carry = State.Regs[Core.CarryReg] != 0;
+    A.Overflow = State.Regs[Core.OverflowReg] != 0;
+    A.DataOut = static_cast<Word>(State.Regs[Core.DataOutReg]);
+    const auto &Rf = State.Mems[Core.RegFileMem];
+    for (unsigned I = 0; I != isa::NumRegs; ++I)
+      A.Regs[I] = static_cast<Word>(Rf[I]);
+    return A;
+  }
+
+  void primeArchState(const isa::MachineState &Ms) override {
+    State.Regs[Core.PcReg] = Ms.PC;
+    State.Regs[Core.CarryReg] = Ms.CarryFlag ? 1 : 0;
+    State.Regs[Core.OverflowReg] = Ms.OverflowFlag ? 1 : 0;
+    State.Regs[Core.DataOutReg] = Ms.DataOut;
+    for (unsigned I = 0; I != isa::NumRegs; ++I)
+      State.Mems[Core.RegFileMem][I] = Ms.Regs[I];
+  }
+
+private:
+  const SilverCore &Core;
+  rtl::CircuitState State;
+};
+
+class VerilogSim : public CoreSim {
+public:
+  VerilogSim(const SilverCore &Core, hdl::VModule ModuleIn,
+             std::unique_ptr<hdl::FastSim> SimIn)
+      : Core(Core), Module(std::move(ModuleIn)), Sim(std::move(SimIn)) {}
+
+  Result<void> step(const std::map<std::string, uint64_t> &Inputs,
+                    std::map<std::string, uint64_t> &Outputs) override {
+    if (Result<void> R = Sim->step(Inputs); !R)
+      return R;
+    Outputs.clear();
+    for (const rtl::OutputDef &O : Core.Circuit.Outputs)
+      Outputs[O.Name] = Sim->valueOf(O.Name);
+    return {};
+  }
+
+  ArchState archState() const override {
+    ArchState A;
+    A.Pc = static_cast<Word>(regValue(Core.PcReg));
+    A.Carry = regValue(Core.CarryReg) != 0;
+    A.Overflow = regValue(Core.OverflowReg) != 0;
+    A.DataOut = static_cast<Word>(regValue(Core.DataOutReg));
+    const auto &Rf =
+        Sim->memOf(rtl::memVarName(Core.Circuit, Core.RegFileMem));
+    for (unsigned I = 0; I != isa::NumRegs; ++I)
+      A.Regs[I] = static_cast<Word>(Rf[I]);
+    return A;
+  }
+
+  void primeArchState(const isa::MachineState &Ms) override {
+    setReg(Core.PcReg, Ms.PC);
+    setReg(Core.CarryReg, Ms.CarryFlag ? 1 : 0);
+    setReg(Core.OverflowReg, Ms.OverflowFlag ? 1 : 0);
+    setReg(Core.DataOutReg, Ms.DataOut);
+    auto &Rf = Sim->memOf(rtl::memVarName(Core.Circuit, Core.RegFileMem));
+    for (unsigned I = 0; I != isa::NumRegs; ++I)
+      Rf[I] = Ms.Regs[I];
+  }
+
+private:
+  uint64_t regValue(unsigned Reg) const {
+    return Sim->valueOf(rtl::regVarName(Core.Circuit, Reg));
+  }
+  void setReg(unsigned Reg, uint64_t Value) {
+    Sim->setValue(rtl::regVarName(Core.Circuit, Reg), Value);
+  }
+
+  const SilverCore &Core;
+  hdl::VModule Module;
+  std::unique_ptr<hdl::FastSim> Sim;
+};
+
+} // namespace
+
+std::unique_ptr<CoreSim> silver::cpu::makeCircuitSim(const SilverCore &Core) {
+  return std::make_unique<CircuitSim>(Core);
+}
+
+Result<std::unique_ptr<CoreSim>>
+silver::cpu::makeVerilogSim(const SilverCore &Core) {
+  Result<hdl::VModule> Module = rtl::toVerilog(Core.Circuit);
+  if (!Module)
+    return Module.error();
+  if (Result<void> T = hdl::typeCheck(*Module); !T)
+    return Error("generated Silver module fails type checking: " +
+                 T.error().str());
+  hdl::VModule Mod = Module.take();
+  Result<std::unique_ptr<hdl::FastSim>> Fast = hdl::FastSim::compile(Mod);
+  if (!Fast)
+    return Fast.error();
+  std::unique_ptr<CoreSim> Sim =
+      std::make_unique<VerilogSim>(Core, std::move(Mod), Fast.take());
+  return Sim;
+}

@@ -1,0 +1,66 @@
+//===- cpu/Sim.h - Core simulators (circuit and Verilog) --------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A common cycle-stepping interface over the two implementation levels
+/// of Figure 1: the circuit IR interpreter (layer 3) and the Verilog
+/// semantics running the generated module (layer 4).  The runners and
+/// the ISA correspondence checker are written against this interface, so
+/// every experiment can execute at either level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_CPU_SIM_H
+#define SILVER_CPU_SIM_H
+
+#include "cpu/Core.h"
+#include "hdl/Semantics.h"
+#include "isa/MachineState.h"
+#include "rtl/ToVerilog.h"
+
+#include <map>
+#include <memory>
+
+namespace silver {
+namespace cpu {
+
+/// Architectural snapshot used by the ISA correspondence checker.
+struct ArchState {
+  Word Pc = 0;
+  bool Carry = false;
+  bool Overflow = false;
+  std::array<Word, isa::NumRegs> Regs{};
+  Word DataOut = 0;
+};
+
+class CoreSim {
+public:
+  virtual ~CoreSim();
+
+  /// One clock cycle.
+  virtual Result<void> step(const std::map<std::string, uint64_t> &Inputs,
+                            std::map<std::string, uint64_t> &Outputs) = 0;
+
+  /// Reads the current architectural state.
+  virtual ArchState archState() const = 0;
+
+  /// Primes the architectural state (used by the randomised ISA/RTL
+  /// equivalence tests to start from arbitrary register contents).
+  virtual void primeArchState(const isa::MachineState &Ms) = 0;
+};
+
+/// Layer-3 simulator: the circuit interpreter.
+std::unique_ptr<CoreSim> makeCircuitSim(const SilverCore &Core);
+
+/// Layer-4 simulator: verilog_sem on the generated module.  Fails if the
+/// generated module does not type-check.
+Result<std::unique_ptr<CoreSim>> makeVerilogSim(const SilverCore &Core);
+
+} // namespace cpu
+} // namespace silver
+
+#endif // SILVER_CPU_SIM_H

@@ -1,0 +1,66 @@
+//===- hdl/FastSim.h - Compiled simulator for the subset --------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compiled simulator for the Verilog subset: elaborates a type-checked
+/// module once (variables become slot indices, expressions become
+/// annotated trees) and then steps cycles without any name lookups —
+/// the Verilator to Semantics.h's event-driven reference.  Tests check it
+/// cycle-for-cycle against hdl::stepCycle; everything fast (the Verilog
+/// execution level of the stack, the layer benchmarks) runs on it.
+///
+/// Semantics preserved from the reference: per cycle, every process reads
+/// the cycle-start state plus its own blocking writes (implemented with
+/// an undo log so later processes never see them), and all non-blocking
+/// writes commit at the end of the cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_HDL_FASTSIM_H
+#define SILVER_HDL_FASTSIM_H
+
+#include "hdl/Semantics.h"
+
+#include <memory>
+
+namespace silver {
+namespace hdl {
+
+class FastSim {
+public:
+  /// Elaborates \p M; fails when typeCheck fails.  The module must stay
+  /// alive for the lifetime of the simulator.
+  static Result<std::unique_ptr<FastSim>> compile(const VModule &M);
+  ~FastSim();
+
+  /// One clock cycle; \p Inputs must cover every input port.
+  Result<void> step(const std::map<std::string, uint64_t> &Inputs);
+
+  /// Current value of a scalar (bool/vec) variable's bits.
+  uint64_t valueOf(const std::string &Name) const;
+  /// Current contents of a memory variable.
+  const std::vector<uint64_t> &memOf(const std::string &Name) const;
+  /// Writes a scalar variable (for priming architectural state).
+  void setValue(const std::string &Name, uint64_t Bits);
+  /// Mutable memory access (for priming).
+  std::vector<uint64_t> &memOf(const std::string &Name);
+
+  /// Exports the state in reference-simulator form (for the agreement
+  /// tests against hdl::stepCycle).
+  SimState exportState(const VModule &M) const;
+
+  struct Impl;
+
+private:
+  FastSim();
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace hdl
+} // namespace silver
+
+#endif // SILVER_HDL_FASTSIM_H

@@ -1,0 +1,36 @@
+//===- hdl/Printer.h - Synthesisable Verilog pretty-printer -----*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints the deeply embedded AST as synthesisable SystemVerilog — the
+/// artefact the paper feeds to Vivado.  Printing faithfulness is part of
+/// the paper's TCB discussion (§8); here the printer is exercised by
+/// golden tests and kept deliberately simple (fully parenthesised
+/// expressions, one construct per line).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_HDL_PRINTER_H
+#define SILVER_HDL_PRINTER_H
+
+#include "hdl/Verilog.h"
+
+#include <string>
+
+namespace silver {
+namespace hdl {
+
+/// Renders the module as SystemVerilog text.
+std::string printModule(const VModule &M);
+
+/// Renders one expression (tests).
+std::string printExp(const VExp &E);
+
+} // namespace hdl
+} // namespace silver
+
+#endif // SILVER_HDL_PRINTER_H

@@ -1,0 +1,58 @@
+//===- isa/Abi.h - Register conventions for the Silver stack ---*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register conventions shared by the MiniCake compiler, the hand-written
+/// system-call code, and the startup code.  The paper's installed-state
+/// assumption (i) requires "registers 1-4 provide accurate information on
+/// where the part of memory usable by compiled_prog is located"; those are
+/// the CakeML info registers below, set by the startup code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ISA_ABI_H
+#define SILVER_ISA_ABI_H
+
+namespace silver {
+namespace abi {
+
+// CakeML info registers (paper §5, installed (i)), set by startup code.
+inline constexpr unsigned MemStartReg = 1;  ///< usable memory: first byte
+inline constexpr unsigned MemEndReg = 2;    ///< usable memory: one past end
+inline constexpr unsigned FfiTableReg = 3;  ///< syscall entry-stub table
+inline constexpr unsigned LayoutReg = 4;    ///< memory-layout descriptor
+
+// Compiled-code conventions.
+inline constexpr unsigned RetReg = 5;       ///< return value / first arg
+inline constexpr unsigned FirstArgReg = 5;  ///< arguments r5, r6, ...
+inline constexpr unsigned NumArgRegs = 8;
+
+// FFI calling convention (see sys/Syscalls.h).
+inline constexpr unsigned FfiIndexReg = 5;
+inline constexpr unsigned FfiConfReg = 6;
+inline constexpr unsigned FfiConfLenReg = 7;
+inline constexpr unsigned FfiBytesReg = 8;
+inline constexpr unsigned FfiBytesLenReg = 9;
+
+// Allocatable pool for the register allocator: [FirstAllocReg, LastAllocReg].
+inline constexpr unsigned FirstAllocReg = 5;
+inline constexpr unsigned LastAllocReg = 55;
+
+// Reserved registers.
+inline constexpr unsigned SysTmpReg = 56;   ///< syscall-code scratch
+inline constexpr unsigned SysTmp2Reg = 57;  ///< syscall-code scratch
+inline constexpr unsigned HeapReg = 58;     ///< bump-allocation pointer
+inline constexpr unsigned HeapEndReg = 59;  ///< heap limit
+inline constexpr unsigned StackReg = 60;    ///< stack pointer (descending)
+inline constexpr unsigned LinkReg = 61;     ///< call return address
+inline constexpr unsigned Tmp2Reg = 62;     ///< assembler/codegen scratch
+inline constexpr unsigned TmpReg = 63;      ///< assembler/codegen scratch
+
+} // namespace abi
+} // namespace silver
+
+#endif // SILVER_ISA_ABI_H

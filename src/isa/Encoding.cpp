@@ -1,0 +1,190 @@
+//===- isa/Encoding.cpp - Silver instruction binary encoding --------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Encoding.h"
+
+#include <cassert>
+
+using namespace silver;
+using namespace silver::isa;
+
+static Word encodeOperand(Operand Op) {
+  Word Field = Op.Value & 0x3f;
+  if (Op.IsImm)
+    Field |= 1u << 6;
+  return Field;
+}
+
+static Operand decodeOperand(Word Field) {
+  Operand Op;
+  Op.IsImm = (Field >> 6) & 1;
+  Op.Value = static_cast<uint8_t>(Field & 0x3f);
+  return Op;
+}
+
+Word silver::isa::encode(const Instruction &I) {
+  Word W = 0;
+  W = insertBits(W, static_cast<Word>(I.Op), 31, 28);
+  switch (I.Op) {
+  case Opcode::Normal:
+    W = insertBits(W, static_cast<Word>(I.F), 27, 24);
+    W = insertBits(W, I.WReg, 23, 18);
+    W = insertBits(W, encodeOperand(I.A), 17, 11);
+    W = insertBits(W, encodeOperand(I.B), 10, 4);
+    break;
+  case Opcode::Shift:
+    W = insertBits(W, static_cast<Word>(I.Sh), 25, 24);
+    W = insertBits(W, I.WReg, 23, 18);
+    W = insertBits(W, encodeOperand(I.A), 17, 11);
+    W = insertBits(W, encodeOperand(I.B), 10, 4);
+    break;
+  case Opcode::LoadMEM:
+  case Opcode::LoadMEMByte:
+    W = insertBits(W, I.WReg, 23, 18);
+    W = insertBits(W, encodeOperand(I.A), 17, 11);
+    break;
+  case Opcode::StoreMEM:
+  case Opcode::StoreMEMByte:
+    W = insertBits(W, encodeOperand(I.A), 17, 11);
+    W = insertBits(W, encodeOperand(I.B), 10, 4);
+    break;
+  case Opcode::LoadConstant:
+    assert(I.Imm <= 0x1fffff && "LoadConstant immediate exceeds 21 bits");
+    W = insertBits(W, I.WReg, 27, 22);
+    W = insertBits(W, I.Negate ? 1 : 0, 21, 21);
+    W = insertBits(W, I.Imm, 20, 0);
+    break;
+  case Opcode::LoadUpperConstant:
+    assert(I.Imm <= 0x7ff && "LoadUpperConstant immediate exceeds 11 bits");
+    W = insertBits(W, I.WReg, 27, 22);
+    W = insertBits(W, I.Imm, 10, 0);
+    break;
+  case Opcode::Jump:
+    W = insertBits(W, static_cast<Word>(I.F), 27, 24);
+    W = insertBits(W, I.WReg, 23, 18);
+    W = insertBits(W, encodeOperand(I.A), 17, 11);
+    break;
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNotZero: {
+    assert(fitsSigned(I.Offset, 10) && "branch offset exceeds 10 bits");
+    Word Off = static_cast<Word>(I.Offset) & 0x3ff;
+    W = insertBits(W, static_cast<Word>(I.F), 27, 24);
+    W = insertBits(W, Off >> 4, 23, 18);
+    W = insertBits(W, encodeOperand(I.A), 17, 11);
+    W = insertBits(W, encodeOperand(I.B), 10, 4);
+    W = insertBits(W, Off & 0xf, 3, 0);
+    break;
+  }
+  case Opcode::Interrupt:
+    break;
+  case Opcode::In:
+    W = insertBits(W, I.WReg, 23, 18);
+    break;
+  case Opcode::Out:
+    W = insertBits(W, encodeOperand(I.A), 17, 11);
+    break;
+  }
+  return W;
+}
+
+Result<Instruction> silver::isa::decode(Word Encoded) {
+  Word Opc = bits(Encoded, 31, 28);
+  if (Opc >= NumOpcodes)
+    return Error("illegal instruction: reserved opcode " +
+                 std::to_string(Opc));
+
+  Instruction I;
+  I.Op = static_cast<Opcode>(Opc);
+  switch (I.Op) {
+  case Opcode::Normal:
+    I.F = static_cast<Func>(bits(Encoded, 27, 24));
+    I.WReg = static_cast<uint8_t>(bits(Encoded, 23, 18));
+    I.A = decodeOperand(bits(Encoded, 17, 11));
+    I.B = decodeOperand(bits(Encoded, 10, 4));
+    break;
+  case Opcode::Shift:
+    I.Sh = static_cast<ShiftKind>(bits(Encoded, 25, 24));
+    I.WReg = static_cast<uint8_t>(bits(Encoded, 23, 18));
+    I.A = decodeOperand(bits(Encoded, 17, 11));
+    I.B = decodeOperand(bits(Encoded, 10, 4));
+    break;
+  case Opcode::LoadMEM:
+  case Opcode::LoadMEMByte:
+    I.WReg = static_cast<uint8_t>(bits(Encoded, 23, 18));
+    I.A = decodeOperand(bits(Encoded, 17, 11));
+    break;
+  case Opcode::StoreMEM:
+  case Opcode::StoreMEMByte:
+    I.A = decodeOperand(bits(Encoded, 17, 11));
+    I.B = decodeOperand(bits(Encoded, 10, 4));
+    break;
+  case Opcode::LoadConstant:
+    I.WReg = static_cast<uint8_t>(bits(Encoded, 27, 22));
+    I.Negate = bits(Encoded, 21, 21) != 0;
+    I.Imm = bits(Encoded, 20, 0);
+    break;
+  case Opcode::LoadUpperConstant:
+    I.WReg = static_cast<uint8_t>(bits(Encoded, 27, 22));
+    I.Imm = bits(Encoded, 10, 0);
+    break;
+  case Opcode::Jump:
+    I.F = static_cast<Func>(bits(Encoded, 27, 24));
+    I.WReg = static_cast<uint8_t>(bits(Encoded, 23, 18));
+    I.A = decodeOperand(bits(Encoded, 17, 11));
+    break;
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNotZero: {
+    I.F = static_cast<Func>(bits(Encoded, 27, 24));
+    I.A = decodeOperand(bits(Encoded, 17, 11));
+    I.B = decodeOperand(bits(Encoded, 10, 4));
+    Word Off = (bits(Encoded, 23, 18) << 4) | bits(Encoded, 3, 0);
+    I.Offset = static_cast<int32_t>(signExtend(Off, 10));
+    break;
+  }
+  case Opcode::Interrupt:
+    break;
+  case Opcode::In:
+    I.WReg = static_cast<uint8_t>(bits(Encoded, 23, 18));
+    break;
+  case Opcode::Out:
+    I.A = decodeOperand(bits(Encoded, 17, 11));
+    break;
+  }
+  return I;
+}
+
+bool Instruction::operator==(const Instruction &I) const {
+  if (Op != I.Op)
+    return false;
+  switch (Op) {
+  case Opcode::Normal:
+    return F == I.F && WReg == I.WReg && A == I.A && B == I.B;
+  case Opcode::Shift:
+    return Sh == I.Sh && WReg == I.WReg && A == I.A && B == I.B;
+  case Opcode::LoadMEM:
+  case Opcode::LoadMEMByte:
+  case Opcode::In:
+    return WReg == I.WReg && (Op == Opcode::In || A == I.A);
+  case Opcode::StoreMEM:
+  case Opcode::StoreMEMByte:
+    return A == I.A && B == I.B;
+  case Opcode::LoadConstant:
+    return WReg == I.WReg && Negate == I.Negate && Imm == I.Imm;
+  case Opcode::LoadUpperConstant:
+    return WReg == I.WReg && Imm == I.Imm;
+  case Opcode::Jump:
+    return F == I.F && WReg == I.WReg && A == I.A;
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNotZero:
+    return F == I.F && A == I.A && B == I.B && Offset == I.Offset;
+  case Opcode::Interrupt:
+    return true;
+  case Opcode::Out:
+    return A == I.A;
+  }
+  return false;
+}

@@ -1,0 +1,269 @@
+//===- isa/Instruction.h - Silver (ag32) instruction set -------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Silver instruction set (paper §4.1).  Silver is a 32-bit
+/// general-purpose RISC ISA with 64 registers, fixed 32-bit instructions,
+/// byte-addressable little-endian memory, and carry/overflow flags.  The
+/// instruction list follows the paper: ALU operations, shifts/rotations,
+/// word/byte loads and stores, constant loads, PC-relative and absolute
+/// jumps (conditional and computed), an Interrupt instruction for
+/// notifying external hardware, and In/Out port instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ISA_INSTRUCTION_H
+#define SILVER_ISA_INSTRUCTION_H
+
+#include "support/Bits.h"
+
+#include <cstdint>
+#include <string>
+
+namespace silver {
+namespace isa {
+
+/// Number of general-purpose registers.
+inline constexpr unsigned NumRegs = 64;
+
+/// ALU functions (paper §4.1.1).  Add, AddCarry and Sub update the carry
+/// and overflow flags; every other function leaves them unchanged.
+/// Mul/MulHigh together give the paper's "multiplication (with 64-bit
+/// output)".  Snd returns the second operand; Carry/Overflow read the
+/// current flag values.
+enum class Func : uint8_t {
+  Add,
+  AddCarry,
+  Sub,
+  Carry,
+  Overflow,
+  Inc,
+  Dec,
+  Mul,
+  MulHigh,
+  And,
+  Or,
+  Xor,
+  Equal,
+  Less,  ///< signed less-than
+  Lower, ///< unsigned less-than
+  Snd,
+};
+inline constexpr unsigned NumFuncs = 16;
+
+/// Shift and rotation kinds (paper: "bit-shift and bit-rotation
+/// instructions, in both signed and unsigned variants").
+enum class ShiftKind : uint8_t {
+  LogicalLeft,
+  LogicalRight,
+  ArithRight,
+  RotateRight,
+};
+inline constexpr unsigned NumShiftKinds = 4;
+
+/// A register-or-immediate operand.  Immediates are 6-bit sign-extended
+/// (-32..31); register indices address the 64-entry register file.
+struct Operand {
+  bool IsImm = false;
+  uint8_t Value = 0; ///< register index, or raw 6-bit immediate field
+
+  static Operand reg(unsigned R) {
+    Operand Op;
+    Op.IsImm = false;
+    Op.Value = static_cast<uint8_t>(R);
+    return Op;
+  }
+  static Operand imm(int32_t V) {
+    assert(fitsSigned(V, 6) && "operand immediate exceeds 6 bits");
+    Operand Op;
+    Op.IsImm = true;
+    Op.Value = static_cast<uint8_t>(V & 0x3f);
+    return Op;
+  }
+
+  /// Immediate operand value as a sign-extended word (valid when IsImm).
+  Word immValue() const { return signExtend(Value, 6); }
+
+  bool operator==(const Operand &O) const {
+    return IsImm == O.IsImm && Value == O.Value;
+  }
+};
+
+/// Instruction kinds, in encoding-opcode order (see Encoding.h).
+enum class Opcode : uint8_t {
+  Normal,            ///< R[w] = alu(func, a, b)
+  Shift,             ///< R[w] = shift(kind, a, b)
+  LoadMEM,           ///< R[w] = mem32[a]
+  LoadMEMByte,       ///< R[w] = zero-extend mem8[a]
+  StoreMEM,          ///< mem32[b] = a
+  StoreMEMByte,      ///< mem8[b] = low byte of a
+  LoadConstant,      ///< R[w] = ±imm21
+  LoadUpperConstant, ///< R[w] = imm11 << 21 | R[w][20:0]
+  Jump,              ///< R[w] = PC+4; PC = alu(func, PC, a)
+  JumpIfZero,        ///< if alu(func,a,b)==0 then PC += 4*off10
+  JumpIfNotZero,     ///< if alu(func,a,b)!=0 then PC += 4*off10
+  Interrupt,         ///< notify external hardware; record an IO event
+  In,                ///< R[w] = environment input port
+  Out,               ///< output port = a; record an IO event
+};
+
+/// A decoded Silver instruction.  A single struct (rather than a class
+/// hierarchy) keeps encode/decode, equality, and random generation simple;
+/// which fields are meaningful depends on Op.
+struct Instruction {
+  Opcode Op = Opcode::Interrupt;
+  Func F = Func::Add;           ///< Normal, Jump, JumpIfZero, JumpIfNotZero
+  ShiftKind Sh = ShiftKind::LogicalLeft; ///< Shift
+  uint8_t WReg = 0;             ///< destination / link register
+  Operand A;                    ///< first operand
+  Operand B;                    ///< second operand
+  bool Negate = false;          ///< LoadConstant
+  uint32_t Imm = 0;             ///< LoadConstant (21 bits) / Upper (11 bits)
+  int32_t Offset = 0;           ///< JumpIf*: signed word offset (10 bits)
+
+  bool operator==(const Instruction &I) const;
+
+  // --- Convenience constructors (used by the assembler, the code
+  // generator, and the hand-written system-call routines). ---
+
+  static Instruction normal(Func F, unsigned W, Operand A, Operand B) {
+    Instruction I;
+    I.Op = Opcode::Normal;
+    I.F = F;
+    I.WReg = static_cast<uint8_t>(W);
+    I.A = A;
+    I.B = B;
+    return I;
+  }
+  static Instruction shift(ShiftKind K, unsigned W, Operand A, Operand B) {
+    Instruction I;
+    I.Op = Opcode::Shift;
+    I.Sh = K;
+    I.WReg = static_cast<uint8_t>(W);
+    I.A = A;
+    I.B = B;
+    return I;
+  }
+  static Instruction loadMem(unsigned W, Operand Addr) {
+    Instruction I;
+    I.Op = Opcode::LoadMEM;
+    I.WReg = static_cast<uint8_t>(W);
+    I.A = Addr;
+    return I;
+  }
+  static Instruction loadMemByte(unsigned W, Operand Addr) {
+    Instruction I;
+    I.Op = Opcode::LoadMEMByte;
+    I.WReg = static_cast<uint8_t>(W);
+    I.A = Addr;
+    return I;
+  }
+  static Instruction storeMem(Operand Value, Operand Addr) {
+    Instruction I;
+    I.Op = Opcode::StoreMEM;
+    I.A = Value;
+    I.B = Addr;
+    return I;
+  }
+  static Instruction storeMemByte(Operand Value, Operand Addr) {
+    Instruction I;
+    I.Op = Opcode::StoreMEMByte;
+    I.A = Value;
+    I.B = Addr;
+    return I;
+  }
+  static Instruction loadConstant(unsigned W, bool Negate, uint32_t Imm21) {
+    Instruction I;
+    I.Op = Opcode::LoadConstant;
+    I.WReg = static_cast<uint8_t>(W);
+    I.Negate = Negate;
+    I.Imm = Imm21 & 0x1fffff;
+    return I;
+  }
+  static Instruction loadUpperConstant(unsigned W, uint32_t Imm11) {
+    Instruction I;
+    I.Op = Opcode::LoadUpperConstant;
+    I.WReg = static_cast<uint8_t>(W);
+    I.Imm = Imm11 & 0x7ff;
+    return I;
+  }
+  static Instruction jump(Func F, unsigned Link, Operand A) {
+    Instruction I;
+    I.Op = Opcode::Jump;
+    I.F = F;
+    I.WReg = static_cast<uint8_t>(Link);
+    I.A = A;
+    return I;
+  }
+  static Instruction jumpIfZero(Func F, Operand A, Operand B, int32_t Off) {
+    Instruction I;
+    I.Op = Opcode::JumpIfZero;
+    I.F = F;
+    I.A = A;
+    I.B = B;
+    I.Offset = Off;
+    return I;
+  }
+  static Instruction jumpIfNotZero(Func F, Operand A, Operand B,
+                                   int32_t Off) {
+    Instruction I;
+    I.Op = Opcode::JumpIfNotZero;
+    I.F = F;
+    I.A = A;
+    I.B = B;
+    I.Offset = Off;
+    return I;
+  }
+  static Instruction interrupt() {
+    Instruction I;
+    I.Op = Opcode::Interrupt;
+    return I;
+  }
+  static Instruction in(unsigned W) {
+    Instruction I;
+    I.Op = Opcode::In;
+    I.WReg = static_cast<uint8_t>(W);
+    return I;
+  }
+  static Instruction out(Operand A) {
+    Instruction I;
+    I.Op = Opcode::Out;
+    I.A = A;
+    return I;
+  }
+
+  /// The canonical halt instruction: a PC-relative jump with offset 0,
+  /// i.e. an unconditional self-loop.  The paper's is_halted predicate is
+  /// "the machine remains at a program-specific location for any further
+  /// steps"; with this instruction the ISA state is a fixpoint of Next
+  /// modulo the link register (which stabilises after one step).
+  static Instruction halt(unsigned Link = NumRegs - 1) {
+    return jump(Func::Add, Link, Operand::imm(0));
+  }
+
+  /// True when executing this instruction at any PC leaves the PC
+  /// unchanged (the self-loop recognised by is_halted).
+  bool isSelfJump() const {
+    return Op == Opcode::Jump && F == Func::Add && A.IsImm &&
+           A.immValue() == 0;
+  }
+};
+
+/// Printable name of an ALU function (used by the disassembler and the
+/// Verilog pretty-printer's comments).
+const char *funcName(Func F);
+
+/// Printable name of a shift kind.
+const char *shiftName(ShiftKind K);
+
+/// Renders an instruction in assembler syntax (see asm/Disassembler.cpp).
+std::string toString(const Instruction &I);
+
+} // namespace isa
+} // namespace silver
+
+#endif // SILVER_ISA_INSTRUCTION_H

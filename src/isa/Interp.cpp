@@ -1,0 +1,276 @@
+//===- isa/Interp.cpp - The Silver ISA next-state function ----------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Interp.h"
+
+using namespace silver;
+using namespace silver::isa;
+
+IsaEnv::~IsaEnv() = default;
+
+std::vector<uint8_t> IsaEnv::onInterrupt(MachineState &) { return {}; }
+
+Word IsaEnv::inputWord(MachineState &) { return 0; }
+
+void IsaEnv::onOutput(MachineState &, Word) {}
+
+IsaEnv &silver::isa::nullEnv() {
+  static IsaEnv Env;
+  return Env;
+}
+
+AluResult silver::isa::evalAlu(Func F, Word A, Word B, bool CarryIn,
+                               bool OverflowIn) {
+  AluResult R;
+  switch (F) {
+  case Func::Add: {
+    uint64_t Wide = uint64_t(A) + uint64_t(B);
+    R.Value = static_cast<Word>(Wide);
+    R.Carry = Wide > 0xffffffffull;
+    R.Overflow = ((~(A ^ B)) & (A ^ R.Value)) >> 31;
+    R.FlagsUpdated = true;
+    break;
+  }
+  case Func::AddCarry: {
+    uint64_t Wide = uint64_t(A) + uint64_t(B) + (CarryIn ? 1 : 0);
+    R.Value = static_cast<Word>(Wide);
+    R.Carry = Wide > 0xffffffffull;
+    R.Overflow = ((~(A ^ B)) & (A ^ R.Value)) >> 31;
+    R.FlagsUpdated = true;
+    break;
+  }
+  case Func::Sub: {
+    R.Value = A - B;
+    // Carry here means "no borrow", matching a subtract implemented as
+    // A + ~B + 1 on the adder.
+    R.Carry = A >= B;
+    R.Overflow = ((A ^ B) & (A ^ R.Value)) >> 31;
+    R.FlagsUpdated = true;
+    break;
+  }
+  case Func::Carry:
+    R.Value = CarryIn ? 1 : 0;
+    break;
+  case Func::Overflow:
+    R.Value = OverflowIn ? 1 : 0;
+    break;
+  case Func::Inc:
+    R.Value = A + 1;
+    break;
+  case Func::Dec:
+    R.Value = A - 1;
+    break;
+  case Func::Mul:
+    R.Value = static_cast<Word>(uint64_t(A) * uint64_t(B));
+    break;
+  case Func::MulHigh:
+    R.Value = static_cast<Word>((uint64_t(A) * uint64_t(B)) >> 32);
+    break;
+  case Func::And:
+    R.Value = A & B;
+    break;
+  case Func::Or:
+    R.Value = A | B;
+    break;
+  case Func::Xor:
+    R.Value = A ^ B;
+    break;
+  case Func::Equal:
+    R.Value = A == B ? 1 : 0;
+    break;
+  case Func::Less:
+    R.Value = asSigned(A) < asSigned(B) ? 1 : 0;
+    break;
+  case Func::Lower:
+    R.Value = A < B ? 1 : 0;
+    break;
+  case Func::Snd:
+    R.Value = B;
+    break;
+  }
+  return R;
+}
+
+Word silver::isa::evalShift(ShiftKind K, Word A, Word B) {
+  unsigned Amount = B & 31;
+  switch (K) {
+  case ShiftKind::LogicalLeft:
+    return A << Amount;
+  case ShiftKind::LogicalRight:
+    return A >> Amount;
+  case ShiftKind::ArithRight:
+    return static_cast<Word>(asSigned(A) >> Amount);
+  case ShiftKind::RotateRight:
+    return rotateRight(A, Amount);
+  }
+  return 0;
+}
+
+/// Applies the ALU and commits flag updates to the state.
+static Word applyAlu(MachineState &State, Func F, Word A, Word B) {
+  AluResult R =
+      evalAlu(F, A, B, State.CarryFlag, State.OverflowFlag);
+  if (R.FlagsUpdated) {
+    State.CarryFlag = R.Carry;
+    State.OverflowFlag = R.Overflow;
+  }
+  return R.Value;
+}
+
+StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
+  StepResult Out;
+  if (!State.inRange(State.PC, 4)) {
+    Out.Fault = StepFault::PcOutOfRange;
+    return Out;
+  }
+  if (!isAligned(State.PC, 4)) {
+    Out.Fault = StepFault::PcMisaligned;
+    return Out;
+  }
+  Result<Instruction> Decoded = decode(State.readWord(State.PC));
+  if (!Decoded) {
+    Out.Fault = StepFault::IllegalInstruction;
+    return Out;
+  }
+  const Instruction &I = *Decoded;
+  Word NextPC = State.PC + 4;
+
+  switch (I.Op) {
+  case Opcode::Normal:
+    State.Regs[I.WReg] =
+        applyAlu(State, I.F, State.operandValue(I.A),
+                 State.operandValue(I.B));
+    break;
+  case Opcode::Shift:
+    State.Regs[I.WReg] =
+        evalShift(I.Sh, State.operandValue(I.A), State.operandValue(I.B));
+    break;
+  case Opcode::LoadMEM: {
+    Word Addr = State.operandValue(I.A);
+    if (!State.inRange(Addr, 4)) {
+      Out.Fault = StepFault::MemOutOfRange;
+      return Out;
+    }
+    if (!isAligned(Addr, 4)) {
+      Out.Fault = StepFault::MemMisaligned;
+      return Out;
+    }
+    State.Regs[I.WReg] = State.readWord(Addr);
+    break;
+  }
+  case Opcode::LoadMEMByte: {
+    Word Addr = State.operandValue(I.A);
+    if (!State.inRange(Addr, 1)) {
+      Out.Fault = StepFault::MemOutOfRange;
+      return Out;
+    }
+    State.Regs[I.WReg] = State.readByte(Addr);
+    break;
+  }
+  case Opcode::StoreMEM: {
+    Word Addr = State.operandValue(I.B);
+    if (!State.inRange(Addr, 4)) {
+      Out.Fault = StepFault::MemOutOfRange;
+      return Out;
+    }
+    if (!isAligned(Addr, 4)) {
+      Out.Fault = StepFault::MemMisaligned;
+      return Out;
+    }
+    State.writeWord(Addr, State.operandValue(I.A));
+    break;
+  }
+  case Opcode::StoreMEMByte: {
+    Word Addr = State.operandValue(I.B);
+    if (!State.inRange(Addr, 1)) {
+      Out.Fault = StepFault::MemOutOfRange;
+      return Out;
+    }
+    State.writeByte(Addr, static_cast<uint8_t>(State.operandValue(I.A)));
+    break;
+  }
+  case Opcode::LoadConstant: {
+    Word V = I.Imm;
+    State.Regs[I.WReg] = I.Negate ? (0u - V) : V;
+    break;
+  }
+  case Opcode::LoadUpperConstant:
+    State.Regs[I.WReg] =
+        (I.Imm << 21) | (State.Regs[I.WReg] & 0x1fffff);
+    break;
+  case Opcode::Jump: {
+    // The link register receives the return address; the new PC is
+    // alu(func, PC, a): Add gives PC-relative, Snd gives absolute.
+    Word Target = applyAlu(State, I.F, State.PC, State.operandValue(I.A));
+    State.Regs[I.WReg] = State.PC + 4;
+    NextPC = Target;
+    break;
+  }
+  case Opcode::JumpIfZero: {
+    Word Test = applyAlu(State, I.F, State.operandValue(I.A),
+                         State.operandValue(I.B));
+    if (Test == 0)
+      NextPC = State.PC + static_cast<Word>(I.Offset) * 4;
+    break;
+  }
+  case Opcode::JumpIfNotZero: {
+    Word Test = applyAlu(State, I.F, State.operandValue(I.A),
+                         State.operandValue(I.B));
+    if (Test != 0)
+      NextPC = State.PC + static_cast<Word>(I.Offset) * 4;
+    break;
+  }
+  case Opcode::Interrupt: {
+    IoEvent Event;
+    Event.K = IoEvent::Kind::Interrupt;
+    Event.Bytes = Env.onInterrupt(State);
+    State.IoEvents.push_back(std::move(Event));
+    break;
+  }
+  case Opcode::In:
+    State.Regs[I.WReg] = Env.inputWord(State);
+    break;
+  case Opcode::Out: {
+    Word V = State.operandValue(I.A);
+    State.DataOut = V;
+    Env.onOutput(State, V);
+    IoEvent Event;
+    Event.K = IoEvent::Kind::Output;
+    Event.Value = V;
+    State.IoEvents.push_back(std::move(Event));
+    break;
+  }
+  }
+
+  State.PC = NextPC;
+  return Out;
+}
+
+bool silver::isa::isHalted(const MachineState &State) {
+  if (!State.inRange(State.PC, 4) || !isAligned(State.PC, 4))
+    return false;
+  Result<Instruction> Decoded = decode(State.readWord(State.PC));
+  return Decoded && Decoded->isSelfJump();
+}
+
+RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
+                           uint64_t MaxSteps) {
+  RunResult R;
+  while (R.Steps < MaxSteps) {
+    if (isHalted(State)) {
+      R.Halted = true;
+      return R;
+    }
+    StepResult S = step(State, Env);
+    if (!S.ok()) {
+      R.Fault = S.Fault;
+      return R;
+    }
+    ++R.Steps;
+  }
+  return R;
+}

@@ -1,0 +1,100 @@
+//===- isa/Interp.h - The Silver ISA next-state function -------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Silver ISA operational semantics: a fetch-decode-execute next-state
+/// function (the paper's `Next`, §4.1), plus the ALU shared between this
+/// interpreter, the machine-sem layer, and the RTL core checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ISA_INTERP_H
+#define SILVER_ISA_INTERP_H
+
+#include "isa/Encoding.h"
+#include "isa/MachineState.h"
+#include "support/Result.h"
+
+namespace silver {
+namespace isa {
+
+/// The processor-external world as seen by the ISA: the Interrupt
+/// notification interface and the In/Out data ports (paper §4.2's
+/// is_interrupt_interface, reduced to its ISA-visible effect).
+class IsaEnv {
+public:
+  virtual ~IsaEnv();
+
+  /// Invoked when an Interrupt instruction executes.  The returned bytes
+  /// are recorded in the IO-event trace as the observable part of memory
+  /// (see IoEvent).  The default returns no bytes.
+  virtual std::vector<uint8_t> onInterrupt(MachineState &State);
+
+  /// Value delivered by the In instruction; default 0.
+  virtual Word inputWord(MachineState &State);
+
+  /// Invoked when an Out instruction executes; default: no effect beyond
+  /// the DataOut register and the trace entry the interpreter records.
+  virtual void onOutput(MachineState &State, Word Value);
+};
+
+/// A no-op environment (useful for pure-computation tests).
+IsaEnv &nullEnv();
+
+/// ALU result: value plus the updated flags.
+struct AluResult {
+  Word Value = 0;
+  bool Carry = false;
+  bool Overflow = false;
+  bool FlagsUpdated = false;
+};
+
+/// The Silver ALU (paper §4.1.1).  \p CarryIn/\p OverflowIn are the
+/// current flag values (consumed by AddCarry/Carry/Overflow).
+AluResult evalAlu(Func F, Word A, Word B, bool CarryIn, bool OverflowIn);
+
+/// Shift unit.
+Word evalShift(ShiftKind K, Word A, Word B);
+
+/// Why a step could not be taken.  These correspond to the Fail behaviour
+/// of the paper's machine semantics; compiled programs never trigger them.
+enum class StepFault : uint8_t {
+  None,
+  PcOutOfRange,
+  PcMisaligned,
+  IllegalInstruction,
+  MemOutOfRange,
+  MemMisaligned,
+};
+
+/// Outcome of one Next step.
+struct StepResult {
+  StepFault Fault = StepFault::None;
+  bool ok() const { return Fault == StepFault::None; }
+};
+
+/// One step of the ISA semantics: fetch the word at PC, decode, execute.
+StepResult step(MachineState &State, IsaEnv &Env);
+
+/// Runs until the machine halts (reaches the self-jump fixpoint), a fault
+/// occurs, or \p MaxSteps instructions execute.
+struct RunResult {
+  uint64_t Steps = 0;
+  bool Halted = false;
+  StepFault Fault = StepFault::None;
+};
+RunResult run(MachineState &State, IsaEnv &Env, uint64_t MaxSteps);
+
+/// The paper's is_halted predicate: the instruction at PC is an
+/// unconditional self-jump, so every further step leaves the ISA-visible
+/// state unchanged (after the link register stabilises).
+bool isHalted(const MachineState &State);
+
+} // namespace isa
+} // namespace silver
+
+#endif // SILVER_ISA_INTERP_H

@@ -1,0 +1,45 @@
+//===- machine/InterferenceCheck.h - Syscall vs oracle checker -*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable counterpart of the paper's theorems (11)-(13): the
+/// effect of an interference-oracle step can be obtained by normal
+/// execution of the system-call machine code.  Given a machine state
+/// poised at the FFI entry point, this check
+///
+///   1. runs the real system-call code under the ISA semantics
+///      (ffi_read_ag-style execution: exists k. Next^k ms = ...), and
+///   2. applies the oracle-prescribed transition (ffi_interfer) to a copy,
+///
+/// then verifies the two states agree: identical memory, identical
+/// non-clobbered registers, the PC back at the return address (or a
+/// recorded exit), and the environment's collected output matching the
+/// model filesystem's evolution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_MACHINE_INTERFERENCECHECK_H
+#define SILVER_MACHINE_INTERFERENCECHECK_H
+
+#include "machine/MachineSem.h"
+
+namespace silver {
+namespace machine {
+
+/// Runs the dual execution described above from \p AtEntry (PC must be at
+/// Layout.SyscallCodeBase with the FFI argument registers set).  \p Model
+/// is the oracle state (not mutated; copies evolve).  Returns an error
+/// describing the first disagreement, if any.
+Result<void> checkInterferenceImpl(const isa::MachineState &AtEntry,
+                                   const sys::MemoryLayout &Layout,
+                                   const ffi::BasisFfi &Model,
+                                   uint64_t StepBudget = 50'000'000);
+
+} // namespace machine
+} // namespace silver
+
+#endif // SILVER_MACHINE_INTERFERENCECHECK_H

@@ -1,0 +1,367 @@
+//===- rtl/Circuit.cpp - Circuit IR ------------------------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Circuit.h"
+
+#include <cassert>
+
+using namespace silver;
+using namespace silver::rtl;
+
+static uint64_t maskTo(unsigned Width, uint64_t Bits) {
+  return Width >= 64 ? Bits : (Bits & ((uint64_t(1) << Width) - 1));
+}
+
+static int64_t toSigned(unsigned Width, uint64_t Bits) {
+  if (Width == 0)
+    return 0;
+  uint64_t Sign = uint64_t(1) << (Width - 1);
+  return static_cast<int64_t>((Bits ^ Sign) - Sign);
+}
+
+NodeId Builder::push(Node N) {
+  C.Nodes.push_back(std::move(N));
+  return static_cast<NodeId>(C.Nodes.size() - 1);
+}
+
+NodeId Builder::constant(unsigned Width, uint64_t Value) {
+  Node N;
+  N.Op = NodeOp::Const;
+  N.Width = Width;
+  N.Const = maskTo(Width, Value);
+  return push(std::move(N));
+}
+
+NodeId Builder::input(const std::string &Name, unsigned Width) {
+  C.Inputs.push_back({Name, Width});
+  Node N;
+  N.Op = NodeOp::Input;
+  N.Width = Width;
+  N.Name = Name;
+  return push(std::move(N));
+}
+
+unsigned Builder::reg(const std::string &Name, unsigned Width,
+                      uint64_t Init) {
+  RegDef R;
+  R.Name = Name;
+  R.Width = Width;
+  R.Init = maskTo(Width, Init);
+  C.Regs.push_back(std::move(R));
+  return static_cast<unsigned>(C.Regs.size() - 1);
+}
+
+NodeId Builder::regRead(unsigned Reg) {
+  assert(Reg < C.Regs.size());
+  Node N;
+  N.Op = NodeOp::RegRead;
+  N.Width = C.Regs[Reg].Width;
+  N.Index = Reg;
+  return push(std::move(N));
+}
+
+void Builder::regNext(unsigned Reg, NodeId Next) {
+  assert(Reg < C.Regs.size() && Next < C.Nodes.size());
+  assert(C.Nodes[Next].Width == C.Regs[Reg].Width && "reg width mismatch");
+  C.Regs[Reg].Next = Next;
+}
+
+unsigned Builder::mem(const std::string &Name, unsigned ElemWidth,
+                      size_t Depth) {
+  MemDef M;
+  M.Name = Name;
+  M.ElemWidth = ElemWidth;
+  M.Depth = Depth;
+  C.Mems.push_back(std::move(M));
+  return static_cast<unsigned>(C.Mems.size() - 1);
+}
+
+NodeId Builder::memRead(unsigned Mem, NodeId Addr) {
+  assert(Mem < C.Mems.size());
+  Node N;
+  N.Op = NodeOp::MemRead;
+  N.Width = C.Mems[Mem].ElemWidth;
+  N.Index = Mem;
+  N.Args.push_back(Addr);
+  return push(std::move(N));
+}
+
+void Builder::memWrite(unsigned Mem, NodeId Enable, NodeId Addr,
+                       NodeId Data) {
+  assert(Mem < C.Mems.size());
+  C.Mems[Mem].Writes.push_back({Enable, Addr, Data});
+}
+
+void Builder::output(const std::string &Name, NodeId Value) {
+  C.Outputs.push_back({Name, Value});
+}
+
+NodeId Builder::binary(NodeOp Op, NodeId A, NodeId B) {
+  assert(A < C.Nodes.size() && B < C.Nodes.size());
+  Node N;
+  N.Op = Op;
+  bool OneBit = Op == NodeOp::Eq || Op == NodeOp::LtU || Op == NodeOp::LtS;
+  N.Width = OneBit ? 1 : C.Nodes[A].Width;
+  N.Args = {A, B};
+  return push(std::move(N));
+}
+
+NodeId Builder::bitNot(NodeId A) {
+  Node N;
+  N.Op = NodeOp::Not;
+  N.Width = C.Nodes[A].Width;
+  N.Args = {A};
+  return push(std::move(N));
+}
+
+NodeId Builder::mux(NodeId Cond, NodeId T, NodeId F) {
+  assert(C.Nodes[Cond].Width == 1 && "mux condition must be one bit");
+  assert(C.Nodes[T].Width == C.Nodes[F].Width && "mux width mismatch");
+  Node N;
+  N.Op = NodeOp::Mux;
+  N.Width = C.Nodes[T].Width;
+  N.Args = {Cond, T, F};
+  return push(std::move(N));
+}
+
+NodeId Builder::slice(NodeId A, unsigned Hi, unsigned Lo) {
+  assert(Hi >= Lo && Hi < C.Nodes[A].Width && "bad slice");
+  Node N;
+  N.Op = NodeOp::Slice;
+  N.Width = Hi - Lo + 1;
+  N.Hi = Hi;
+  N.Lo = Lo;
+  N.Args = {A};
+  return push(std::move(N));
+}
+
+NodeId Builder::zeroExt(unsigned Width, NodeId A) {
+  assert(Width >= C.Nodes[A].Width);
+  Node N;
+  N.Op = NodeOp::ZeroExt;
+  N.Width = Width;
+  N.Args = {A};
+  return push(std::move(N));
+}
+
+NodeId Builder::signExt(unsigned Width, NodeId A) {
+  assert(Width >= C.Nodes[A].Width);
+  Node N;
+  N.Op = NodeOp::SignExt;
+  N.Width = Width;
+  N.Args = {A};
+  return push(std::move(N));
+}
+
+NodeId Builder::concat(NodeId HiPart, NodeId LoPart) {
+  Node N;
+  N.Op = NodeOp::Concat;
+  N.Width = C.Nodes[HiPart].Width + C.Nodes[LoPart].Width;
+  assert(N.Width <= 64 && "concat too wide");
+  N.Args = {HiPart, LoPart};
+  return push(std::move(N));
+}
+
+NodeId Builder::selectByValue(NodeId Sel, const std::vector<NodeId> &Cases,
+                              NodeId Default) {
+  NodeId Out = Default;
+  for (size_t I = Cases.size(); I-- > 0;) {
+    if (Cases[I] == NoNode)
+      continue;
+    NodeId Match =
+        eq(Sel, constant(C.Nodes[Sel].Width, static_cast<uint64_t>(I)));
+    Out = mux(Match, Cases[I], Out);
+  }
+  return Out;
+}
+
+Result<void> Circuit::validate() const {
+  for (NodeId I = 0; I != Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    if (N.Width == 0 || N.Width > 64)
+      return Error("node " + std::to_string(I) + ": bad width");
+    for (NodeId A : N.Args)
+      if (A >= I)
+        return Error("node " + std::to_string(I) +
+                     ": forward/self reference");
+  }
+  for (const RegDef &R : Regs) {
+    if (R.Next == NoNode)
+      return Error("register '" + R.Name + "' has no next value");
+    if (Nodes[R.Next].Width != R.Width)
+      return Error("register '" + R.Name + "' width mismatch");
+  }
+  for (const MemDef &M : Mems)
+    for (const MemWritePort &W : M.Writes) {
+      if (W.Enable == NoNode || W.Addr == NoNode || W.Data == NoNode)
+        return Error("memory '" + M.Name + "' has an unbound write port");
+      if (Nodes[W.Enable].Width != 1)
+        return Error("memory '" + M.Name + "' write enable not one bit");
+      if (Nodes[W.Data].Width != M.ElemWidth)
+        return Error("memory '" + M.Name + "' write width mismatch");
+    }
+  for (const OutputDef &O : Outputs)
+    if (O.Value == NoNode || O.Value >= Nodes.size())
+      return Error("output '" + O.Name + "' unbound");
+  return {};
+}
+
+CircuitState CircuitState::init(const Circuit &C) {
+  CircuitState S;
+  S.Regs.reserve(C.Regs.size());
+  for (const RegDef &R : C.Regs)
+    S.Regs.push_back(R.Init);
+  for (const MemDef &M : C.Mems)
+    S.Mems.emplace_back(M.Depth, 0);
+  return S;
+}
+
+Result<void> silver::rtl::stepCircuit(
+    const Circuit &C, CircuitState &State,
+    const std::map<std::string, uint64_t> &Inputs,
+    std::map<std::string, uint64_t> *Outputs) {
+  // Evaluate every node in id order (a topological order by
+  // construction).  Reuse one buffer per call for speed.
+  static thread_local std::vector<uint64_t> Values;
+  Values.resize(C.Nodes.size());
+
+  for (NodeId I = 0; I != C.Nodes.size(); ++I) {
+    const Node &N = C.Nodes[I];
+    uint64_t V = 0;
+    switch (N.Op) {
+    case NodeOp::Const:
+      V = N.Const;
+      break;
+    case NodeOp::Input: {
+      auto It = Inputs.find(N.Name);
+      if (It == Inputs.end())
+        return Error("input '" + N.Name + "' not driven");
+      V = maskTo(N.Width, It->second);
+      break;
+    }
+    case NodeOp::RegRead:
+      V = State.Regs[N.Index];
+      break;
+    case NodeOp::MemRead: {
+      uint64_t Addr = Values[N.Args[0]];
+      const auto &Mem = State.Mems[N.Index];
+      if (Addr >= Mem.size())
+        return Error("memory read out of range in '" +
+                     C.Mems[N.Index].Name + "'");
+      V = Mem[Addr];
+      break;
+    }
+    case NodeOp::Add:
+      V = maskTo(N.Width, Values[N.Args[0]] + Values[N.Args[1]]);
+      break;
+    case NodeOp::Sub:
+      V = maskTo(N.Width, Values[N.Args[0]] - Values[N.Args[1]]);
+      break;
+    case NodeOp::Mul:
+      V = maskTo(N.Width, Values[N.Args[0]] * Values[N.Args[1]]);
+      break;
+    case NodeOp::MulHigh: {
+      // 32x32 -> upper 32 (the Silver ALU's MulHigh); widths <= 32.
+      V = maskTo(N.Width,
+                 (Values[N.Args[0]] * Values[N.Args[1]]) >> N.Width);
+      break;
+    }
+    case NodeOp::And:
+      V = Values[N.Args[0]] & Values[N.Args[1]];
+      break;
+    case NodeOp::Or:
+      V = Values[N.Args[0]] | Values[N.Args[1]];
+      break;
+    case NodeOp::Xor:
+      V = Values[N.Args[0]] ^ Values[N.Args[1]];
+      break;
+    case NodeOp::Not:
+      V = maskTo(N.Width, ~Values[N.Args[0]]);
+      break;
+    case NodeOp::Eq:
+      V = Values[N.Args[0]] == Values[N.Args[1]];
+      break;
+    case NodeOp::LtU:
+      V = Values[N.Args[0]] < Values[N.Args[1]];
+      break;
+    case NodeOp::LtS: {
+      unsigned W = C.Nodes[N.Args[0]].Width;
+      V = toSigned(W, Values[N.Args[0]]) < toSigned(W, Values[N.Args[1]]);
+      break;
+    }
+    case NodeOp::Shl: {
+      uint64_t Amount = Values[N.Args[1]];
+      V = Amount >= N.Width ? 0
+                            : maskTo(N.Width, Values[N.Args[0]] << Amount);
+      break;
+    }
+    case NodeOp::ShrL: {
+      uint64_t Amount = Values[N.Args[1]];
+      V = Amount >= N.Width ? 0 : (Values[N.Args[0]] >> Amount);
+      break;
+    }
+    case NodeOp::ShrA: {
+      uint64_t Amount = Values[N.Args[1]];
+      unsigned W = C.Nodes[N.Args[0]].Width;
+      int64_t S = toSigned(W, Values[N.Args[0]]);
+      V = Amount >= W ? maskTo(N.Width, S < 0 ? ~uint64_t(0) : 0)
+                      : maskTo(N.Width, static_cast<uint64_t>(S >> Amount));
+      break;
+    }
+    case NodeOp::RotR: {
+      unsigned W = N.Width;
+      uint64_t Amount = Values[N.Args[1]] % W;
+      uint64_t X = Values[N.Args[0]];
+      V = maskTo(W, Amount == 0 ? X : ((X >> Amount) | (X << (W - Amount))));
+      break;
+    }
+    case NodeOp::Mux:
+      V = Values[N.Args[0]] ? Values[N.Args[1]] : Values[N.Args[2]];
+      break;
+    case NodeOp::Slice:
+      V = maskTo(N.Width, Values[N.Args[0]] >> N.Lo);
+      break;
+    case NodeOp::Concat:
+      V = (Values[N.Args[0]] << C.Nodes[N.Args[1]].Width) |
+          Values[N.Args[1]];
+      break;
+    case NodeOp::ZeroExt:
+      V = Values[N.Args[0]];
+      break;
+    case NodeOp::SignExt: {
+      unsigned W = C.Nodes[N.Args[0]].Width;
+      V = maskTo(N.Width,
+                 static_cast<uint64_t>(toSigned(W, Values[N.Args[0]])));
+      break;
+    }
+    }
+    Values[I] = V;
+  }
+
+  if (Outputs) {
+    Outputs->clear();
+    for (const OutputDef &O : C.Outputs)
+      (*Outputs)[O.Name] = Values[O.Value];
+  }
+
+  // Latch registers.
+  for (size_t I = 0; I != C.Regs.size(); ++I)
+    State.Regs[I] = Values[C.Regs[I].Next];
+  // Memory write ports, in declaration order (last write wins).
+  for (size_t M = 0; M != C.Mems.size(); ++M) {
+    for (const MemWritePort &W : C.Mems[M].Writes) {
+      if (!Values[W.Enable])
+        continue;
+      uint64_t Addr = Values[W.Addr];
+      if (Addr >= State.Mems[M].size())
+        return Error("memory write out of range in '" + C.Mems[M].Name +
+                     "'");
+      State.Mems[M][Addr] = Values[W.Data];
+    }
+  }
+  return {};
+}

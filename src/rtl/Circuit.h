@@ -1,0 +1,194 @@
+//===- rtl/Circuit.h - Circuit IR (HOL circuit functions) -------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The circuit IR — the reproduction's analogue of the paper's "HOL
+/// circuit functions" (layer 3 of Figure 1): a synchronous netlist of
+/// combinational nodes (a DAG evaluated in id order), registers with
+/// next-value nodes, memories with read nodes and guarded write ports,
+/// environment-driven inputs, and named outputs.  A cycle-accurate
+/// interpreter gives this level its semantics; rtl/ToVerilog.cpp is the
+/// code generator to the deeply embedded Verilog AST, and
+/// rtl/Equivalence.h provides the lock-step check standing in for the
+/// generator's correspondence theorem (paper theorem (10)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_RTL_CIRCUIT_H
+#define SILVER_RTL_CIRCUIT_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace rtl {
+
+using NodeId = uint32_t;
+inline constexpr NodeId NoNode = ~NodeId(0);
+
+/// Combinational node operations.
+enum class NodeOp : uint8_t {
+  Const,
+  Input,   ///< environment-driven input (by name)
+  RegRead, ///< current value of register Index
+  MemRead, ///< memory Index at address Args[0]
+  Add,
+  Sub,
+  Mul,
+  MulHigh,
+  And,
+  Or,
+  Xor,
+  Not,
+  Eq,   ///< 1-bit result
+  LtU,  ///< 1-bit result
+  LtS,  ///< 1-bit result
+  Shl,  ///< shift amount = Args[1]
+  ShrL,
+  ShrA,
+  RotR,
+  Mux,  ///< Args[0] ? Args[1] : Args[2]
+  Slice,   ///< bits [Hi:Lo]
+  Concat,  ///< Args[0] high, Args[1] low
+  ZeroExt, ///< to Width
+  SignExt, ///< to Width
+};
+
+struct Node {
+  NodeOp Op = NodeOp::Const;
+  unsigned Width = 1;   ///< result width (bits, <= 64)
+  uint64_t Const = 0;   ///< Const payload
+  unsigned Index = 0;   ///< RegRead/MemRead target; Slice Lo
+  unsigned Hi = 0, Lo = 0;
+  std::string Name;     ///< Input name
+  std::vector<NodeId> Args;
+};
+
+struct RegDef {
+  std::string Name;
+  unsigned Width = 1;
+  uint64_t Init = 0;
+  NodeId Next = NoNode; ///< value latched each cycle (must be set)
+};
+
+struct MemWritePort {
+  NodeId Enable = NoNode; ///< 1-bit
+  NodeId Addr = NoNode;
+  NodeId Data = NoNode;
+};
+
+struct MemDef {
+  std::string Name;
+  unsigned ElemWidth = 32;
+  size_t Depth = 0;
+  std::vector<MemWritePort> Writes;
+};
+
+struct InputDef {
+  std::string Name;
+  unsigned Width = 1;
+};
+
+struct OutputDef {
+  std::string Name;
+  NodeId Value = NoNode;
+};
+
+/// A complete circuit.  Nodes reference only lower-numbered nodes, so
+/// evaluation in id order is a topological order.
+struct Circuit {
+  std::string Name = "circuit";
+  std::vector<Node> Nodes;
+  std::vector<RegDef> Regs;
+  std::vector<MemDef> Mems;
+  std::vector<InputDef> Inputs;
+  std::vector<OutputDef> Outputs;
+
+  /// Structural sanity: widths consistent, ids in range and increasing,
+  /// every register has a next node.
+  Result<void> validate() const;
+};
+
+/// Convenience builder.
+class Builder {
+public:
+  explicit Builder(std::string Name) { C.Name = std::move(Name); }
+
+  Circuit take() { return std::move(C); }
+  Circuit &circuit() { return C; }
+
+  NodeId constant(unsigned Width, uint64_t Value);
+  NodeId input(const std::string &Name, unsigned Width);
+  unsigned reg(const std::string &Name, unsigned Width, uint64_t Init = 0);
+  NodeId regRead(unsigned Reg);
+  void regNext(unsigned Reg, NodeId Next);
+  unsigned mem(const std::string &Name, unsigned ElemWidth, size_t Depth);
+  NodeId memRead(unsigned Mem, NodeId Addr);
+  void memWrite(unsigned Mem, NodeId Enable, NodeId Addr, NodeId Data);
+  void output(const std::string &Name, NodeId Value);
+
+  NodeId binary(NodeOp Op, NodeId A, NodeId B);
+  NodeId add(NodeId A, NodeId B) { return binary(NodeOp::Add, A, B); }
+  NodeId sub(NodeId A, NodeId B) { return binary(NodeOp::Sub, A, B); }
+  NodeId mul(NodeId A, NodeId B) { return binary(NodeOp::Mul, A, B); }
+  NodeId mulHigh(NodeId A, NodeId B) {
+    return binary(NodeOp::MulHigh, A, B);
+  }
+  NodeId bitAnd(NodeId A, NodeId B) { return binary(NodeOp::And, A, B); }
+  NodeId bitOr(NodeId A, NodeId B) { return binary(NodeOp::Or, A, B); }
+  NodeId bitXor(NodeId A, NodeId B) { return binary(NodeOp::Xor, A, B); }
+  NodeId bitNot(NodeId A);
+  NodeId eq(NodeId A, NodeId B) { return binary(NodeOp::Eq, A, B); }
+  NodeId ltU(NodeId A, NodeId B) { return binary(NodeOp::LtU, A, B); }
+  NodeId ltS(NodeId A, NodeId B) { return binary(NodeOp::LtS, A, B); }
+  NodeId shl(NodeId A, NodeId B) { return binary(NodeOp::Shl, A, B); }
+  NodeId shrL(NodeId A, NodeId B) { return binary(NodeOp::ShrL, A, B); }
+  NodeId shrA(NodeId A, NodeId B) { return binary(NodeOp::ShrA, A, B); }
+  NodeId rotR(NodeId A, NodeId B) { return binary(NodeOp::RotR, A, B); }
+  NodeId mux(NodeId C, NodeId T, NodeId F);
+  NodeId slice(NodeId A, unsigned Hi, unsigned Lo);
+  NodeId zeroExt(unsigned Width, NodeId A);
+  NodeId signExt(unsigned Width, NodeId A);
+  NodeId concat(NodeId HiPart, NodeId LoPart);
+
+  /// n-way selector: Cases[i] taken when Sel == i; Default otherwise.
+  NodeId selectByValue(NodeId Sel, const std::vector<NodeId> &Cases,
+                       NodeId Default);
+
+  unsigned widthOf(NodeId Id) const { return C.Nodes[Id].Width; }
+
+private:
+  Circuit C;
+  NodeId push(Node N);
+};
+
+/// Interpreter state: current register and memory contents.
+struct CircuitState {
+  std::vector<uint64_t> Regs;
+  std::vector<std::vector<uint64_t>> Mems;
+
+  static CircuitState init(const Circuit &C);
+  bool operator==(const CircuitState &O) const {
+    return Regs == O.Regs && Mems == O.Mems;
+  }
+};
+
+/// One clock cycle: evaluates all nodes against the cycle-start state and
+/// \p Inputs (by input name), then latches registers and memory writes.
+/// \p Outputs (optional) receives the cycle's output values.
+Result<void> stepCircuit(const Circuit &C, CircuitState &State,
+                         const std::map<std::string, uint64_t> &Inputs,
+                         std::map<std::string, uint64_t> *Outputs);
+
+} // namespace rtl
+} // namespace silver
+
+#endif // SILVER_RTL_CIRCUIT_H

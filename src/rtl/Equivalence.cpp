@@ -1,0 +1,76 @@
+//===- rtl/Equivalence.cpp - Circuit vs Verilog lock-step check --------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/Equivalence.h"
+
+using namespace silver;
+using namespace silver::rtl;
+
+Result<void> silver::rtl::compareStates(const Circuit &C,
+                                        const CircuitState &Cs,
+                                        const hdl::SimState &Vs) {
+  for (unsigned R = 0; R != C.Regs.size(); ++R) {
+    auto It = Vs.Vars.find(regVarName(C, R));
+    if (It == Vs.Vars.end())
+      return Error("verilog state lacks register '" + C.Regs[R].Name + "'");
+    if (It->second.Bits != Cs.Regs[R])
+      return Error("register '" + C.Regs[R].Name + "' differs: circuit=" +
+                   std::to_string(Cs.Regs[R]) + " verilog=" +
+                   std::to_string(It->second.Bits));
+  }
+  for (unsigned M = 0; M != C.Mems.size(); ++M) {
+    auto It = Vs.Vars.find(memVarName(C, M));
+    if (It == Vs.Vars.end())
+      return Error("verilog state lacks memory '" + C.Mems[M].Name + "'");
+    const auto &Elems = It->second.Elems;
+    for (size_t I = 0; I != Cs.Mems[M].size(); ++I)
+      if (Elems[I] != Cs.Mems[M][I])
+        return Error("memory '" + C.Mems[M].Name + "' differs at index " +
+                     std::to_string(I));
+  }
+  return {};
+}
+
+Result<void> silver::rtl::checkCircuitVerilogEquiv(const Circuit &C,
+                                                   uint64_t Cycles,
+                                                   const EnvFn &Env) {
+  Result<hdl::VModule> Mod = toVerilog(C);
+  if (!Mod)
+    return Mod.error();
+  if (Result<void> T = hdl::typeCheck(*Mod); !T)
+    return Error("generated module fails vars_has_type: " +
+                 T.error().str());
+
+  CircuitState Cs = CircuitState::init(C);
+  hdl::SimState Vs = hdl::SimState::init(*Mod);
+
+  for (uint64_t Cycle = 0; Cycle != Cycles; ++Cycle) {
+    std::map<std::string, uint64_t> Inputs = Env(Cycle);
+    std::map<std::string, uint64_t> COut;
+    if (Result<void> R = stepCircuit(C, Cs, Inputs, &COut); !R)
+      return Error("cycle " + std::to_string(Cycle) +
+                   " (circuit): " + R.error().str());
+
+    std::map<std::string, hdl::VValue> VIn;
+    for (const InputDef &In : C.Inputs)
+      VIn[In.Name] = hdl::VValue::vec(In.Width, Inputs.at(In.Name));
+    if (Result<void> R = hdl::stepCycle(*Mod, Vs, VIn); !R)
+      return Error("cycle " + std::to_string(Cycle) +
+                   " (verilog): " + R.error().str());
+
+    if (Result<void> R = compareStates(C, Cs, Vs); !R)
+      return Error("cycle " + std::to_string(Cycle) + ": " +
+                   R.error().str());
+    for (const OutputDef &O : C.Outputs) {
+      auto It = Vs.Vars.find(O.Name);
+      if (It == Vs.Vars.end() || It->second.Bits != COut.at(O.Name))
+        return Error("cycle " + std::to_string(Cycle) + ": output '" +
+                     O.Name + "' differs");
+    }
+  }
+  return {};
+}

@@ -1,0 +1,46 @@
+//===- rtl/Equivalence.h - Circuit vs Verilog lock-step check ---*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reproduction's counterpart of the code generator's correspondence
+/// theorem (paper theorem (10)): running the circuit interpreter and the
+/// Verilog semantics on the generated module in lock-step, with the same
+/// environment, and checking that every register, memory, and output
+/// agrees cycle by cycle (the ag32_eq_hol_verilog relation, executed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_RTL_EQUIVALENCE_H
+#define SILVER_RTL_EQUIVALENCE_H
+
+#include "hdl/Semantics.h"
+#include "rtl/Circuit.h"
+#include "rtl/ToVerilog.h"
+
+#include <functional>
+
+namespace silver {
+namespace rtl {
+
+/// Produces the input values for a cycle (the paper's env function).
+using EnvFn = std::function<std::map<std::string, uint64_t>(uint64_t Cycle)>;
+
+/// Runs both levels for \p Cycles cycles under \p Env and compares all
+/// architectural state and outputs after every cycle.  Returns the first
+/// disagreement as an error.
+Result<void> checkCircuitVerilogEquiv(const Circuit &C, uint64_t Cycles,
+                                      const EnvFn &Env);
+
+/// Compares a circuit state against a Verilog simulation state of the
+/// generated module (registers and memories by name).
+Result<void> compareStates(const Circuit &C, const CircuitState &Cs,
+                           const hdl::SimState &Vs);
+
+} // namespace rtl
+} // namespace silver
+
+#endif // SILVER_RTL_EQUIVALENCE_H

@@ -1,0 +1,41 @@
+//===- rtl/ToVerilog.h - Circuit-to-Verilog code generator ------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Verilog code generator (paper §3): translates a circuit into a
+/// deeply embedded Verilog module with a single always_ff process whose
+/// blocking assignments name every combinational node (preserving DAG
+/// sharing, the way the paper's CPU shares its next-PC logic) and whose
+/// non-blocking assignments latch the registers and memory writes.  The
+/// paper's generator is proof-producing; the reproduction's counterpart
+/// of the per-run correspondence theorem is the lock-step equivalence
+/// check in rtl/Equivalence.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_RTL_TOVERILOG_H
+#define SILVER_RTL_TOVERILOG_H
+
+#include "hdl/Verilog.h"
+#include "rtl/Circuit.h"
+
+namespace silver {
+namespace rtl {
+
+/// Name of the Verilog variable carrying register \p R of the circuit.
+std::string regVarName(const Circuit &C, unsigned R);
+/// Name of the Verilog memory carrying memory \p M of the circuit.
+std::string memVarName(const Circuit &C, unsigned M);
+
+/// Generates the module.  The result type-checks under hdl::typeCheck
+/// (asserted by tests, mirroring the generator's certificate theorem).
+Result<hdl::VModule> toVerilog(const Circuit &C);
+
+} // namespace rtl
+} // namespace silver
+
+#endif // SILVER_RTL_TOVERILOG_H

@@ -1,0 +1,43 @@
+//===- stack/HardwareLevels.cpp - Rtl/Verilog level runners ------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpu/Check.h"
+#include "stack/Stack.h"
+
+using namespace silver;
+using namespace silver::stack;
+
+// Runs the compiled image on the Silver core — cycle-accurate circuit
+// simulation, or the generated Verilog AST under verilog_sem.  This is
+// the execution the paper's theorem (8) speaks about: the same memory
+// image, the hardware implementation, the lab environment.
+Result<Observed> silver::stack::runRtlLevel(const RunSpec &Spec,
+                                            const Prepared &P,
+                                            bool ThroughVerilog) {
+  Result<sys::MemoryImage> Image = sys::buildImage(P.Image);
+  if (!Image)
+    return Image.error();
+
+  cpu::RunOptions Options;
+  Options.Level =
+      ThroughVerilog ? cpu::SimLevel::Verilog : cpu::SimLevel::Circuit;
+  // A generous cycles-per-instruction bound over the ISA step budget.
+  Options.MaxCycles = Spec.MaxSteps;
+
+  Result<cpu::CoreRunResult> R = cpu::runCore(*Image, Options);
+  if (!R)
+    return R.error();
+
+  Observed O;
+  O.Terminated = R->Halted;
+  O.Cycles = R->Cycles;
+  O.Instructions = R->Instructions;
+  O.StdoutData = R->StdoutData;
+  O.StderrData = R->StderrData;
+  O.ExitCode = R->Exit.Exited ? R->Exit.Code : 0;
+  return O;
+}

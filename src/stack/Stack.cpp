@@ -1,0 +1,177 @@
+//===- stack/Stack.cpp - End-to-end verified-stack runner --------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Stack.h"
+
+#include "cml/Interp.h"
+#include "cml/Parser.h"
+#include "support/StringUtils.h"
+
+using namespace silver;
+using namespace silver::stack;
+
+const char *silver::stack::levelName(Level L) {
+  switch (L) {
+  case Level::Spec:
+    return "spec";
+  case Level::Machine:
+    return "machine-sem";
+  case Level::Isa:
+    return "isa";
+  case Level::Rtl:
+    return "rtl";
+  case Level::Verilog:
+    return "verilog";
+  }
+  return "?";
+}
+
+Result<Prepared> silver::stack::prepare(const RunSpec &Spec) {
+  Result<cml::Compiled> Compiled =
+      cml::compileProgram(Spec.Source, Spec.Compile);
+  if (!Compiled)
+    return Compiled.error();
+  Prepared P;
+  P.Program = Compiled.take();
+  P.Image.CommandLine = Spec.CommandLine;
+  P.Image.StdinData = Spec.StdinData;
+  P.Image.Program = P.Program.Program;
+  P.Image.Params = Spec.Compile.Layout;
+  return P;
+}
+
+static Result<Observed> runSpecLevel(const RunSpec &Spec) {
+  Result<cml::Program> Prog =
+      cml::parseProgram(cml::withPrelude(Spec.Source));
+  if (!Prog)
+    return Error("parse error: " + Prog.error().str());
+  cml::RunOutput Out = cml::interpretProgram(*Prog, Spec.CommandLine,
+                                             Spec.StdinData, 0);
+  if (!Out.Ok)
+    return Error("interpreter error: " + Out.ErrorMessage);
+  Observed O;
+  O.StdoutData = Out.StdoutData;
+  O.StderrData = Out.StderrData;
+  O.ExitCode = Out.ExitCode;
+  O.Terminated = true;
+  O.Instructions = Out.Steps;
+  return O;
+}
+
+static Result<Observed> runIsaLevel(const RunSpec &Spec, const Prepared &P) {
+  Result<sys::BootResult> Boot = sys::boot(P.Image);
+  if (!Boot)
+    return Boot.error();
+  sys::SysEnv Env(Boot->Image.Layout);
+  isa::RunResult R = isa::run(Boot->State, Env, Spec.MaxSteps);
+  if (R.Fault != isa::StepFault::None)
+    return Error("ISA execution faulted");
+  Observed O;
+  O.Terminated = R.Halted;
+  O.Instructions = R.Steps + Boot->StartupSteps;
+  O.StdoutData = Env.collectedStdout();
+  O.StderrData = Env.collectedStderr();
+  sys::ExitStatus S =
+      sys::readExitStatus(Boot->State, Boot->Image.Layout);
+  O.ExitCode = S.Exited ? S.Code : 0;
+  return O;
+}
+
+static Result<Observed> runMachineLevel(const RunSpec &Spec,
+                                        const Prepared &P) {
+  Result<sys::BootResult> Boot = sys::boot(P.Image);
+  if (!Boot)
+    return Boot.error();
+  ffi::BasisFfi Ffi(Spec.CommandLine,
+                    ffi::Filesystem::withStdin(Spec.StdinData));
+  machine::MachineSem Sem(std::move(Boot->State), std::move(Ffi),
+                          Boot->Image.Layout);
+  machine::Behaviour B = Sem.run(Spec.MaxSteps);
+  if (B.Kind == machine::BehaviourKind::Failed)
+    return Error("machine-sem execution failed");
+  Observed O;
+  O.Terminated = B.Kind == machine::BehaviourKind::Terminated;
+  O.ExitCode = B.ExitCode;
+  O.Instructions = B.Steps;
+  O.StdoutData = Sem.ffi().getStdout();
+  O.StderrData = Sem.ffi().getStderr();
+  return O;
+}
+
+Result<Observed> silver::stack::runLevel(const RunSpec &Spec,
+                                         const Prepared &P, Level L) {
+  switch (L) {
+  case Level::Spec:
+    return runSpecLevel(Spec);
+  case Level::Machine:
+    return runMachineLevel(Spec, P);
+  case Level::Isa:
+    return runIsaLevel(Spec, P);
+  case Level::Rtl:
+    return runRtlLevel(Spec, P, /*ThroughVerilog=*/false);
+  case Level::Verilog:
+    return runRtlLevel(Spec, P, /*ThroughVerilog=*/true);
+  }
+  return Error("unknown level");
+}
+
+Result<Observed> silver::stack::run(const RunSpec &Spec, Level L) {
+  if (L == Level::Spec)
+    return runSpecLevel(Spec);
+  Result<Prepared> P = prepare(Spec);
+  if (!P)
+    return P.error();
+  return runLevel(Spec, *P, L);
+}
+
+Result<std::vector<Observed>>
+silver::stack::checkEndToEnd(const RunSpec &Spec,
+                             const std::vector<Level> &Levels) {
+  Result<Prepared> P = prepare(Spec);
+  if (!P)
+    return P.error();
+
+  // The reference semantics is the yardstick.
+  Result<Observed> SpecRun = runSpecLevel(Spec);
+  if (!SpecRun)
+    return SpecRun.error();
+
+  std::vector<Observed> Results;
+  for (Level L : Levels) {
+    Result<Observed> R = L == Level::Spec
+                             ? Result<Observed>(*SpecRun)
+                             : runLevel(Spec, *P, L);
+    if (!R)
+      return Error(std::string(levelName(L)) + ": " + R.error().str());
+    const Observed &O = *R;
+    if (!O.Terminated)
+      return Error(std::string(levelName(L)) +
+                   ": did not terminate within the step budget");
+    bool Oom = O.ExitCode == machine::OomExitCode &&
+               SpecRun->ExitCode != machine::OomExitCode;
+    if (Oom) {
+      // extend_with_oom: premature OOM termination with a prefix of the
+      // specified output is within the compiler's contract.
+      if (!startsWith(SpecRun->StdoutData, O.StdoutData))
+        return Error(std::string(levelName(L)) +
+                     ": OOM output is not a prefix of the spec output");
+    } else {
+      if (O.StdoutData != SpecRun->StdoutData)
+        return Error(std::string(levelName(L)) + ": stdout mismatch: \"" +
+                     escapeString(O.StdoutData) + "\" vs spec \"" +
+                     escapeString(SpecRun->StdoutData) + "\"");
+      if (O.StderrData != SpecRun->StderrData)
+        return Error(std::string(levelName(L)) + ": stderr mismatch");
+      if (O.ExitCode != SpecRun->ExitCode)
+        return Error(std::string(levelName(L)) + ": exit code " +
+                     std::to_string(O.ExitCode) + " vs spec " +
+                     std::to_string(SpecRun->ExitCode));
+    }
+    Results.push_back(O);
+  }
+  return Results;
+}

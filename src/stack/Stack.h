@@ -1,0 +1,89 @@
+//===- stack/Stack.h - End-to-end verified-stack runner ---------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public end-to-end API (the paper's milestone, theorems (6)-(8)):
+/// compile a MiniCake program, build the bare-metal memory image, and run
+/// it at each level of Figure 1 —
+///   Spec      the reference interpreter (cakeml_sem),
+///   Machine   machine_sem with the FFI interference oracle,
+///   Isa       the Silver ISA Next function with real system calls,
+///   Rtl       the circuit-level Silver core (cycle accurate),
+///   Verilog   the generated Verilog AST under verilog_sem —
+/// and check that every level produces the same observable behaviour.
+/// The out-of-memory exit is permitted as a prefix behaviour, exactly as
+/// extend_with_oom licenses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_STACK_STACK_H
+#define SILVER_STACK_STACK_H
+
+#include "cml/Compiler.h"
+#include "machine/MachineSem.h"
+#include "support/Result.h"
+#include "sys/Image.h"
+
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace stack {
+
+/// What to run: a source program plus its world (command line + stdin).
+struct RunSpec {
+  std::string Source;
+  std::vector<std::string> CommandLine = {"prog"};
+  std::string StdinData;
+  cml::CompileOptions Compile;
+  uint64_t MaxSteps = 2'000'000'000ull; ///< ISA instruction budget
+};
+
+/// Execution level (Figure 1).
+enum class Level : uint8_t { Spec, Machine, Isa, Rtl, Verilog };
+const char *levelName(Level L);
+
+/// Observable outcome of one run.
+struct Observed {
+  std::string StdoutData;
+  std::string StderrData;
+  uint8_t ExitCode = 0;
+  bool Terminated = false;
+  uint64_t Instructions = 0; ///< ISA instructions (Spec: eval steps)
+  uint64_t Cycles = 0;       ///< clock cycles (Rtl/Verilog only)
+};
+
+/// Compiles once; reusable across levels.
+struct Prepared {
+  cml::Compiled Program;
+  sys::ImageSpec Image;
+};
+Result<Prepared> prepare(const RunSpec &Spec);
+
+/// Runs at one level.  Rtl and Verilog are considerably slower; their
+/// budgets derive from MaxSteps times a cycles-per-instruction bound.
+Result<Observed> runLevel(const RunSpec &Spec, const Prepared &P, Level L);
+
+/// Convenience: prepare + run.
+Result<Observed> run(const RunSpec &Spec, Level L);
+
+/// Runs the compiled image on the circuit-level Silver core (RTL), or on
+/// the generated Verilog AST under verilog_sem when \p ThroughVerilog.
+/// Implemented in stack/HardwareLevels.cpp.
+Result<Observed> runRtlLevel(const RunSpec &Spec, const Prepared &P,
+                             bool ThroughVerilog);
+
+/// The cross-level check: runs the given levels and verifies agreement
+/// of stdout/stderr/exit code.  A run that exited with the OOM code is
+/// accepted when its output is a prefix of the spec's (extend_with_oom).
+Result<std::vector<Observed>> checkEndToEnd(const RunSpec &Spec,
+                                            const std::vector<Level> &Levels);
+
+} // namespace stack
+} // namespace silver
+
+#endif // SILVER_STACK_STACK_H

@@ -1,0 +1,119 @@
+//===- support/Result.h - Recoverable error handling ----------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight recoverable-error types in the spirit of llvm::Expected.
+/// Library code never throws; fallible operations return Result<T> and
+/// invariant violations assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SUPPORT_RESULT_H
+#define SILVER_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace silver {
+
+/// A recoverable error: a human-readable message, optionally tagged with a
+/// source location (used by the MiniCake front end for diagnostics).
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+  Error(std::string Message, int Line, int Col)
+      : Message(std::move(Message)), Line(Line), Col(Col) {}
+
+  const std::string &message() const { return Message; }
+  int line() const { return Line; }
+  int column() const { return Col; }
+  bool hasLocation() const { return Line >= 0; }
+
+  /// Renders "line:col: message" when a location is present.
+  std::string str() const {
+    if (!hasLocation())
+      return Message;
+    return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Message;
+  }
+
+private:
+  std::string Message;
+  int Line = -1;
+  int Col = -1;
+};
+
+/// Result<T> holds either a value of type T or an Error.
+///
+/// Unlike llvm::Expected there is no must-check enforcement; tests and
+/// callers are expected to branch on the boolean conversion before use.
+template <typename T> class Result {
+public:
+  Result(T Value) : Value(std::move(Value)) {}
+  Result(Error E) : Err(std::move(E)) {}
+
+  /// True when a value is present.
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing an error Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing an error Result");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing an error Result");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing an error Result");
+    return &*Value;
+  }
+
+  /// Moves the contained value out; only valid when hasValue().
+  T take() {
+    assert(Value && "taking from an error Result");
+    return std::move(*Value);
+  }
+
+  const Error &error() const {
+    assert(!Value && "no error present");
+    return Err;
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Result specialisation for operations that produce no value.
+template <> class Result<void> {
+public:
+  Result() : Ok(true) {}
+  Result(Error E) : Ok(false), Err(std::move(E)) {}
+
+  explicit operator bool() const { return Ok; }
+  bool hasValue() const { return Ok; }
+
+  const Error &error() const {
+    assert(!Ok && "no error present");
+    return Err;
+  }
+
+private:
+  bool Ok;
+  Error Err;
+};
+
+} // namespace silver
+
+#endif // SILVER_SUPPORT_RESULT_H

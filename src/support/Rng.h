@@ -1,0 +1,64 @@
+//===- support/Rng.h - Deterministic random number generator --*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift64*) used by property tests and by
+/// the benchmark workload generators.  Determinism matters: the ISA/RTL
+/// differential checks replay the same stimulus on both sides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SUPPORT_RNG_H
+#define SILVER_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace silver {
+
+/// Deterministic xorshift64* generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull)
+      : State(Seed ? Seed : 1) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next64() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Next 32-bit value.
+  uint32_t next32() { return static_cast<uint32_t>(next64() >> 32); }
+
+  /// Uniform value in [0, Bound); Bound must be positive.
+  uint32_t below(uint32_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return static_cast<uint32_t>(next64() % Bound);
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int32_t range(int32_t Lo, int32_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint32_t Span = static_cast<uint32_t>(Hi - Lo) + 1;
+    if (Span == 0) // full 32-bit range
+      return static_cast<int32_t>(next32());
+    return Lo + static_cast<int32_t>(below(Span));
+  }
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint32_t Num, uint32_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace silver
+
+#endif // SILVER_SUPPORT_RNG_H

@@ -1,0 +1,84 @@
+//===- support/StringUtils.cpp - String helpers ---------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace silver;
+
+std::vector<std::string> silver::splitString(const std::string &Text,
+                                             char Separator) {
+  std::vector<std::string> Parts;
+  std::string Current;
+  for (char C : Text) {
+    if (C == Separator) {
+      Parts.push_back(Current);
+      Current.clear();
+      continue;
+    }
+    Current.push_back(C);
+  }
+  Parts.push_back(Current);
+  return Parts;
+}
+
+std::string silver::joinStrings(const std::vector<std::string> &Parts,
+                                const std::string &Separator) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Separator;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool silver::startsWith(const std::string &Text, const std::string &Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string silver::trimString(const std::string &Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::string silver::toHex(uint32_t Value) {
+  char Buffer[16];
+  std::snprintf(Buffer, sizeof(Buffer), "0x%08x", Value);
+  return Buffer;
+}
+
+std::string silver::escapeString(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '"' || C == '\\') {
+      Out.push_back('\\');
+      Out.push_back(C);
+    } else if (C == '\n') {
+      Out += "\\n";
+    } else if (C == '\t') {
+      Out += "\\t";
+    } else if (U < 0x20 || U >= 0x7f) {
+      char Buffer[8];
+      std::snprintf(Buffer, sizeof(Buffer), "\\x%02x", U);
+      Out += Buffer;
+    } else {
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- support/StringUtils.h - String helpers ------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the assembler, the MiniCake front end,
+/// the Verilog pretty-printer, and the benchmark workload generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SUPPORT_STRINGUTILS_H
+#define SILVER_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace silver {
+
+/// Splits \p Text on \p Separator; adjacent separators yield empty fields.
+std::vector<std::string> splitString(const std::string &Text, char Separator);
+
+/// Joins \p Parts with \p Separator between elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Separator);
+
+/// True when \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trimString(const std::string &Text);
+
+/// Formats a 32-bit word as 0x%08x.
+std::string toHex(uint32_t Value);
+
+/// Escapes a string for inclusion in diagnostics (non-printables become
+/// \xNN, quotes and backslashes are escaped).
+std::string escapeString(const std::string &Text);
+
+} // namespace silver
+
+#endif // SILVER_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,84 @@
+//===- sys/Layout.cpp - Bare-metal memory layout (paper Fig. 2) ------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sys/Layout.h"
+
+using namespace silver;
+using namespace silver::sys;
+
+Result<MemoryLayout> MemoryLayout::compute(const LayoutParams &Params,
+                                           Word ProgramSize) {
+  MemoryLayout L;
+  L.Params = Params;
+
+  Word At = 0;
+  L.StartupBase = At;
+  At += Params.StartupCap;
+
+  L.DescriptorBase = At;
+  At += 8 * 4;
+  L.ExitFlagAddr = At;
+  At += 4;
+  L.ExitCodeAddr = At;
+  At += 4;
+
+  At = alignUp(At, 4);
+  L.CmdlineBase = At;
+  At += 4 + Params.CmdlineCap;
+
+  At = alignUp(At, 4);
+  L.StdinBase = At;
+  At += 8 + Params.StdinCap;
+
+  At = alignUp(At, 4);
+  L.OutBufBase = At;
+  At += 8 + Params.OutBufCap;
+
+  At = alignUp(At, 4);
+  L.SyscallIdAddr = At;
+  At += 4;
+  L.SyscallCodeBase = At;
+  At += Params.SyscallCodeCap;
+
+  At = alignUp(At, 4096);
+  L.HeapBase = At;
+
+  Word ProgramSpan = alignUp(ProgramSize, 4096);
+  if (ProgramSpan >= Params.MemSize)
+    return Error("program does not fit in memory");
+  L.CodeBase = Params.MemSize - ProgramSpan;
+  L.HeapEnd = L.CodeBase;
+
+  if (L.HeapBase >= L.HeapEnd)
+    return Error("memory layout does not fit: no CakeML-usable memory "
+                 "between " +
+                 std::to_string(L.HeapBase) + " and " +
+                 std::to_string(L.HeapEnd));
+  // Leave a sane minimum for heap+stack.
+  if (L.usableSize() < 16 * 1024)
+    return Error("memory layout leaves under 16 KiB of usable memory");
+  return L;
+}
+
+Result<void> silver::sys::checkClOk(const std::vector<std::string> &CommandLine,
+                                    const LayoutParams &Params) {
+  if (CommandLine.size() > 0xffff)
+    return Error("cl_ok: too many command-line arguments");
+  size_t Joined = 0;
+  for (const std::string &Arg : CommandLine) {
+    if (Arg.empty())
+      return Error("cl_ok: empty command-line argument");
+    if (Arg.find('\0') != std::string::npos)
+      return Error("cl_ok: NUL byte inside command-line argument");
+    Joined += Arg.size() + 1;
+  }
+  if (Joined > 0)
+    --Joined; // no trailing separator
+  if (Joined > Params.CmdlineCap)
+    return Error("cl_ok: command line exceeds region capacity");
+  return {};
+}

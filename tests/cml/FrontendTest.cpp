@@ -1,0 +1,184 @@
+//===- tests/cml/FrontendTest.cpp - lexer, parser, type inference --------------===//
+
+#include "cml/Infer.h"
+#include "cml/Lexer.h"
+#include "cml/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace silver;
+using namespace silver::cml;
+
+namespace {
+
+Result<std::map<std::string, Scheme>> typeOf(const std::string &Src) {
+  Result<Program> P = parseProgram(Src);
+  if (!P)
+    return P.error();
+  return inferProgram(*P);
+}
+
+std::string topType(const std::string &Src, const std::string &Name) {
+  Result<std::map<std::string, Scheme>> T = typeOf(Src);
+  EXPECT_TRUE(T) << T.error().str();
+  if (!T)
+    return "<error>";
+  auto It = T->find(Name);
+  EXPECT_NE(It, T->end());
+  return typeToString(It->second.Body);
+}
+
+} // namespace
+
+TEST(Lexer, TokensAndComments) {
+  Result<std::vector<Token>> T =
+      tokenize("val (* nested (* comment *) *) x = ~42;");
+  ASSERT_TRUE(T);
+  ASSERT_EQ(T->size(), 6u); // val x = -42 ; eof
+  EXPECT_TRUE((*T)[0].isIdent("val"));
+  EXPECT_EQ((*T)[3].Int, -42);
+  EXPECT_EQ((*T)[5].Kind, TokKind::Eof);
+}
+
+TEST(Lexer, StringAndCharEscapes) {
+  Result<std::vector<Token>> T = tokenize(R"("a\n\"b" #"x" #"\n")");
+  ASSERT_TRUE(T);
+  EXPECT_EQ((*T)[0].Text, "a\n\"b");
+  EXPECT_EQ((*T)[1].Int, 'x');
+  EXPECT_EQ((*T)[2].Int, '\n');
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_FALSE(tokenize("\"unterminated"));
+  EXPECT_FALSE(tokenize("(* open"));
+  EXPECT_FALSE(tokenize("\"bad \\q escape\""));
+  EXPECT_FALSE(tokenize("99999999999999"));
+}
+
+TEST(Parser, Precedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  Result<ExpPtr> E = parseExpression("1 + 2 * 3");
+  ASSERT_TRUE(E);
+  EXPECT_EQ((*E)->Op, BinOp::Add);
+  EXPECT_EQ((*E)->E1->Op, BinOp::Mul);
+}
+
+TEST(Parser, ConsIsRightAssociative) {
+  Result<ExpPtr> E = parseExpression("1 :: 2 :: []");
+  ASSERT_TRUE(E);
+  EXPECT_EQ((*E)->Op, BinOp::Cons);
+  EXPECT_EQ((*E)->E1->Op, BinOp::Cons);
+}
+
+TEST(Parser, ApplicationBindsTightest) {
+  Result<ExpPtr> E = parseExpression("f 1 + g 2");
+  ASSERT_TRUE(E);
+  EXPECT_EQ((*E)->Op, BinOp::Add);
+  EXPECT_EQ((*E)->E0->Kind, ExpKind::App);
+}
+
+TEST(Parser, ListSugar) {
+  Result<ExpPtr> E = parseExpression("[1, 2]");
+  ASSERT_TRUE(E);
+  EXPECT_EQ((*E)->Op, BinOp::Cons);
+  EXPECT_EQ((*E)->E1->Op, BinOp::Cons);
+  EXPECT_EQ((*E)->E1->E1->Kind, ExpKind::Nil);
+}
+
+TEST(Parser, LetSequencesAndFunGroups) {
+  Result<Program> P = parseProgram(R"(
+    fun even n = if n = 0 then true else odd (n - 1)
+    and odd n = if n = 0 then false else even (n - 1);
+    val x = let val a = 1 fun f y = y + a in f 1; f 2 end;
+  )");
+  ASSERT_TRUE(P) << P.error().str();
+  ASSERT_EQ(P->Decs.size(), 2u);
+  EXPECT_EQ(P->Decs[0].Funs.size(), 2u);
+}
+
+TEST(Parser, CasePatterns) {
+  Result<Program> P = parseProgram(R"(
+    fun f x = case x of
+        [] => 0
+      | [y] => y
+      | a :: (b, c) :: t => a + b;
+  )");
+  ASSERT_TRUE(P) << P.error().str();
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(parseProgram("val = 3;"));
+  EXPECT_FALSE(parseProgram("fun f = 3;")); // needs a parameter
+  EXPECT_FALSE(parseProgram("val x = (1,;"));
+  EXPECT_FALSE(parseProgram("val x = let val y = 1 in y;")); // no end
+  EXPECT_FALSE(parseProgram("x + 1;")); // not a declaration
+}
+
+TEST(Infer, BasicTypes) {
+  EXPECT_EQ(topType("val x = 1 + 2;", "x"), "int");
+  EXPECT_EQ(topType("val x = \"a\" ^ \"b\";", "x"), "string");
+  EXPECT_EQ(topType("val x = 1 < 2;", "x"), "bool");
+  EXPECT_EQ(topType("val x = ();", "x"), "unit");
+  EXPECT_EQ(topType("val x = (1, true);", "x"), "(int * bool)");
+  EXPECT_EQ(topType("val x = [1];", "x"), "int list");
+  EXPECT_EQ(topType("val x = #\"c\";", "x"), "char");
+}
+
+TEST(Infer, FunctionsAndPolymorphism) {
+  {
+    std::string T = topType("fun id x = x;", "id");
+    // A single quantified variable on both sides of the arrow.
+    EXPECT_EQ(T.find("("), 0u);
+    EXPECT_NE(T.find(" -> "), std::string::npos);
+    EXPECT_EQ(T.substr(1, T.find(" -> ") - 1),
+              T.substr(T.find(" -> ") + 4, T.size() - T.find(" -> ") - 5));
+  }
+  EXPECT_EQ(topType("fun f x y = x + y;", "f"), "(int -> (int -> int))");
+  // Let-polymorphism: id used at two types.
+  Result<std::map<std::string, Scheme>> T = typeOf(
+      "fun id x = x; val a = id 1; val b = id true;");
+  EXPECT_TRUE(T) << (T ? "" : T.error().str());
+}
+
+TEST(Infer, RecursionAndMutualRecursion) {
+  {
+    std::string T = topType(
+        "fun len l = case l of [] => 0 | _ :: t => 1 + len t;", "len");
+    EXPECT_NE(T.find(" list -> int)"), std::string::npos) << T;
+  }
+  Result<std::map<std::string, Scheme>> T = typeOf(R"(
+    fun even n = if n = 0 then true else odd (n - 1)
+    and odd n = if n = 0 then false else even (n - 1);
+  )");
+  ASSERT_TRUE(T) << T.error().str();
+}
+
+TEST(Infer, Primitives) {
+  EXPECT_EQ(topType("val f = str_size;", "f"), "(string -> int)");
+  EXPECT_EQ(topType("val x = substring \"abc\" 1 2;", "x"), "string");
+  EXPECT_EQ(topType("val f = exit;", "f").substr(0, 7), "(int ->");
+}
+
+TEST(Infer, Errors) {
+  EXPECT_FALSE(typeOf("val x = 1 + true;"));
+  EXPECT_FALSE(typeOf("val x = if 1 then 2 else 3;"));
+  EXPECT_FALSE(typeOf("val x = if true then 1 else \"s\";"));
+  EXPECT_FALSE(typeOf("val x = 1 :: [true];"));
+  EXPECT_FALSE(typeOf("val x = y;")); // unbound
+  EXPECT_FALSE(typeOf("fun f x = x x;")); // occurs check
+  EXPECT_FALSE(typeOf("val x = case [1] of [] => 0 | h :: t => h "
+                      "| s => \"no\";")); // arm type mismatch
+}
+
+TEST(Infer, EqualityAtFunctionTypeRejected) {
+  EXPECT_FALSE(typeOf("fun f x = x; val b = f = f;"));
+  EXPECT_FALSE(typeOf("val b = [fn x => x] = [fn y => y];"));
+  // Equality at data types is fine.
+  EXPECT_TRUE(typeOf("val b = [(1, \"a\")] = [(2, \"b\")];"));
+}
+
+TEST(Infer, MonomorphismInsideRecursiveGroup) {
+  // Inside its own body a recursive function is monomorphic.
+  EXPECT_FALSE(typeOf(
+      "fun f x = let val a = f 1 val b = f true in x end;"));
+}

@@ -1,0 +1,220 @@
+//===- tests/ffi/BasisFfiTest.cpp - basis FFI oracle tests ---------------------===//
+
+#include "ffi/BasisFfi.h"
+
+#include <gtest/gtest.h>
+
+using namespace silver;
+using namespace silver::ffi;
+
+namespace {
+
+std::vector<uint8_t> fdConf(uint64_t Fd) {
+  std::vector<uint8_t> C(8, 0);
+  for (int I = 7; I >= 0; --I) {
+    C[I] = static_cast<uint8_t>(Fd);
+    Fd >>= 8;
+  }
+  return C;
+}
+
+std::vector<uint8_t> readRequest(uint16_t Count, size_t Capacity) {
+  std::vector<uint8_t> B(4 + Capacity, 0xee);
+  u16ToBytes(Count, B.data());
+  return B;
+}
+
+} // namespace
+
+TEST(Filesystem, StdinReadsAndEof) {
+  Filesystem Fs = Filesystem::withStdin("hello");
+  std::string Out;
+  ASSERT_TRUE(Fs.read(StdinFd, 3, Out));
+  EXPECT_EQ(Out, "hel");
+  ASSERT_TRUE(Fs.read(StdinFd, 10, Out));
+  EXPECT_EQ(Out, "lo");
+  ASSERT_TRUE(Fs.read(StdinFd, 10, Out));
+  EXPECT_EQ(Out, ""); // EOF
+}
+
+TEST(Filesystem, StreamsCollect) {
+  Filesystem Fs;
+  EXPECT_TRUE(Fs.write(StdoutFd, "a"));
+  EXPECT_TRUE(Fs.write(StderrFd, "b"));
+  EXPECT_TRUE(Fs.write(StdoutFd, "c"));
+  EXPECT_EQ(Fs.StdoutData, "ac");
+  EXPECT_EQ(Fs.StderrData, "b");
+}
+
+TEST(Filesystem, NamedFiles) {
+  Filesystem Fs;
+  EXPECT_EQ(Fs.openIn("missing"), 0u);
+  uint64_t W = Fs.openOut("f");
+  ASSERT_NE(W, 0u);
+  EXPECT_TRUE(Fs.write(W, "data"));
+  EXPECT_TRUE(Fs.close(W));
+  uint64_t R = Fs.openIn("f");
+  ASSERT_NE(R, 0u);
+  std::string Out;
+  EXPECT_TRUE(Fs.read(R, 2, Out));
+  EXPECT_EQ(Out, "da");
+  EXPECT_TRUE(Fs.read(R, 10, Out));
+  EXPECT_EQ(Out, "ta");
+  EXPECT_TRUE(Fs.close(R));
+  EXPECT_FALSE(Fs.close(R));
+  EXPECT_FALSE(Fs.close(StdinFd)); // streams are not closable
+}
+
+TEST(Filesystem, ReadFromWriteFdFails) {
+  Filesystem Fs;
+  uint64_t W = Fs.openOut("f");
+  std::string Out;
+  EXPECT_FALSE(Fs.read(W, 1, Out));
+  EXPECT_FALSE(Fs.write(999, "x"));
+}
+
+TEST(BasisFfiOracle, ReadHappyPath) {
+  BasisFfi Ffi({"prog"}, Filesystem::withStdin("abcdef"));
+  FfiResult R = Ffi.call("read", fdConf(0), readRequest(4, 10));
+  ASSERT_EQ(R.Outcome, FfiOutcome::Return);
+  EXPECT_EQ(R.Bytes[0], 0);
+  EXPECT_EQ(bytesToU16(R.Bytes.data() + 1), 4);
+  EXPECT_EQ(R.Bytes[3], 0xee); // untouched, per the paper's ffi_read
+  EXPECT_EQ(std::string(R.Bytes.begin() + 4, R.Bytes.begin() + 8), "abcd");
+  EXPECT_EQ(R.Bytes[8], 0xee); // tail unchanged
+  EXPECT_EQ(Ffi.Fs.StdinOffset, 4u);
+}
+
+TEST(BasisFfiOracle, ReadShortAtEof) {
+  BasisFfi Ffi({}, Filesystem::withStdin("xy"));
+  FfiResult R = Ffi.call("read", fdConf(0), readRequest(10, 10));
+  ASSERT_EQ(R.Outcome, FfiOutcome::Return);
+  EXPECT_EQ(bytesToU16(R.Bytes.data() + 1), 2);
+  R = Ffi.call("read", fdConf(0), readRequest(10, 10));
+  EXPECT_EQ(bytesToU16(R.Bytes.data() + 1), 0); // EOF: zero-length read
+}
+
+TEST(BasisFfiOracle, ReadCountBeyondBufferSetsStatus1) {
+  BasisFfi Ffi({}, Filesystem::withStdin("abc"));
+  // Request 20 bytes into a 10-byte payload: the monadic assertion
+  // fails and byte 0 becomes 1 (the paper's `otherwise` branch).
+  FfiResult R = Ffi.call("read", fdConf(0), readRequest(20, 10));
+  ASSERT_EQ(R.Outcome, FfiOutcome::Return);
+  EXPECT_EQ(R.Bytes[0], 1);
+  EXPECT_EQ(Ffi.Fs.StdinOffset, 0u);
+}
+
+TEST(BasisFfiOracle, ReadBadFdSetsStatus1) {
+  BasisFfi Ffi({}, Filesystem::withStdin("abc"));
+  FfiResult R = Ffi.call("read", fdConf(42), readRequest(1, 10));
+  EXPECT_EQ(R.Bytes[0], 1);
+}
+
+TEST(BasisFfiOracle, ReadMalformedConfFails) {
+  BasisFfi Ffi({}, Filesystem::withStdin("abc"));
+  FfiResult R = Ffi.call("read", {0, 0}, readRequest(1, 10));
+  EXPECT_EQ(R.Outcome, FfiOutcome::Fail);
+}
+
+TEST(BasisFfiOracle, WriteToStdoutAndStderr) {
+  BasisFfi Ffi({}, Filesystem());
+  std::vector<uint8_t> B = {0, 3, 0, 1, 'X', 'a', 'b', 'c', 'Y'};
+  // count=3, offset=1 -> writes "abc".
+  FfiResult R = Ffi.call("write", fdConf(1), B);
+  ASSERT_EQ(R.Outcome, FfiOutcome::Return);
+  EXPECT_EQ(R.Bytes[0], 0);
+  EXPECT_EQ(bytesToU16(R.Bytes.data() + 1), 3);
+  EXPECT_EQ(Ffi.getStdout(), "abc");
+  Ffi.call("write", fdConf(2), B);
+  EXPECT_EQ(Ffi.getStderr(), "abc");
+}
+
+TEST(BasisFfiOracle, WriteBeyondPayloadSetsStatus1) {
+  BasisFfi Ffi({}, Filesystem());
+  std::vector<uint8_t> B = {0, 9, 0, 0, 'a', 'b'};
+  FfiResult R = Ffi.call("write", fdConf(1), B);
+  EXPECT_EQ(R.Bytes[0], 1);
+  EXPECT_EQ(Ffi.getStdout(), "");
+}
+
+TEST(BasisFfiOracle, ArgCalls) {
+  BasisFfi Ffi({"wc", "-l"}, Filesystem());
+  FfiResult R = Ffi.call("get_arg_count", {}, {0, 0});
+  EXPECT_EQ(bytesToU16(R.Bytes.data()), 2);
+
+  std::vector<uint8_t> Q = {0, 1}; // index 1
+  R = Ffi.call("get_arg_length", {}, Q);
+  EXPECT_EQ(bytesToU16(R.Bytes.data()), 2); // "-l"
+
+  std::vector<uint8_t> Buf = {0, 1, 0, 0};
+  R = Ffi.call("get_arg", {}, Buf);
+  EXPECT_EQ(R.Bytes[0], '-');
+  EXPECT_EQ(R.Bytes[1], 'l');
+}
+
+TEST(BasisFfiOracle, ArgIndexOutOfRangeFails) {
+  BasisFfi Ffi({"p"}, Filesystem());
+  std::vector<uint8_t> Q = {0, 7};
+  EXPECT_EQ(Ffi.call("get_arg_length", {}, Q).Outcome, FfiOutcome::Fail);
+  EXPECT_EQ(Ffi.call("get_arg", {}, Q).Outcome, FfiOutcome::Fail);
+}
+
+TEST(BasisFfiOracle, OpenCloseRoundTrip) {
+  BasisFfi Ffi({}, Filesystem());
+  std::vector<uint8_t> B(3, 0);
+  std::string Name = "file.txt";
+  std::vector<uint8_t> Conf(Name.begin(), Name.end());
+  FfiResult R = Ffi.call("open_out", Conf, B);
+  ASSERT_EQ(R.Bytes[0], 0);
+  uint16_t Fd = bytesToU16(R.Bytes.data() + 1);
+  ASSERT_NE(Fd, 0);
+  FfiResult C = Ffi.call("close", fdConf(Fd), {9});
+  EXPECT_EQ(C.Bytes[0], 0);
+  // open_in on a missing file reports failure with fd 0.
+  std::vector<uint8_t> Missing = {'n', 'o'};
+  R = Ffi.call("open_in", Missing, B);
+  EXPECT_EQ(R.Bytes[0], 1);
+  EXPECT_EQ(bytesToU16(R.Bytes.data() + 1), 0);
+}
+
+TEST(BasisFfiOracle, ExitTerminates) {
+  BasisFfi Ffi({}, Filesystem());
+  FfiResult R = Ffi.call("exit", {}, {42});
+  EXPECT_EQ(R.Outcome, FfiOutcome::Exit);
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(BasisFfiOracle, UnknownCallFails) {
+  BasisFfi Ffi({}, Filesystem());
+  EXPECT_EQ(Ffi.call("frobnicate", {}, {0}).Outcome, FfiOutcome::Fail);
+  EXPECT_FALSE(BasisFfi::isKnownCall("frobnicate"));
+  EXPECT_TRUE(BasisFfi::isKnownCall("read"));
+}
+
+TEST(BasisFfiOracle, IoEventsRecorded) {
+  BasisFfi Ffi({}, Filesystem::withStdin("zz"));
+  Ffi.call("read", fdConf(0), readRequest(1, 4));
+  std::vector<uint8_t> B = {0, 1, 0, 0, 'q'};
+  Ffi.call("write", fdConf(1), B);
+  ASSERT_EQ(Ffi.IoEvents.size(), 2u);
+  EXPECT_EQ(Ffi.IoEvents[0].Name, "read");
+  EXPECT_EQ(Ffi.IoEvents[1].Name, "write");
+  // Exit and Fail do not append events.
+  Ffi.call("exit", {}, {1});
+  EXPECT_EQ(Ffi.IoEvents.size(), 2u);
+}
+
+TEST(BasisFfiOracle, CallNamesMatchSyscallIndices) {
+  const auto &Names = BasisFfi::callNames();
+  ASSERT_EQ(Names.size(), 9u);
+  EXPECT_EQ(Names[0], "read");
+  EXPECT_EQ(Names[1], "write");
+  EXPECT_EQ(Names[8], "exit");
+}
+
+TEST(BigEndianHelpers, RoundTrip) {
+  uint8_t B[2];
+  u16ToBytes(0xbeef, B);
+  EXPECT_EQ(bytesToU16(B), 0xbeef);
+  EXPECT_EQ(bytesToU64({0, 0, 0, 0, 0, 0, 0x12, 0x34}), 0x1234u);
+}

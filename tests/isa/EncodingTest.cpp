@@ -1,0 +1,149 @@
+//===- tests/isa/EncodingTest.cpp - instruction encoding tests ----------------===//
+
+#include "isa/Encoding.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace silver;
+using namespace silver::isa;
+
+namespace {
+
+/// Generates a random well-formed instruction.
+Instruction randomInstruction(Rng &R) {
+  auto RandOperand = [&R]() {
+    return R.chance(1, 2) ? Operand::reg(R.below(NumRegs))
+                          : Operand::imm(R.range(-32, 31));
+  };
+  switch (R.below(NumOpcodes)) {
+  case 0:
+    return Instruction::normal(static_cast<Func>(R.below(NumFuncs)),
+                               R.below(NumRegs), RandOperand(),
+                               RandOperand());
+  case 1:
+    return Instruction::shift(static_cast<ShiftKind>(R.below(4)),
+                              R.below(NumRegs), RandOperand(),
+                              RandOperand());
+  case 2:
+    return Instruction::loadMem(R.below(NumRegs), RandOperand());
+  case 3:
+    return Instruction::loadMemByte(R.below(NumRegs), RandOperand());
+  case 4:
+    return Instruction::storeMem(RandOperand(), RandOperand());
+  case 5:
+    return Instruction::storeMemByte(RandOperand(), RandOperand());
+  case 6:
+    return Instruction::loadConstant(R.below(NumRegs), R.chance(1, 2),
+                                     R.next32() & 0x1fffff);
+  case 7:
+    return Instruction::loadUpperConstant(R.below(NumRegs),
+                                          R.next32() & 0x7ff);
+  case 8:
+    return Instruction::jump(static_cast<Func>(R.below(NumFuncs)),
+                             R.below(NumRegs), RandOperand());
+  case 9:
+    return Instruction::jumpIfZero(static_cast<Func>(R.below(NumFuncs)),
+                                   RandOperand(), RandOperand(),
+                                   R.range(-512, 511));
+  case 10:
+    return Instruction::jumpIfNotZero(static_cast<Func>(R.below(NumFuncs)),
+                                      RandOperand(), RandOperand(),
+                                      R.range(-512, 511));
+  case 11:
+    return Instruction::interrupt();
+  case 12:
+    return Instruction::in(R.below(NumRegs));
+  default:
+    return Instruction::out(RandOperand());
+  }
+}
+
+} // namespace
+
+class EncodeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodeRoundTrip, DecodeInvertsEncode) {
+  Rng R(GetParam() * 7919u + 13);
+  for (int I = 0; I != 500; ++I) {
+    Instruction In = randomInstruction(R);
+    Word Encoded = encode(In);
+    Result<Instruction> Out = decode(Encoded);
+    ASSERT_TRUE(Out) << Out.error().str();
+    EXPECT_TRUE(In == *Out) << "seed " << GetParam() << " iteration " << I
+                            << ": " << toString(In) << " vs "
+                            << toString(*Out);
+    // And re-encoding yields the identical word.
+    EXPECT_EQ(encode(*Out), Encoded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EncodeRoundTrip,
+                         ::testing::Range(0u, 8u));
+
+TEST(Encoding, ReservedOpcodesAreIllegal) {
+  for (Word Opc : {14u, 15u}) {
+    Result<Instruction> R = decode(Opc << 28);
+    EXPECT_FALSE(R);
+  }
+}
+
+TEST(Encoding, OpcodeFieldPlacement) {
+  // Interrupt is opcode 11 with no fields.
+  EXPECT_EQ(encode(Instruction::interrupt()), 11u << 28);
+}
+
+TEST(Encoding, LoadConstantFields) {
+  Instruction I = Instruction::loadConstant(63, true, 0x1fffff);
+  Word W = encode(I);
+  EXPECT_EQ(bits(W, 31, 28), 6u);
+  EXPECT_EQ(bits(W, 27, 22), 63u);
+  EXPECT_EQ(bits(W, 21, 21), 1u);
+  EXPECT_EQ(bits(W, 20, 0), 0x1fffffu);
+}
+
+TEST(Encoding, BranchOffsetSplitsAcrossFields) {
+  Instruction I = Instruction::jumpIfZero(Func::Equal, Operand::reg(1),
+                                          Operand::reg(2), -1);
+  Result<Instruction> Out = decode(encode(I));
+  ASSERT_TRUE(Out);
+  EXPECT_EQ(Out->Offset, -1);
+  I.Offset = 511;
+  Out = decode(encode(I));
+  ASSERT_TRUE(Out);
+  EXPECT_EQ(Out->Offset, 511);
+  I.Offset = -512;
+  Out = decode(encode(I));
+  ASSERT_TRUE(Out);
+  EXPECT_EQ(Out->Offset, -512);
+}
+
+TEST(Encoding, OperandImmediateSignExtension) {
+  Operand Neg = Operand::imm(-32);
+  EXPECT_EQ(Neg.immValue(), 0xffffffe0u);
+  Operand Pos = Operand::imm(31);
+  EXPECT_EQ(Pos.immValue(), 31u);
+}
+
+TEST(Encoding, HaltIsSelfJump) {
+  Instruction H = Instruction::halt();
+  EXPECT_TRUE(H.isSelfJump());
+  Result<Instruction> Out = decode(encode(H));
+  ASSERT_TRUE(Out);
+  EXPECT_TRUE(Out->isSelfJump());
+  // A relative jump with a nonzero offset is not a self-jump.
+  EXPECT_FALSE(
+      Instruction::jump(Func::Add, 0, Operand::imm(4)).isSelfJump());
+  // An absolute jump is not recognised as a self-jump.
+  EXPECT_FALSE(
+      Instruction::jump(Func::Snd, 0, Operand::imm(0)).isSelfJump());
+}
+
+TEST(Encoding, ToStringSmoke) {
+  EXPECT_EQ(toString(Instruction::normal(Func::Add, 1, Operand::reg(2),
+                                         Operand::imm(-3))),
+            "add r1, r2, #-3");
+  EXPECT_EQ(toString(Instruction::halt()), "halt (r63)");
+  EXPECT_EQ(toString(Instruction::interrupt()), "interrupt");
+}

@@ -1,0 +1,197 @@
+//===- tests/stack/StackTest.cpp - end-to-end verified-stack tests -------------===//
+//
+// The reproduction's theorem (8) statements: for each application, the
+// observable behaviour at every level of Figure 1 — including the
+// generated Verilog — matches the high-level specification function.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Apps.h"
+#include "stack/Stack.h"
+
+#include <gtest/gtest.h>
+
+using namespace silver;
+using namespace silver::stack;
+
+namespace {
+
+void expectAllSoftwareLevels(RunSpec Spec, const std::string &ExpectOut,
+                             uint8_t ExpectCode = 0) {
+  Result<std::vector<Observed>> R =
+      checkEndToEnd(Spec, {Level::Machine, Level::Isa});
+  ASSERT_TRUE(R) << R.error().str();
+  Result<Observed> Isa = run(Spec, Level::Isa);
+  ASSERT_TRUE(Isa);
+  EXPECT_EQ(Isa->StdoutData, ExpectOut);
+  EXPECT_EQ(Isa->ExitCode, ExpectCode);
+}
+
+} // namespace
+
+TEST(EndToEnd, HelloAtEveryLevel) {
+  RunSpec Spec;
+  Spec.Source = helloSource();
+  Result<std::vector<Observed>> R = checkEndToEnd(
+      Spec, {Level::Machine, Level::Isa, Level::Rtl, Level::Verilog});
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ((*R)[0].StdoutData, "Hello, world!\n");
+  // The hardware runs report clock cycles; the ISA run does not.
+  EXPECT_GT((*R)[2].Cycles, (*R)[2].Instructions);
+}
+
+TEST(EndToEnd, WcMatchesSpecFunction) {
+  std::string Input = randomLines(60, 3);
+  RunSpec Spec;
+  Spec.Source = wcSource();
+  Spec.CommandLine = {"wc"};
+  Spec.StdinData = Input;
+  expectAllSoftwareLevels(Spec, wcSpec(Input));
+}
+
+TEST(EndToEnd, WcEdgeCases) {
+  for (const char *Input : {"", " ", "  \t\n ", "one", " one two  three "}) {
+    RunSpec Spec;
+    Spec.Source = wcSource();
+    Spec.StdinData = Input;
+    Result<Observed> R = run(Spec, Level::Isa);
+    ASSERT_TRUE(R) << R.error().str();
+    EXPECT_EQ(R->StdoutData, wcSpec(Input)) << "input: '" << Input << "'";
+  }
+}
+
+TEST(EndToEnd, SortMatchesSpecFunction) {
+  std::string Input = randomLines(50, 9);
+  RunSpec Spec;
+  Spec.Source = sortSource();
+  Spec.StdinData = Input;
+  expectAllSoftwareLevels(Spec, sortSpec(Input));
+}
+
+TEST(EndToEnd, SortOnHardwareSmallInput) {
+  std::string Input = "pear\napple\nzebra\nmango\n";
+  RunSpec Spec;
+  Spec.Source = sortSource();
+  Spec.StdinData = Input;
+  Spec.MaxSteps = 400'000'000;
+  Result<Observed> R = run(Spec, Level::Rtl);
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ(R->StdoutData, "apple\nmango\npear\nzebra\n");
+}
+
+TEST(EndToEnd, CatRoundTripsBinaryishData) {
+  std::string Input;
+  for (int I = 1; I != 256; ++I) // NUL excluded: strings are NUL-clean
+    Input.push_back(static_cast<char>(I));
+  RunSpec Spec;
+  Spec.Source = catSource();
+  Spec.StdinData = Input;
+  expectAllSoftwareLevels(Spec, Input);
+}
+
+TEST(EndToEnd, ProofCheckerValidAndInvalid) {
+  {
+    RunSpec Spec;
+    Spec.Source = proofCheckerSource();
+    Spec.StdinData = sampleValidProof();
+    expectAllSoftwareLevels(Spec, "VALID\n");
+  }
+  {
+    RunSpec Spec;
+    Spec.Source = proofCheckerSource();
+    Spec.StdinData = sampleInvalidProof();
+    expectAllSoftwareLevels(Spec, "INVALID 1\n");
+  }
+}
+
+TEST(EndToEnd, ProofCheckerAgainstSpecOnMutations) {
+  // Mutate the valid proof line by line; checker and spec must agree on
+  // every mutation (usually INVALID, and at exactly the same line).
+  std::string Valid = sampleValidProof();
+  for (size_t I = 0; I < Valid.size(); I += 3) {
+    std::string Mutated = Valid;
+    if (Mutated[I] == '\n')
+      continue;
+    Mutated[I] = Mutated[I] == 'p' ? 'q' : 'p';
+    RunSpec Spec;
+    Spec.Source = proofCheckerSource();
+    Spec.StdinData = Mutated;
+    Result<Observed> R = run(Spec, Level::Isa);
+    ASSERT_TRUE(R) << R.error().str();
+    EXPECT_EQ(R->StdoutData, proofSpec(Mutated)) << "mutation at " << I;
+  }
+}
+
+TEST(EndToEnd, TinCompilerMatchesSpec) {
+  for (unsigned Statements : {1u, 5u, 20u}) {
+    std::string Program = sampleTinProgram(Statements);
+    RunSpec Spec;
+    Spec.Source = tinCompilerSource();
+    Spec.StdinData = Program;
+    Spec.MaxSteps = 500'000'000;
+    Result<Observed> R = run(Spec, Level::Isa);
+    ASSERT_TRUE(R) << R.error().str();
+    EXPECT_EQ(R->StdoutData, tinSpec(Program)) << Program;
+    EXPECT_EQ(R->ExitCode, 0);
+  }
+}
+
+TEST(EndToEnd, TinCompilerRejectsBadPrograms) {
+  for (const char *Bad : {"x = ;", "= 1", "print (1", "x 1", "1 = x",
+                          "print 1 print 2"}) {
+    RunSpec Spec;
+    Spec.Source = tinCompilerSource();
+    Spec.StdinData = Bad;
+    Result<Observed> R = run(Spec, Level::Isa);
+    ASSERT_TRUE(R) << R.error().str();
+    EXPECT_EQ(R->StdoutData, "ERROR\n") << Bad;
+    EXPECT_EQ(R->StdoutData, tinSpec(Bad)) << Bad;
+  }
+}
+
+TEST(EndToEnd, CommandLineReachesPrograms) {
+  RunSpec Spec;
+  Spec.Source = R"(val _ = print (join "," (arguments ())))";
+  Spec.CommandLine = {"sort", "-r", "file.txt"};
+  expectAllSoftwareLevels(Spec, "sort,-r,file.txt");
+}
+
+TEST(EndToEnd, PaperStdinBoundIsEnforced) {
+  // |input| <= stdin_size is an assumption of theorem (5): oversized
+  // input is rejected at image-build time, not silently truncated.
+  RunSpec Spec;
+  Spec.Source = catSource();
+  Spec.StdinData.assign(Spec.Compile.Layout.StdinCap + 1, 'x');
+  Result<Observed> R = run(Spec, Level::Isa);
+  EXPECT_FALSE(R);
+}
+
+TEST(EndToEnd, LevelsDisagreeOnlyNever) {
+  // A program exercising every basis feature at once.
+  RunSpec Spec;
+  Spec.Source = R"(
+    val input = input_all ()
+    val ws = tokens is_space input
+    fun fmt w = w ^ ":" ^ int_to_string (str_size w)
+    val _ = print (join " " (map fmt ws))
+    val _ = print_err (int_to_string (length ws))
+    val _ = exit (length ws mod 7)
+  )";
+  Spec.StdinData = "alpha beta gamma delta";
+  Result<std::vector<Observed>> R =
+      checkEndToEnd(Spec, {Level::Machine, Level::Isa});
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ((*R)[1].StdoutData, "alpha:5 beta:4 gamma:5 delta:5");
+  EXPECT_EQ((*R)[1].StderrData, "4");
+  EXPECT_EQ((*R)[1].ExitCode, 4);
+}
+
+TEST(EndToEnd, InstructionCountsAreDeterministic) {
+  RunSpec Spec;
+  Spec.Source = helloSource();
+  Result<Observed> A = run(Spec, Level::Isa);
+  Result<Observed> B = run(Spec, Level::Isa);
+  ASSERT_TRUE(A);
+  ASSERT_TRUE(B);
+  EXPECT_EQ(A->Instructions, B->Instructions);
+}

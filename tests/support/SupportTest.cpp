@@ -1,0 +1,145 @@
+//===- tests/support/SupportTest.cpp - support library tests -----------------===//
+
+#include "support/Bits.h"
+#include "support/Result.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace silver;
+
+TEST(Bits, ExtractBasic) {
+  EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+  EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+  EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+  EXPECT_EQ(bits(0xffffffff, 15, 8), 0xffu);
+}
+
+TEST(Bits, InsertBasic) {
+  EXPECT_EQ(insertBits(0, 0xf, 3, 0), 0xfu);
+  EXPECT_EQ(insertBits(0xffffffff, 0, 15, 8), 0xffff00ffu);
+  EXPECT_EQ(insertBits(0, 0xdeadbeef, 31, 0), 0xdeadbeefu);
+}
+
+TEST(Bits, InsertThenExtractRoundTrips) {
+  Rng R(1);
+  for (int I = 0; I != 200; ++I) {
+    unsigned Lo = R.below(32);
+    unsigned Hi = Lo + R.below(32 - Lo);
+    Word Field = R.next32();
+    Word Base = R.next32();
+    Word W = insertBits(Base, Field, Hi, Lo);
+    Word Mask = (Hi - Lo == 31) ? ~0u : ((1u << (Hi - Lo + 1)) - 1);
+    EXPECT_EQ(bits(W, Hi, Lo), Field & Mask);
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(signExtend(0x3f, 6), 0xffffffffu);
+  EXPECT_EQ(signExtend(0x1f, 6), 0x1fu);
+  EXPECT_EQ(signExtend(0x20, 6), 0xffffffe0u);
+  EXPECT_EQ(signExtend(0, 6), 0u);
+  EXPECT_EQ(signExtend(0x80000000u, 32), 0x80000000u);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fitsSigned(31, 6));
+  EXPECT_TRUE(fitsSigned(-32, 6));
+  EXPECT_FALSE(fitsSigned(32, 6));
+  EXPECT_FALSE(fitsSigned(-33, 6));
+  EXPECT_TRUE(fitsSigned(511, 10));
+  EXPECT_FALSE(fitsSigned(512, 10));
+}
+
+TEST(Bits, FitsUnsigned) {
+  EXPECT_TRUE(fitsUnsigned(0x1fffff, 21));
+  EXPECT_FALSE(fitsUnsigned(0x200000, 21));
+}
+
+TEST(Bits, RotateRight) {
+  EXPECT_EQ(rotateRight(0x80000001, 1), 0xc0000000u);
+  EXPECT_EQ(rotateRight(0x12345678, 0), 0x12345678u);
+  EXPECT_EQ(rotateRight(0x12345678, 32), 0x12345678u);
+  EXPECT_EQ(rotateRight(1, 4), 0x10000000u);
+}
+
+TEST(Bits, Alignment) {
+  EXPECT_TRUE(isAligned(0, 4));
+  EXPECT_TRUE(isAligned(8, 4));
+  EXPECT_FALSE(isAligned(2, 4));
+  EXPECT_EQ(alignUp(1, 4), 4u);
+  EXPECT_EQ(alignUp(4, 4), 4u);
+  EXPECT_EQ(alignUp(4097, 4096), 8192u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next64(), B.next64());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int32_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(StringUtils, Split) {
+  EXPECT_EQ(splitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(splitString("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(joinStrings({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("abcdef", "abc"));
+  EXPECT_TRUE(startsWith("abc", ""));
+  EXPECT_FALSE(startsWith("ab", "abc"));
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trimString("  x \n"), "x");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString(" \t "), "");
+}
+
+TEST(StringUtils, HexAndEscape) {
+  EXPECT_EQ(toHex(0xdeadbeef), "0xdeadbeef");
+  EXPECT_EQ(escapeString("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(escapeString(std::string(1, '\0')), "\\x00");
+}
+
+TEST(ResultType, ValueAndError) {
+  Result<int> Ok(5);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(*Ok, 5);
+  Result<int> Err{Error("boom", 3, 4)};
+  ASSERT_FALSE(Err);
+  EXPECT_EQ(Err.error().str(), "3:4: boom");
+  Result<void> Fine;
+  EXPECT_TRUE(Fine);
+  Result<void> Bad{Error("no")};
+  EXPECT_FALSE(Bad);
+  EXPECT_EQ(Bad.error().message(), "no");
+}
