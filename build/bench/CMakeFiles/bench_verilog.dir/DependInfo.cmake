@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_verilog.cpp" "bench/CMakeFiles/bench_verilog.dir/bench_verilog.cpp.o" "gcc" "bench/CMakeFiles/bench_verilog.dir/bench_verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/silver_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/silver_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cml/CMakeFiles/silver_cml.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/silver_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/silver_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/silver_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/silver_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ffi/CMakeFiles/silver_ffi.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/silver_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/silver_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/silver_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

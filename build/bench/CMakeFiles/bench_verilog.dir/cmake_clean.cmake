@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verilog.dir/bench_verilog.cpp.o"
+  "CMakeFiles/bench_verilog.dir/bench_verilog.cpp.o.d"
+  "bench_verilog"
+  "bench_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap.dir/bootstrap.cpp.o"
+  "CMakeFiles/bootstrap.dir/bootstrap.cpp.o.d"
+  "bootstrap"
+  "bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

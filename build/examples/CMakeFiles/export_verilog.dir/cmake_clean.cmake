@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_verilog.dir/export_verilog.cpp.o"
+  "CMakeFiles/export_verilog.dir/export_verilog.cpp.o.d"
+  "export_verilog"
+  "export_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_checker.dir/proof_checker.cpp.o"
+  "CMakeFiles/proof_checker.dir/proof_checker.cpp.o.d"
+  "proof_checker"
+  "proof_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silverc.dir/silverc.cpp.o"
+  "CMakeFiles/silverc.dir/silverc.cpp.o.d"
+  "silverc"
+  "silverc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silverc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for silverc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_demo.dir/sort_demo.cpp.o"
+  "CMakeFiles/sort_demo.dir/sort_demo.cpp.o.d"
+  "sort_demo"
+  "sort_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

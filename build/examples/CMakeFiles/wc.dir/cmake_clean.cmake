@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc.dir/wc.cpp.o"
+  "CMakeFiles/wc.dir/wc.cpp.o.d"
+  "wc"
+  "wc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_asm.dir/Assembler.cpp.o"
+  "CMakeFiles/silver_asm.dir/Assembler.cpp.o.d"
+  "CMakeFiles/silver_asm.dir/Disassembler.cpp.o"
+  "CMakeFiles/silver_asm.dir/Disassembler.cpp.o.d"
+  "libsilver_asm.a"
+  "libsilver_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cml/CodeGen.cpp" "src/cml/CMakeFiles/silver_cml.dir/CodeGen.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/cml/Compiler.cpp" "src/cml/CMakeFiles/silver_cml.dir/Compiler.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Compiler.cpp.o.d"
+  "/root/repo/src/cml/Core.cpp" "src/cml/CMakeFiles/silver_cml.dir/Core.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Core.cpp.o.d"
+  "/root/repo/src/cml/Flatten.cpp" "src/cml/CMakeFiles/silver_cml.dir/Flatten.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Flatten.cpp.o.d"
+  "/root/repo/src/cml/Infer.cpp" "src/cml/CMakeFiles/silver_cml.dir/Infer.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Infer.cpp.o.d"
+  "/root/repo/src/cml/Interp.cpp" "src/cml/CMakeFiles/silver_cml.dir/Interp.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Interp.cpp.o.d"
+  "/root/repo/src/cml/Lexer.cpp" "src/cml/CMakeFiles/silver_cml.dir/Lexer.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Lexer.cpp.o.d"
+  "/root/repo/src/cml/Lower.cpp" "src/cml/CMakeFiles/silver_cml.dir/Lower.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Lower.cpp.o.d"
+  "/root/repo/src/cml/Opt.cpp" "src/cml/CMakeFiles/silver_cml.dir/Opt.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Opt.cpp.o.d"
+  "/root/repo/src/cml/Parser.cpp" "src/cml/CMakeFiles/silver_cml.dir/Parser.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Parser.cpp.o.d"
+  "/root/repo/src/cml/Prelude.cpp" "src/cml/CMakeFiles/silver_cml.dir/Prelude.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Prelude.cpp.o.d"
+  "/root/repo/src/cml/Runtime.cpp" "src/cml/CMakeFiles/silver_cml.dir/Runtime.cpp.o" "gcc" "src/cml/CMakeFiles/silver_cml.dir/Runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/silver_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/silver_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/silver_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/silver_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/silver_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ffi/CMakeFiles/silver_ffi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/cml/CMakeFiles/silver_cml.dir/Prelude.cpp.o: \
+ /root/repo/src/cml/Prelude.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/cml/Prelude.h

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_cml.dir/CodeGen.cpp.o"
+  "CMakeFiles/silver_cml.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Compiler.cpp.o"
+  "CMakeFiles/silver_cml.dir/Compiler.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Core.cpp.o"
+  "CMakeFiles/silver_cml.dir/Core.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Flatten.cpp.o"
+  "CMakeFiles/silver_cml.dir/Flatten.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Infer.cpp.o"
+  "CMakeFiles/silver_cml.dir/Infer.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Interp.cpp.o"
+  "CMakeFiles/silver_cml.dir/Interp.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Lexer.cpp.o"
+  "CMakeFiles/silver_cml.dir/Lexer.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Lower.cpp.o"
+  "CMakeFiles/silver_cml.dir/Lower.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Opt.cpp.o"
+  "CMakeFiles/silver_cml.dir/Opt.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Parser.cpp.o"
+  "CMakeFiles/silver_cml.dir/Parser.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Prelude.cpp.o"
+  "CMakeFiles/silver_cml.dir/Prelude.cpp.o.d"
+  "CMakeFiles/silver_cml.dir/Runtime.cpp.o"
+  "CMakeFiles/silver_cml.dir/Runtime.cpp.o.d"
+  "libsilver_cml.a"
+  "libsilver_cml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_cml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsilver_cml.a"
+)

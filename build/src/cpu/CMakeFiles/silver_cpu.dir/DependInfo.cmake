@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/Check.cpp" "src/cpu/CMakeFiles/silver_cpu.dir/Check.cpp.o" "gcc" "src/cpu/CMakeFiles/silver_cpu.dir/Check.cpp.o.d"
+  "/root/repo/src/cpu/Core.cpp" "src/cpu/CMakeFiles/silver_cpu.dir/Core.cpp.o" "gcc" "src/cpu/CMakeFiles/silver_cpu.dir/Core.cpp.o.d"
+  "/root/repo/src/cpu/LabEnv.cpp" "src/cpu/CMakeFiles/silver_cpu.dir/LabEnv.cpp.o" "gcc" "src/cpu/CMakeFiles/silver_cpu.dir/LabEnv.cpp.o.d"
+  "/root/repo/src/cpu/Sim.cpp" "src/cpu/CMakeFiles/silver_cpu.dir/Sim.cpp.o" "gcc" "src/cpu/CMakeFiles/silver_cpu.dir/Sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/silver_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdl/CMakeFiles/silver_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/silver_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/silver_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/silver_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/silver_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_cpu.dir/Check.cpp.o"
+  "CMakeFiles/silver_cpu.dir/Check.cpp.o.d"
+  "CMakeFiles/silver_cpu.dir/Core.cpp.o"
+  "CMakeFiles/silver_cpu.dir/Core.cpp.o.d"
+  "CMakeFiles/silver_cpu.dir/LabEnv.cpp.o"
+  "CMakeFiles/silver_cpu.dir/LabEnv.cpp.o.d"
+  "CMakeFiles/silver_cpu.dir/Sim.cpp.o"
+  "CMakeFiles/silver_cpu.dir/Sim.cpp.o.d"
+  "libsilver_cpu.a"
+  "libsilver_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_ffi.dir/BasisFfi.cpp.o"
+  "CMakeFiles/silver_ffi.dir/BasisFfi.cpp.o.d"
+  "libsilver_ffi.a"
+  "libsilver_ffi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_ffi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for silver_ffi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdl/FastSim.cpp" "src/hdl/CMakeFiles/silver_hdl.dir/FastSim.cpp.o" "gcc" "src/hdl/CMakeFiles/silver_hdl.dir/FastSim.cpp.o.d"
+  "/root/repo/src/hdl/Printer.cpp" "src/hdl/CMakeFiles/silver_hdl.dir/Printer.cpp.o" "gcc" "src/hdl/CMakeFiles/silver_hdl.dir/Printer.cpp.o.d"
+  "/root/repo/src/hdl/Semantics.cpp" "src/hdl/CMakeFiles/silver_hdl.dir/Semantics.cpp.o" "gcc" "src/hdl/CMakeFiles/silver_hdl.dir/Semantics.cpp.o.d"
+  "/root/repo/src/hdl/Verilog.cpp" "src/hdl/CMakeFiles/silver_hdl.dir/Verilog.cpp.o" "gcc" "src/hdl/CMakeFiles/silver_hdl.dir/Verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/silver_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_hdl.dir/FastSim.cpp.o"
+  "CMakeFiles/silver_hdl.dir/FastSim.cpp.o.d"
+  "CMakeFiles/silver_hdl.dir/Printer.cpp.o"
+  "CMakeFiles/silver_hdl.dir/Printer.cpp.o.d"
+  "CMakeFiles/silver_hdl.dir/Semantics.cpp.o"
+  "CMakeFiles/silver_hdl.dir/Semantics.cpp.o.d"
+  "CMakeFiles/silver_hdl.dir/Verilog.cpp.o"
+  "CMakeFiles/silver_hdl.dir/Verilog.cpp.o.d"
+  "libsilver_hdl.a"
+  "libsilver_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

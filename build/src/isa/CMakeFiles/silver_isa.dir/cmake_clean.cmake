@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_isa.dir/Encoding.cpp.o"
+  "CMakeFiles/silver_isa.dir/Encoding.cpp.o.d"
+  "CMakeFiles/silver_isa.dir/Instruction.cpp.o"
+  "CMakeFiles/silver_isa.dir/Instruction.cpp.o.d"
+  "CMakeFiles/silver_isa.dir/Interp.cpp.o"
+  "CMakeFiles/silver_isa.dir/Interp.cpp.o.d"
+  "libsilver_isa.a"
+  "libsilver_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_machine.dir/InterferenceCheck.cpp.o"
+  "CMakeFiles/silver_machine.dir/InterferenceCheck.cpp.o.d"
+  "CMakeFiles/silver_machine.dir/MachineSem.cpp.o"
+  "CMakeFiles/silver_machine.dir/MachineSem.cpp.o.d"
+  "libsilver_machine.a"
+  "libsilver_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/Circuit.cpp" "src/rtl/CMakeFiles/silver_rtl.dir/Circuit.cpp.o" "gcc" "src/rtl/CMakeFiles/silver_rtl.dir/Circuit.cpp.o.d"
+  "/root/repo/src/rtl/Equivalence.cpp" "src/rtl/CMakeFiles/silver_rtl.dir/Equivalence.cpp.o" "gcc" "src/rtl/CMakeFiles/silver_rtl.dir/Equivalence.cpp.o.d"
+  "/root/repo/src/rtl/ToVerilog.cpp" "src/rtl/CMakeFiles/silver_rtl.dir/ToVerilog.cpp.o" "gcc" "src/rtl/CMakeFiles/silver_rtl.dir/ToVerilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdl/CMakeFiles/silver_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/silver_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_rtl.dir/Circuit.cpp.o"
+  "CMakeFiles/silver_rtl.dir/Circuit.cpp.o.d"
+  "CMakeFiles/silver_rtl.dir/Equivalence.cpp.o"
+  "CMakeFiles/silver_rtl.dir/Equivalence.cpp.o.d"
+  "CMakeFiles/silver_rtl.dir/ToVerilog.cpp.o"
+  "CMakeFiles/silver_rtl.dir/ToVerilog.cpp.o.d"
+  "libsilver_rtl.a"
+  "libsilver_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

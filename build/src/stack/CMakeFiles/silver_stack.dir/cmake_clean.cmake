@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_stack.dir/Apps.cpp.o"
+  "CMakeFiles/silver_stack.dir/Apps.cpp.o.d"
+  "CMakeFiles/silver_stack.dir/HardwareLevels.cpp.o"
+  "CMakeFiles/silver_stack.dir/HardwareLevels.cpp.o.d"
+  "CMakeFiles/silver_stack.dir/Stack.cpp.o"
+  "CMakeFiles/silver_stack.dir/Stack.cpp.o.d"
+  "libsilver_stack.a"
+  "libsilver_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

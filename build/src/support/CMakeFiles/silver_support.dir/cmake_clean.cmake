@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/silver_support.dir/StringUtils.cpp.o.d"
+  "libsilver_support.a"
+  "libsilver_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/Image.cpp" "src/sys/CMakeFiles/silver_sys.dir/Image.cpp.o" "gcc" "src/sys/CMakeFiles/silver_sys.dir/Image.cpp.o.d"
+  "/root/repo/src/sys/Layout.cpp" "src/sys/CMakeFiles/silver_sys.dir/Layout.cpp.o" "gcc" "src/sys/CMakeFiles/silver_sys.dir/Layout.cpp.o.d"
+  "/root/repo/src/sys/Syscalls.cpp" "src/sys/CMakeFiles/silver_sys.dir/Syscalls.cpp.o" "gcc" "src/sys/CMakeFiles/silver_sys.dir/Syscalls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/silver_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/silver_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/silver_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silver_sys.dir/Image.cpp.o"
+  "CMakeFiles/silver_sys.dir/Image.cpp.o.d"
+  "CMakeFiles/silver_sys.dir/Layout.cpp.o"
+  "CMakeFiles/silver_sys.dir/Layout.cpp.o.d"
+  "CMakeFiles/silver_sys.dir/Syscalls.cpp.o"
+  "CMakeFiles/silver_sys.dir/Syscalls.cpp.o.d"
+  "libsilver_sys.a"
+  "libsilver_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silver_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

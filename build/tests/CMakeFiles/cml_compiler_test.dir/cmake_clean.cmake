@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cml_compiler_test.dir/cml/CompilerTest.cpp.o"
+  "CMakeFiles/cml_compiler_test.dir/cml/CompilerTest.cpp.o.d"
+  "cml_compiler_test"
+  "cml_compiler_test.pdb"
+  "cml_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cml_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

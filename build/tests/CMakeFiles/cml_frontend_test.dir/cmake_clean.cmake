@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cml_frontend_test.dir/cml/FrontendTest.cpp.o"
+  "CMakeFiles/cml_frontend_test.dir/cml/FrontendTest.cpp.o.d"
+  "cml_frontend_test"
+  "cml_frontend_test.pdb"
+  "cml_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cml_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

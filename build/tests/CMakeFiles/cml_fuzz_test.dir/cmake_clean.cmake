@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cml_fuzz_test.dir/cml/FuzzDifferentialTest.cpp.o"
+  "CMakeFiles/cml_fuzz_test.dir/cml/FuzzDifferentialTest.cpp.o.d"
+  "cml_fuzz_test"
+  "cml_fuzz_test.pdb"
+  "cml_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cml_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

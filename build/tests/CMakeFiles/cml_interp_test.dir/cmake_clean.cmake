@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cml_interp_test.dir/cml/InterpTest.cpp.o"
+  "CMakeFiles/cml_interp_test.dir/cml/InterpTest.cpp.o.d"
+  "cml_interp_test"
+  "cml_interp_test.pdb"
+  "cml_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cml_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

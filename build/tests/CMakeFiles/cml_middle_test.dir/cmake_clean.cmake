@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cml_middle_test.dir/cml/MiddleEndTest.cpp.o"
+  "CMakeFiles/cml_middle_test.dir/cml/MiddleEndTest.cpp.o.d"
+  "cml_middle_test"
+  "cml_middle_test.pdb"
+  "cml_middle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cml_middle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffi_test.dir/ffi/BasisFfiTest.cpp.o"
+  "CMakeFiles/ffi_test.dir/ffi/BasisFfiTest.cpp.o.d"
+  "ffi_test"
+  "ffi_test.pdb"
+  "ffi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

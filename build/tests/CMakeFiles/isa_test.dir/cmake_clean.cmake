@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_test.dir/isa/EncodingTest.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/EncodingTest.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/InterpTest.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/InterpTest.cpp.o.d"
+  "isa_test"
+  "isa_test.pdb"
+  "isa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

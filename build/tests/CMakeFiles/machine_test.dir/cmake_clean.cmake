@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_test.dir/machine/InterferenceTest.cpp.o"
+  "CMakeFiles/machine_test.dir/machine/InterferenceTest.cpp.o.d"
+  "CMakeFiles/machine_test.dir/machine/MachineSemTest.cpp.o"
+  "CMakeFiles/machine_test.dir/machine/MachineSemTest.cpp.o.d"
+  "machine_test"
+  "machine_test.pdb"
+  "machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_test[1]_include.cmake")
+include("/root/repo/build/tests/ffi_test[1]_include.cmake")
+include("/root/repo/build/tests/sys_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/cml_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/cml_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/cml_middle_test[1]_include.cmake")
+include("/root/repo/build/tests/cml_compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/cml_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/hdl_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/stack_test[1]_include.cmake")
