@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/VerilogLint.h"
 #include "cpu/Core.h"
 #include "hdl/Printer.h"
 #include "hdl/Semantics.h"
@@ -35,6 +36,12 @@ int main() {
                  T.error().str().c_str());
     return 1;
   }
+  std::vector<analysis::LintDiag> Diags = analysis::lintModule(*Module);
+  if (!Diags.empty()) {
+    for (const analysis::LintDiag &D : Diags)
+      std::fprintf(stderr, "lint: %s\n", analysis::formatDiag(D).c_str());
+    return 1;
+  }
   std::string Text = hdl::printModule(*Module);
   std::ofstream Out("silver_cpu.sv");
   Out << Text;
@@ -43,8 +50,8 @@ int main() {
   std::printf("circuit: %zu nodes, %zu registers, %zu memories\n",
               Core.Circuit.Nodes.size(), Core.Circuit.Regs.size(),
               Core.Circuit.Mems.size());
-  std::printf("module:  %zu declarations, %zu processes, %zu bytes of "
-              "SystemVerilog -> silver_cpu.sv\n",
+  std::printf("module:  %zu declarations, %zu processes, lint clean, "
+              "%zu bytes of SystemVerilog -> silver_cpu.sv\n",
               Module->Decls.size(), Module->Processes.size(), Text.size());
   // Show the first lines as a taste.
   size_t Shown = 0, Lines = 0;

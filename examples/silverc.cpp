@@ -7,6 +7,7 @@
 //   silverc --level=verilog prog.cml      ... on the generated Verilog
 //   silverc --level=spec prog.cml         ... in the reference semantics
 //   silverc --check prog.cml              run every level and compare
+//   silverc --analyze prog.cml            static installed-image audit
 //   silverc --emit=asm prog.cml           disassembled machine code
 //   silverc --emit=flat prog.cml          the Flat IR after optimisation
 //   silverc -O0 ... / -O1 ...             optimisation level (default -O1)
@@ -17,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ImageAudit.h"
 #include "asm/Disassembler.h"
 #include "cml/CodeGen.h"
 #include "cml/Flat.h"
@@ -49,8 +51,9 @@ int fail(const std::string &Message) {
 int usage() {
   std::fprintf(stderr,
                "usage: silverc [--level=spec|machine|isa|rtl|verilog]\n"
-               "               [--check] [--emit=asm|flat|core] [-O0|-O1]\n"
-               "               [--stdin-file=FILE] [--args=\"...\"] FILE\n");
+               "               [--check] [--analyze] [--emit=asm|flat|core]\n"
+               "               [-O0|-O1] [--stdin-file=FILE] [--args=\"...\"]"
+               " FILE\n");
   return 1;
 }
 
@@ -102,6 +105,7 @@ int main(int Argc, char **Argv) {
   std::string StdinFile;
   std::string Args;
   bool Check = false;
+  bool Analyze = false;
   cml::OptOptions Opt = cml::OptOptions::all();
 
   for (int I = 1; I != Argc; ++I) {
@@ -112,6 +116,8 @@ int main(int Argc, char **Argv) {
       Emit = A.substr(7);
     else if (A == "--check")
       Check = true;
+    else if (A == "--analyze")
+      Analyze = true;
     else if (A == "-O0")
       Opt = cml::OptOptions::none();
     else if (A == "-O1")
@@ -156,6 +162,25 @@ int main(int Argc, char **Argv) {
     if (!In)
       return fail("cannot open '" + StdinFile + "'");
     Spec.StdinData = readAll(In);
+  }
+
+  if (Analyze) {
+    Result<stack::Prepared> P = stack::prepare(Spec);
+    if (!P)
+      return fail(P.error().str());
+    Result<analysis::AuditReport> Report = stack::auditPrepared(*P);
+    if (!Report)
+      return fail(Report.error().str());
+    for (const analysis::AuditDiag &D : Report->Diags)
+      std::printf("%s\n", analysis::formatDiag(D).c_str());
+    std::fprintf(stderr,
+                 "silverc: image audit: %zu diagnostic(s), %zu resolved "
+                 "computed jumps\n",
+                 Report->Diags.size(),
+                 Report->Startup.Resolved.size() +
+                     Report->Syscall.Resolved.size() +
+                     Report->Program.Resolved.size());
+    return Report->ok() ? 0 : 1;
   }
 
   if (Check) {

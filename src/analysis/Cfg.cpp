@@ -1,0 +1,129 @@
+//===- analysis/Cfg.cpp - Machine-code control-flow graphs -----------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include "isa/Abi.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace silver;
+using namespace silver::analysis;
+using assembler::DecodedInstr;
+using isa::Opcode;
+
+Flow silver::analysis::flowOf(const DecodedInstr &D) {
+  Flow F;
+  if (!D.Valid) {
+    F.Kind = FlowKind::Invalid;
+    return F;
+  }
+  const isa::Instruction &I = D.Instr;
+  switch (I.Op) {
+  case Opcode::Jump: {
+    bool IsCall = I.WReg != abi::TmpReg;
+    if (I.isSelfJump() && !IsCall) {
+      F.Kind = FlowKind::Halt;
+      return F;
+    }
+    if (I.A.IsImm && I.F == isa::Func::Add)
+      F.Target = D.Addr + I.A.immValue();
+    else if (I.A.IsImm && I.F == isa::Func::Snd)
+      F.Target = I.A.immValue();
+    F.Kind = IsCall ? FlowKind::Call
+                    : (F.Target ? FlowKind::Goto : FlowKind::Computed);
+    return F;
+  }
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNotZero:
+    F.Kind = FlowKind::Branch;
+    F.Target = D.Addr + static_cast<Word>(I.Offset) * 4;
+    return F;
+  default:
+    F.Kind = FlowKind::Fall;
+    return F;
+  }
+}
+
+Cfg Cfg::build(const std::vector<uint8_t> &Bytes, Word Base, Word Entry,
+               const std::vector<std::pair<Word, Word>> &ExtraEdges) {
+  Cfg G;
+  G.Base = Base;
+  G.Instrs = assembler::decodeRegion(Bytes, Base);
+  if (G.Instrs.empty())
+    return G;
+
+  // Leaders: the entry, every static target, everything after a
+  // terminator, and the externally resolved targets.
+  std::vector<bool> Leader(G.Instrs.size(), false);
+  auto MarkLeader = [&](Word Addr) {
+    if (std::optional<size_t> Idx = G.instrAt(Addr))
+      Leader[*Idx] = true;
+  };
+  MarkLeader(Entry);
+  Leader[0] = true;
+  std::map<Word, std::vector<Word>> EdgesFrom;
+  for (const auto &[From, To] : ExtraEdges) {
+    EdgesFrom[From].push_back(To);
+    MarkLeader(To);
+  }
+  for (size_t I = 0, E = G.Instrs.size(); I != E; ++I) {
+    Flow F = flowOf(G.Instrs[I]);
+    if (F.Target)
+      MarkLeader(*F.Target);
+    if (F.Kind != FlowKind::Fall && I + 1 != E)
+      Leader[I + 1] = true;
+  }
+
+  // Blocks: [leader, next leader) with the flow-derived terminator.
+  G.BlockOf.assign(G.Instrs.size(), 0);
+  for (size_t I = 0, E = G.Instrs.size(); I != E;) {
+    size_t First = I;
+    for (++I; I != E && !Leader[I]; ++I)
+      ;
+    BasicBlock B;
+    B.First = First;
+    B.Last = I - 1;
+    for (size_t J = First; J != I; ++J)
+      G.BlockOf[J] = G.Blocks.size();
+    G.Blocks.push_back(std::move(B));
+  }
+
+  // Edges.
+  for (size_t BI = 0, BE = G.Blocks.size(); BI != BE; ++BI) {
+    BasicBlock &B = G.Blocks[BI];
+    Flow F = flowOf(G.Instrs[B.Last]);
+    auto AddEdge = [&](Word Addr) {
+      std::optional<size_t> Idx = G.instrAt(Addr);
+      if (!Idx) {
+        B.HasExternalExit = true;
+        return;
+      }
+      size_t Succ = G.BlockOf[*Idx];
+      if (std::find(B.Succs.begin(), B.Succs.end(), Succ) == B.Succs.end())
+        B.Succs.push_back(Succ);
+    };
+    if (F.Target)
+      AddEdge(*F.Target);
+    if (F.HasFallthrough() && B.Last + 1 != G.Instrs.size())
+      AddEdge(G.addrOf(B.Last + 1));
+    if (F.Kind == FlowKind::Computed ||
+        (F.Kind == FlowKind::Call && !F.Target))
+      B.HasComputedExit = true;
+    if (auto It = EdgesFrom.find(G.addrOf(B.Last)); It != EdgesFrom.end())
+      for (Word To : It->second)
+        AddEdge(To);
+  }
+  for (size_t BI = 0, BE = G.Blocks.size(); BI != BE; ++BI)
+    for (size_t Succ : G.Blocks[BI].Succs)
+      G.Blocks[Succ].Preds.push_back(BI);
+
+  if (std::optional<size_t> Idx = G.instrAt(Entry))
+    G.EntryBlock = G.BlockOf[*Idx];
+  return G;
+}

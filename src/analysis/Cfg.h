@@ -1,0 +1,109 @@
+//===- analysis/Cfg.h - Machine-code control-flow graphs -------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic-block control-flow graphs over decoded Silver machine code.  A
+/// Cfg is built for one code region (startup, system-call, or compiled
+/// program code; paper Fig. 2) from the asm::Disassembler's decoded view.
+/// Static successors come from the instruction alone (PC-relative jumps
+/// and conditional branches); computed jumps through registers are marked
+/// and can later be resolved by the constant-propagation pass in
+/// analysis/Dataflow.h, which re-enters the builder with extra leaders.
+///
+/// The convention that distinguishes calls from gotos follows the whole
+/// code base (assembler, code generator, system-call routines): a Jump
+/// whose link register is abi::TmpReg discards the return address (goto,
+/// return, halt), while any other link register is a call whose successor
+/// set includes the return point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ANALYSIS_CFG_H
+#define SILVER_ANALYSIS_CFG_H
+
+#include "asm/Disassembler.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace silver {
+namespace analysis {
+
+/// How control leaves an instruction.
+enum class FlowKind : uint8_t {
+  Fall,     ///< falls through to the next instruction
+  Branch,   ///< conditional: fallthrough plus a static PC-relative target
+  Goto,     ///< unconditional static jump, no fallthrough
+  Call,     ///< jump with a live link register: target plus return point
+  Computed, ///< register jump discarding the link: target unknown
+  Halt,     ///< unconditional self-jump (the is_halted fixpoint)
+  Invalid,  ///< the word does not decode; execution would fault
+};
+
+/// The statically visible control flow of one instruction.
+struct Flow {
+  FlowKind Kind = FlowKind::Fall;
+  std::optional<Word> Target; ///< static target (Branch/Goto/Call)
+  bool HasFallthrough() const {
+    return Kind == FlowKind::Fall || Kind == FlowKind::Branch ||
+           Kind == FlowKind::Call;
+  }
+};
+
+/// Classifies \p D at its address.  Pure function of the instruction.
+Flow flowOf(const assembler::DecodedInstr &D);
+
+/// A maximal straight-line run of instructions.
+struct BasicBlock {
+  size_t First = 0; ///< index of the first instruction (into Cfg::Instrs)
+  size_t Last = 0;  ///< index of the terminator (inclusive)
+  std::vector<size_t> Succs; ///< successor block indices, in-region
+  std::vector<size_t> Preds;
+  bool HasComputedExit = false; ///< terminator target unknown statically
+  bool HasExternalExit = false; ///< static target outside this region
+};
+
+/// A control-flow graph over one contiguous code region.
+class Cfg {
+public:
+  Word Base = 0; ///< address of Instrs[0]
+  std::vector<assembler::DecodedInstr> Instrs;
+  std::vector<BasicBlock> Blocks;
+  std::vector<size_t> BlockOf; ///< instruction index -> owning block
+  size_t EntryBlock = 0;
+
+  /// Builds the graph for \p Bytes loaded at \p Base with entry point
+  /// \p Entry.  \p ExtraEdges adds control-flow edges discovered
+  /// externally (computed jumps resolved by constant propagation), as
+  /// (jump address, target address) pairs; targets become leaders, and
+  /// out-of-region targets mark the source block's external exit.
+  static Cfg build(const std::vector<uint8_t> &Bytes, Word Base, Word Entry,
+                   const std::vector<std::pair<Word, Word>> &ExtraEdges = {});
+
+  Word endAddr() const {
+    return Base + static_cast<Word>(Instrs.size()) * 4;
+  }
+  bool contains(Word Addr) const { return Addr >= Base && Addr < endAddr(); }
+
+  /// Index of the instruction at \p Addr; nullopt when out of region or
+  /// misaligned.
+  std::optional<size_t> instrAt(Word Addr) const {
+    if (!contains(Addr) || !isAligned(Addr - Base, 4))
+      return std::nullopt;
+    return (Addr - Base) / 4;
+  }
+
+  Word addrOf(size_t InstrIdx) const {
+    return Base + static_cast<Word>(InstrIdx) * 4;
+  }
+};
+
+} // namespace analysis
+} // namespace silver
+
+#endif // SILVER_ANALYSIS_CFG_H

@@ -1,0 +1,276 @@
+//===- analysis/Dataflow.cpp - Worklist dataflow over machine Cfgs ---------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include "isa/Abi.h"
+#include "isa/Interp.h"
+
+#include <algorithm>
+
+using namespace silver;
+using namespace silver::analysis;
+using assembler::DecodedInstr;
+using isa::Func;
+using isa::Opcode;
+
+// --- constant propagation ---------------------------------------------------
+
+std::optional<Word> ConstProp::operandValue(const isa::Operand &Op,
+                                            const Value &V) {
+  if (Op.IsImm)
+    return Op.immValue();
+  return V.Regs[Op.Value];
+}
+
+bool ConstProp::join(Value &Into, const Value &From) const {
+  bool Changed = false;
+  for (unsigned R = 0; R != isa::NumRegs; ++R) {
+    if (!Into.Regs[R])
+      continue;
+    if (!From.Regs[R] || *From.Regs[R] != *Into.Regs[R]) {
+      Into.Regs[R] = std::nullopt;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Whether evalAlu(F, ...) is a pure function of its register operands
+/// (i.e. does not read the carry/overflow flags, which we do not track).
+static bool flagFree(Func F) {
+  return F != Func::AddCarry && F != Func::Carry && F != Func::Overflow;
+}
+
+/// Which operands the ALU function actually consumes.
+static bool usesA(Func F) { return F != Func::Snd && flagFree(F); }
+static bool usesB(Func F) {
+  return F != Func::Inc && F != Func::Dec && flagFree(F);
+}
+
+void ConstProp::transfer(const DecodedInstr &D, Value &V) const {
+  if (!D.Valid)
+    return;
+  const isa::Instruction &I = D.Instr;
+  switch (I.Op) {
+  case Opcode::Normal: {
+    std::optional<Word> A = operandValue(I.A, V);
+    std::optional<Word> B = operandValue(I.B, V);
+    bool Known = flagFree(I.F) && (!usesA(I.F) || A) && (!usesB(I.F) || B);
+    V.Regs[I.WReg] =
+        Known ? std::optional<Word>(
+                    isa::evalAlu(I.F, A.value_or(0), B.value_or(0),
+                                 /*CarryIn=*/false, /*OverflowIn=*/false)
+                        .Value)
+              : std::nullopt;
+    break;
+  }
+  case Opcode::Shift: {
+    std::optional<Word> A = operandValue(I.A, V);
+    std::optional<Word> B = operandValue(I.B, V);
+    V.Regs[I.WReg] = (A && B)
+                         ? std::optional<Word>(isa::evalShift(I.Sh, *A, *B))
+                         : std::nullopt;
+    break;
+  }
+  case Opcode::LoadMEM:
+  case Opcode::LoadMEMByte:
+  case Opcode::In:
+    V.Regs[I.WReg] = std::nullopt;
+    break;
+  case Opcode::LoadConstant:
+    V.Regs[I.WReg] = I.Negate ? (0u - I.Imm) : I.Imm;
+    break;
+  case Opcode::LoadUpperConstant:
+    V.Regs[I.WReg] =
+        V.Regs[I.WReg]
+            ? std::optional<Word>((I.Imm << 21) | (*V.Regs[I.WReg] & 0x1fffff))
+            : std::nullopt;
+    break;
+  case Opcode::Jump:
+    V.Regs[I.WReg] = D.Addr + 4; // the link value
+    break;
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNotZero:
+  case Opcode::StoreMEM:
+  case Opcode::StoreMEMByte:
+  case Opcode::Interrupt:
+  case Opcode::Out:
+    break;
+  }
+}
+
+ConstProp::Value ConstProp::edgeValue(const Cfg &G, size_t FromBlock,
+                                      size_t ToBlock,
+                                      const Value &Out) const {
+  const BasicBlock &B = G.Blocks[FromBlock];
+  Flow F = flowOf(G.Instrs[B.Last]);
+  if (F.Kind != FlowKind::Call)
+    return Out;
+  // The fallthrough edge of a call is the return point: the callee may
+  // have changed everything except the info registers r1-r4, which the
+  // clobber discipline (audited for the syscall code) keeps intact.
+  Word ReturnAddr = G.addrOf(B.Last) + 4;
+  if (G.addrOf(G.Blocks[ToBlock].First) != ReturnAddr)
+    return Out; // the call-target edge, not the return point
+  Value Havocked;
+  for (unsigned R = abi::MemStartReg; R <= abi::LayoutReg; ++R)
+    Havocked.Regs[R] = Out.Regs[R];
+  return Havocked;
+}
+
+ConstPropResult silver::analysis::runConstProp(const Cfg &G,
+                                               const RegState &Entry) {
+  ConstPropResult R;
+  ConstProp D;
+  R.Solved = solveForward(G, D, Entry);
+  R.InstrIn.assign(G.Instrs.size(), RegState());
+  for (size_t BI = 0, BE = G.Blocks.size(); BI != BE; ++BI) {
+    if (!R.Solved.Reachable[BI])
+      continue;
+    RegState V = R.Solved.BlockIn[BI];
+    const BasicBlock &B = G.Blocks[BI];
+    for (size_t I = B.First; I <= B.Last; ++I) {
+      R.InstrIn[I] = V;
+      D.transfer(G.Instrs[I], V);
+    }
+  }
+  return R;
+}
+
+// --- summaries --------------------------------------------------------------
+
+void silver::analysis::accumulateDefUse(const isa::Instruction &I,
+                                        RegSummary &S) {
+  auto Def = [&](unsigned R) { S.Defs |= uint64_t(1) << R; };
+  auto Use = [&](const isa::Operand &Op) {
+    if (!Op.IsImm)
+      S.Uses |= uint64_t(1) << Op.Value;
+  };
+  auto AluFlags = [&](Func F) {
+    if (F == Func::Add || F == Func::AddCarry || F == Func::Sub)
+      S.DefsFlags = true;
+    if (F == Func::AddCarry || F == Func::Carry || F == Func::Overflow)
+      S.UsesFlags = true;
+  };
+  switch (I.Op) {
+  case Opcode::Normal:
+    Def(I.WReg);
+    Use(I.A);
+    Use(I.B);
+    AluFlags(I.F);
+    break;
+  case Opcode::Shift:
+    Def(I.WReg);
+    Use(I.A);
+    Use(I.B);
+    break;
+  case Opcode::LoadMEM:
+  case Opcode::LoadMEMByte:
+    Def(I.WReg);
+    Use(I.A);
+    break;
+  case Opcode::StoreMEM:
+  case Opcode::StoreMEMByte:
+    Use(I.A);
+    Use(I.B);
+    break;
+  case Opcode::LoadConstant:
+    Def(I.WReg);
+    break;
+  case Opcode::LoadUpperConstant:
+    Def(I.WReg);
+    S.Uses |= uint64_t(1) << I.WReg; // merges into the low bits
+    break;
+  case Opcode::Jump:
+    Def(I.WReg);
+    Use(I.A);
+    AluFlags(I.F);
+    break;
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNotZero:
+    Use(I.A);
+    Use(I.B);
+    AluFlags(I.F);
+    break;
+  case Opcode::In:
+    Def(I.WReg);
+    break;
+  case Opcode::Out:
+    Use(I.A);
+    break;
+  case Opcode::Interrupt:
+    break;
+  }
+}
+
+RegSummary
+silver::analysis::summarizeRegion(const Cfg &G,
+                                  const std::vector<bool> &Reachable) {
+  RegSummary S;
+  for (size_t BI = 0, BE = G.Blocks.size(); BI != BE; ++BI) {
+    if (!Reachable[BI])
+      continue;
+    const BasicBlock &B = G.Blocks[BI];
+    for (size_t I = B.First; I <= B.Last; ++I)
+      if (G.Instrs[I].Valid)
+        accumulateDefUse(G.Instrs[I].Instr, S);
+  }
+  return S;
+}
+
+// --- region analysis --------------------------------------------------------
+
+/// Resolves a computed jump's target from the register state before it.
+static std::optional<Word> resolveJump(const DecodedInstr &D,
+                                       const RegState &In) {
+  const isa::Instruction &I = D.Instr;
+  std::optional<Word> A = ConstProp::operandValue(I.A, In);
+  if (!A || !flagFree(I.F))
+    return std::nullopt;
+  return isa::evalAlu(I.F, D.Addr, *A, false, false).Value;
+}
+
+RegionAnalysis silver::analysis::analyzeRegion(
+    const std::vector<uint8_t> &Bytes, Word Base, Word Entry,
+    const RegState &EntryRegs, unsigned MaxIterations) {
+  RegionAnalysis R;
+  std::vector<std::pair<Word, Word>> Edges;
+  for (unsigned Iter = 0; Iter != MaxIterations; ++Iter) {
+    R.G = Cfg::build(Bytes, Base, Entry, Edges);
+    R.Consts = runConstProp(R.G, EntryRegs);
+    R.Resolved.clear();
+
+    bool Grew = false;
+    for (size_t I = 0, E = R.G.Instrs.size(); I != E; ++I) {
+      if (!R.instrReachable(I) || !R.G.Instrs[I].Valid)
+        continue;
+      Flow F = flowOf(R.G.Instrs[I]);
+      bool Unresolved = (F.Kind == FlowKind::Computed ||
+                         F.Kind == FlowKind::Call) &&
+                        !F.Target;
+      if (!Unresolved)
+        continue;
+      std::optional<Word> Target =
+          resolveJump(R.G.Instrs[I], R.Consts.InstrIn[I]);
+      if (!Target)
+        continue;
+      R.Resolved.push_back(
+          {R.G.addrOf(I), *Target, F.Kind == FlowKind::Call});
+      if (!R.G.instrAt(*Target))
+        continue; // out of region (or misaligned): the audit's concern
+      std::pair<Word, Word> Edge{R.G.addrOf(I), *Target};
+      if (std::find(Edges.begin(), Edges.end(), Edge) == Edges.end()) {
+        Edges.push_back(Edge);
+        Grew = true;
+      }
+    }
+    if (!Grew)
+      break;
+  }
+  return R;
+}

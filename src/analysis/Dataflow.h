@@ -1,0 +1,178 @@
+//===- analysis/Dataflow.h - Worklist dataflow over machine Cfgs -*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic forward worklist solver over analysis::Cfg, plus the two
+/// instances the image audit needs: register constant propagation (which
+/// resolves the assembler's load-address-then-jump sequences to static
+/// targets and store instructions to static addresses) and register
+/// def/use/clobber summaries (the static counterpart of the FFI clobber
+/// discipline checked dynamically by machine::checkInterferenceImpl).
+///
+/// A Domain provides:
+///   using Value = ...;                       // a join-semilattice element
+///   bool join(Value &Into, const Value &From);  // returns true on change
+///   void transfer(const assembler::DecodedInstr &I, Value &V);
+///   Value edgeValue(const Cfg &G, size_t FromBlock, size_t ToBlock,
+///                   const Value &Out);       // per-edge adjustment
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ANALYSIS_DATAFLOW_H
+#define SILVER_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+#include "isa/Instruction.h"
+
+#include <array>
+#include <deque>
+#include <optional>
+
+namespace silver {
+namespace analysis {
+
+/// Solver output: per-block in-values plus the reachable set (a block is
+/// reachable when the solver ever visited it from the entry).
+template <typename Domain> struct DataflowResult {
+  std::vector<typename Domain::Value> BlockIn;
+  std::vector<bool> Reachable;
+};
+
+/// Forward worklist iteration from the Cfg entry to a fixpoint.  Values
+/// propagate only along intra-region edges; computed or external exits
+/// contribute nothing (the audit validates their targets separately).
+template <typename Domain>
+DataflowResult<Domain> solveForward(const Cfg &G, Domain &D,
+                                    typename Domain::Value EntryValue) {
+  DataflowResult<Domain> R;
+  R.BlockIn.assign(G.Blocks.size(), typename Domain::Value());
+  R.Reachable.assign(G.Blocks.size(), false);
+  if (G.Blocks.empty())
+    return R;
+
+  std::deque<size_t> Worklist;
+  std::vector<bool> Queued(G.Blocks.size(), false);
+  R.BlockIn[G.EntryBlock] = std::move(EntryValue);
+  R.Reachable[G.EntryBlock] = true;
+  Worklist.push_back(G.EntryBlock);
+  Queued[G.EntryBlock] = true;
+
+  while (!Worklist.empty()) {
+    size_t BI = Worklist.front();
+    Worklist.pop_front();
+    Queued[BI] = false;
+
+    typename Domain::Value Out = R.BlockIn[BI];
+    const BasicBlock &B = G.Blocks[BI];
+    for (size_t I = B.First; I <= B.Last; ++I)
+      D.transfer(G.Instrs[I], Out);
+
+    for (size_t Succ : B.Succs) {
+      typename Domain::Value Edge = D.edgeValue(G, BI, Succ, Out);
+      bool Changed = !R.Reachable[Succ] || D.join(R.BlockIn[Succ], Edge);
+      if (!R.Reachable[Succ]) {
+        R.BlockIn[Succ] = std::move(Edge);
+        R.Reachable[Succ] = true;
+      }
+      if (Changed && !Queued[Succ]) {
+        Worklist.push_back(Succ);
+        Queued[Succ] = true;
+      }
+    }
+  }
+  return R;
+}
+
+// --- constant propagation ---------------------------------------------------
+
+/// Per-register lattice: a known 32-bit constant or no information.
+struct RegState {
+  std::array<std::optional<Word>, isa::NumRegs> Regs;
+
+  bool operator==(const RegState &O) const { return Regs == O.Regs; }
+};
+
+/// Constant propagation.  Registers seeded with entry constants (the
+/// installed-state info registers r1-r4) stay constant until written; at
+/// a call's return point every register except r1-r4 is havocked, since
+/// the callee's effect is unknown (keeping r1-r4 encodes the convention,
+/// audited for the syscall code, that they are never clobbered).
+class ConstProp {
+public:
+  using Value = RegState;
+
+  bool join(Value &Into, const Value &From) const;
+  void transfer(const assembler::DecodedInstr &D, Value &V) const;
+  Value edgeValue(const Cfg &G, size_t FromBlock, size_t ToBlock,
+                  const Value &Out) const;
+
+  /// The value a register-or-immediate operand evaluates to, if known.
+  static std::optional<Word> operandValue(const isa::Operand &Op,
+                                          const Value &V);
+};
+
+/// Runs constant propagation and pre-computes, for every instruction of a
+/// reachable block, the register state just before it executes.
+struct ConstPropResult {
+  DataflowResult<ConstProp> Solved;
+  std::vector<RegState> InstrIn; ///< indexed like Cfg::Instrs
+
+  bool reachable(const Cfg &G, size_t InstrIdx) const {
+    return Solved.Reachable[G.BlockOf[InstrIdx]];
+  }
+};
+ConstPropResult runConstProp(const Cfg &G, const RegState &Entry);
+
+// --- summaries --------------------------------------------------------------
+
+/// Register def/use sets over the reachable part of a region, as 64-bit
+/// masks (bit r = register r).
+struct RegSummary {
+  uint64_t Defs = 0;
+  uint64_t Uses = 0;
+  bool DefsFlags = false; ///< executes an Add/AddCarry/Sub ALU operation
+  bool UsesFlags = false; ///< executes AddCarry/Carry/Overflow
+
+  bool defs(unsigned Reg) const { return (Defs >> Reg) & 1; }
+  bool uses(unsigned Reg) const { return (Uses >> Reg) & 1; }
+};
+
+/// Accumulates defs/uses of a single instruction into \p S.
+void accumulateDefUse(const isa::Instruction &I, RegSummary &S);
+
+/// Summary over every instruction of a reachable block.
+RegSummary summarizeRegion(const Cfg &G, const std::vector<bool> &Reachable);
+
+// --- region analysis (Cfg + constprop to a mutual fixpoint) -----------------
+
+/// The computed jumps constant propagation managed to resolve.
+struct ResolvedJump {
+  Word FromAddr = 0;
+  Word Target = 0;
+  bool IsCall = false;
+};
+
+/// A fully analysed region: constant propagation resolves computed jumps,
+/// resolved in-region targets become new block leaders, and the pair is
+/// re-run until no new edges appear (bounded; the bound is generous
+/// compared to real call-graph depths).
+struct RegionAnalysis {
+  Cfg G;
+  ConstPropResult Consts;
+  std::vector<ResolvedJump> Resolved;
+
+  bool instrReachable(size_t Idx) const { return Consts.reachable(G, Idx); }
+};
+
+RegionAnalysis analyzeRegion(const std::vector<uint8_t> &Bytes, Word Base,
+                             Word Entry, const RegState &EntryRegs,
+                             unsigned MaxIterations = 32);
+
+} // namespace analysis
+} // namespace silver
+
+#endif // SILVER_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,71 @@
+//===- analysis/VerilogLint.h - Linter for the Verilog subset ---*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A collecting linter for hdl::VModule.  Where hdl::typeCheck stops at
+/// the first violation of the paper's vars_has_type / non-interference
+/// obligations (§3), the linter keeps going and reports every violation
+/// with a rule identifier, the offending process index, and a statement
+/// path — the shape a CI gate or an editor integration wants.  It also
+/// checks properties the fail-fast checker does not: blocking
+/// intermediates must be written before they are read within their
+/// process (the subset's processes run over cycle-start state, so a
+/// read-before-write silently sees last cycle's leftover), state and
+/// intermediates must not share a variable, blocking intermediates are
+/// process-local, and constant memory indices must be in range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ANALYSIS_VERILOGLINT_H
+#define SILVER_ANALYSIS_VERILOGLINT_H
+
+#include "hdl/Verilog.h"
+
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace analysis {
+
+/// Lint rule identifiers.  Each corresponds to a side condition of the
+/// paper's Verilog subset (§3) — see DESIGN.md's static-analysis section
+/// for the mapping.
+enum class LintRule : uint8_t {
+  MultiDriver,          ///< variable written by two processes
+  MixedAssign,          ///< same variable written blocking and non-blocking
+  NonLocalIntermediate, ///< blocking intermediate read by another process
+  ReadBeforeWrite,      ///< blocking intermediate read before assigned
+  WidthMismatch,        ///< vector widths disagree (operator or assignment)
+  Undeclared,           ///< read or write of an undeclared variable
+  InputWrite,           ///< assignment to an input port
+  MemBounds,            ///< constant memory index out of range
+  TypeError,            ///< other type violation (kind mismatch, bad slice)
+};
+
+/// The stable string identifier of a rule (e.g. "hdl-multi-driver").
+const char *lintRuleId(LintRule R);
+
+/// One diagnostic.
+struct LintDiag {
+  LintRule Rule = LintRule::TypeError;
+  int Process = -1;    ///< process index; -1 for module-level diagnostics
+  std::string Path;    ///< statement path, e.g. "body/s3/then/s0"
+  std::string Message; ///< human-readable description
+};
+
+/// Renders "rule @ process N path: message".
+std::string formatDiag(const LintDiag &D);
+
+/// Lints \p M and returns every diagnostic, in deterministic order
+/// (module-level first, then by process and statement position, then the
+/// cross-process checks).  An empty result implies hdl::typeCheck passes.
+std::vector<LintDiag> lintModule(const hdl::VModule &M);
+
+} // namespace analysis
+} // namespace silver
+
+#endif // SILVER_ANALYSIS_VERILOGLINT_H

@@ -12,6 +12,27 @@
 using namespace silver;
 using namespace silver::assembler;
 
+std::vector<DecodedInstr>
+silver::assembler::decodeRegion(const std::vector<uint8_t> &Bytes,
+                                Word BaseAddr) {
+  std::vector<DecodedInstr> Out;
+  Out.reserve(Bytes.size() / 4);
+  for (size_t I = 0; I + 4 <= Bytes.size(); I += 4) {
+    DecodedInstr D;
+    D.Addr = BaseAddr + static_cast<Word>(I);
+    D.Encoded = static_cast<Word>(Bytes[I]) |
+                (static_cast<Word>(Bytes[I + 1]) << 8) |
+                (static_cast<Word>(Bytes[I + 2]) << 16) |
+                (static_cast<Word>(Bytes[I + 3]) << 24);
+    if (Result<isa::Instruction> Decoded = isa::decode(D.Encoded)) {
+      D.Valid = true;
+      D.Instr = *Decoded;
+    }
+    Out.push_back(D);
+  }
+  return Out;
+}
+
 std::vector<DisasmLine>
 silver::assembler::disassemble(const std::vector<uint8_t> &Bytes,
                                Word BaseAddr) {

@@ -31,6 +31,23 @@ struct DisasmLine {
   std::string Text;   ///< instruction text, or ".word 0x..." when invalid
 };
 
+/// One decoded slot of a code region: the machine-level view the static
+/// analyses (analysis/Cfg.h) consume, as opposed to the textual view of
+/// DisasmLine.  Invalid slots keep their raw encoding so an audit can
+/// report the offending word.
+struct DecodedInstr {
+  Word Addr = 0;
+  Word Encoded = 0;
+  bool Valid = false;
+  isa::Instruction Instr; ///< meaningful only when Valid
+};
+
+/// Decodes every word of \p Bytes loaded at \p BaseAddr.  A trailing
+/// partial word is dropped (it cannot execute: instruction fetch is
+/// word-sized and word-aligned).
+std::vector<DecodedInstr> decodeRegion(const std::vector<uint8_t> &Bytes,
+                                       Word BaseAddr);
+
 /// Disassembles \p Bytes loaded at \p BaseAddr.  A trailing partial word
 /// is rendered as ".byte" lines.
 std::vector<DisasmLine> disassemble(const std::vector<uint8_t> &Bytes,

@@ -48,6 +48,32 @@ struct Value {
   std::string PrimName;
   unsigned PrimArity = 0;
   std::vector<ValueRef> PrimArgs;
+
+  Value() = default;
+  Value(const Value &) = default;
+  Value &operator=(const Value &) = default;
+
+  // Long cons chains must not be torn down by the default recursive
+  // shared_ptr destruction: one frame per cell overflows the stack on
+  // lists of ~10^5 elements.  Drain solely-owned children iteratively.
+  ~Value() {
+    std::vector<ValueRef> Pending;
+    auto Take = [&Pending](ValueRef &R) {
+      if (R && R.use_count() == 1)
+        Pending.push_back(std::move(R));
+      R.reset();
+    };
+    Take(A);
+    Take(B);
+    while (!Pending.empty()) {
+      ValueRef V = std::move(Pending.back());
+      Pending.pop_back();
+      Take(V->A);
+      Take(V->B);
+      for (ValueRef &Arg : V->PrimArgs)
+        Take(Arg);
+    }
+  }
 };
 
 ValueRef makeInt(int32_t V) {

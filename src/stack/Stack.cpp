@@ -44,6 +44,15 @@ Result<Prepared> silver::stack::prepare(const RunSpec &Spec) {
   return P;
 }
 
+Result<analysis::AuditReport>
+silver::stack::auditPrepared(const Prepared &P) {
+  Result<sys::MemoryImage> Image = sys::buildImage(P.Image);
+  if (!Image)
+    return Image.error();
+  return analysis::auditImage(*Image,
+                              static_cast<Word>(P.Image.Program.size()));
+}
+
 static Result<Observed> runSpecLevel(const RunSpec &Spec) {
   Result<cml::Program> Prog =
       cml::parseProgram(cml::withPrelude(Spec.Source));

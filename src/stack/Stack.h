@@ -23,6 +23,7 @@
 #ifndef SILVER_STACK_STACK_H
 #define SILVER_STACK_STACK_H
 
+#include "analysis/ImageAudit.h"
 #include "cml/Compiler.h"
 #include "machine/MachineSem.h"
 #include "support/Result.h"
@@ -63,6 +64,13 @@ struct Prepared {
   sys::ImageSpec Image;
 };
 Result<Prepared> prepare(const RunSpec &Spec);
+
+/// Builds the bootable image for \p P and statically audits it against
+/// the installed-predicate approximation (analysis/ImageAudit.h): region
+/// placement, decodability of reachable code, jump-target containment,
+/// the W^X store discipline, and the syscall clobber set.  The returned
+/// report is the audit outcome; the build itself failing is an error.
+Result<analysis::AuditReport> auditPrepared(const Prepared &P);
 
 /// Runs at one level.  Rtl and Verilog are considerably slower; their
 /// budgets derive from MaxSteps times a cycles-per-instruction bound.

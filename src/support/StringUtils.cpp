@@ -18,19 +18,23 @@ std::vector<std::string> silver::splitString(const std::string &Text,
   std::string Current;
   for (char C : Text) {
     if (C == Separator) {
-      Parts.push_back(Current);
+      Parts.push_back(std::move(Current));
       Current.clear();
       continue;
     }
     Current.push_back(C);
   }
-  Parts.push_back(Current);
+  Parts.push_back(std::move(Current));
   return Parts;
 }
 
 std::string silver::joinStrings(const std::vector<std::string> &Parts,
                                 const std::string &Separator) {
+  size_t Total = Parts.empty() ? 0 : (Parts.size() - 1) * Separator.size();
+  for (const std::string &Part : Parts)
+    Total += Part.size();
   std::string Out;
+  Out.reserve(Total);
   for (size_t I = 0, E = Parts.size(); I != E; ++I) {
     if (I != 0)
       Out += Separator;

@@ -67,9 +67,9 @@ Result<MemoryImage> silver::sys::buildImage(const ImageSpec &Spec) {
             Image.Memory.begin() + L.StartupBase);
 
   // Descriptor table: region addresses for tools and tests.
-  Word Desc[8] = {L.CmdlineBase,  L.StdinBase,       L.OutBufBase,
-                  L.ExitFlagAddr, L.ExitCodeAddr,    L.SyscallIdAddr,
-                  L.SyscallCodeBase, L.HeapBase};
+  const Word Desc[8] = {L.CmdlineBase,  L.StdinBase,       L.OutBufBase,
+                        L.ExitFlagAddr, L.ExitCodeAddr,    L.SyscallIdAddr,
+                        L.SyscallCodeBase, L.HeapBase};
   for (unsigned I = 0; I != 8; ++I)
     writeWordTo(Image.Memory, L.DescriptorBase + 4 * I, Desc[I]);
 
@@ -129,11 +129,10 @@ silver::sys::interruptObservable(const std::vector<uint8_t> &Memory,
     Len = Layout.Params.OutBufCap;
   std::vector<uint8_t> Bytes(Memory.begin() + Layout.OutBufBase + 8,
                              Memory.begin() + Layout.OutBufBase + 8 + Len);
-  std::string Text(Bytes.begin(), Bytes.end());
   if (Id == 1)
-    StdoutData += Text;
+    StdoutData.append(Bytes.begin(), Bytes.end());
   else if (Id == 2)
-    StderrData += Text;
+    StderrData.append(Bytes.begin(), Bytes.end());
   return Bytes;
 }
 

@@ -41,6 +41,55 @@ TEST(Layout, PaperStdinSizeFits) {
   EXPECT_GE(L->usableSize(), 1u << 20);
 }
 
+TEST(Layout, UsableMemoryFloorIsExact) {
+  // The smallest accepted image leaves exactly 16 KiB of usable memory.
+  LayoutParams P;
+  Result<MemoryLayout> Probe = MemoryLayout::compute(P, 4096);
+  ASSERT_TRUE(Probe);
+  // The front regions do not depend on MemSize, so HeapBase is stable.
+  P.MemSize = Probe->HeapBase + 16 * 1024 + 4096;
+  Result<MemoryLayout> L = MemoryLayout::compute(P, 4096);
+  ASSERT_TRUE(L) << L.error().str();
+  EXPECT_EQ(L->usableSize(), 16u * 1024);
+  P.MemSize -= 4096;
+  EXPECT_FALSE(MemoryLayout::compute(P, 4096));
+}
+
+TEST(ClOk, JoinedSizeBoundaryIsExact) {
+  LayoutParams P;
+  // A single argument of exactly CmdlineCap bytes joins to CmdlineCap.
+  EXPECT_TRUE(checkClOk({std::string(P.CmdlineCap, 'x')}, P));
+  EXPECT_FALSE(checkClOk({std::string(P.CmdlineCap + 1, 'x')}, P));
+  // Two arguments pay one separator byte.
+  EXPECT_TRUE(checkClOk(
+      {std::string(P.CmdlineCap - 2, 'x'), "y"}, P));
+  EXPECT_FALSE(checkClOk(
+      {std::string(P.CmdlineCap - 1, 'x'), "y"}, P));
+}
+
+TEST(ClOk, ArgumentCountLimitIs16Bit) {
+  LayoutParams P;
+  P.CmdlineCap = 200000; // so the joined size is not the binding limit
+  std::vector<std::string> Args(0xffff, "a");
+  EXPECT_TRUE(checkClOk(Args, P));
+  Args.push_back("a");
+  EXPECT_FALSE(checkClOk(Args, P));
+}
+
+TEST(Image, EmptyCommandLineBuilds) {
+  assembler::Assembler A;
+  A.emitHalt();
+  Result<assembler::Assembled> Prog = A.assemble(0);
+  ASSERT_TRUE(Prog);
+  ImageSpec Spec;
+  Spec.Program = Prog->Bytes;
+  Spec.CommandLine = {};
+  Result<BootResult> Boot = sys::boot(Spec);
+  ASSERT_TRUE(Boot) << Boot.error().str();
+  // The command-line region holds a zero length word.
+  EXPECT_EQ(Boot->State.readWord(Boot->Image.Layout.CmdlineBase), 0u);
+}
+
 TEST(ClOk, AcceptsAndRejects) {
   LayoutParams P;
   EXPECT_TRUE(checkClOk({"wc"}, P));
