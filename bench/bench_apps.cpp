@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "stack/Apps.h"
-#include "stack/Stack.h"
+#include "stack/Executor.h"
 
 #include <benchmark/benchmark.h>
 
@@ -37,19 +37,20 @@ void runIsaApp(benchmark::State &State, const char *Source,
   Spec.Compile.Layout.StdinCap = 2u << 20;
   Spec.MaxSteps = 4'000'000'000ull;
 
-  Result<Prepared> P = prepare(Spec);
-  if (!P) {
-    State.SkipWithError(P.error().str().c_str());
+  Result<Executor> ExecOr = Executor::create(Spec);
+  if (!ExecOr) {
+    State.SkipWithError(ExecOr.error().str().c_str());
     return;
   }
+  Executor Exec = ExecOr.take();
   uint64_t Instructions = 0;
   for (auto _ : State) {
-    Result<Observed> R = runLevel(Spec, *P, Level::Isa);
-    if (!R || !R->Terminated) {
+    Result<Outcome> R = Exec.run(Level::Isa);
+    if (!R || R->Status != RunStatus::Completed) {
       State.SkipWithError("run failed");
       return;
     }
-    Instructions = R->Instructions;
+    Instructions = R->Behaviour.Instructions;
   }
   State.counters["Instructions"] = static_cast<double>(Instructions);
   State.counters["SimMips"] = benchmark::Counter(

@@ -15,7 +15,7 @@
 #include "cml/Interp.h"
 #include "cml/Parser.h"
 #include "stack/Apps.h"
-#include "stack/Stack.h"
+#include "stack/Executor.h"
 
 #include <benchmark/benchmark.h>
 
@@ -76,22 +76,23 @@ void BM_TinOnSilverIsa(benchmark::State &State) {
   Spec.StdinData = tinProgram();
   Spec.CommandLine = {"tin"};
   Spec.MaxSteps = 2'000'000'000ull;
-  Result<Prepared> P = prepare(Spec);
-  if (!P) {
-    State.SkipWithError(P.error().str().c_str());
+  Result<Executor> ExecOr = Executor::create(Spec);
+  if (!ExecOr) {
+    State.SkipWithError(ExecOr.error().str().c_str());
     return;
   }
+  Executor Exec = ExecOr.take();
   uint64_t Instructions = 0;
   double Elapsed = 0;
   for (auto _ : State) {
     auto T0 = std::chrono::steady_clock::now();
-    Result<Observed> R = runLevel(Spec, *P, Level::Isa);
+    Result<Outcome> R = Exec.run(Level::Isa);
     auto T1 = std::chrono::steady_clock::now();
-    if (!R || R->StdoutData != tinSpec(Spec.StdinData)) {
+    if (!R || R->Behaviour.StdoutData != tinSpec(Spec.StdinData)) {
       State.SkipWithError("Silver run failed or disagreed with tin_spec");
       return;
     }
-    Instructions = R->Instructions;
+    Instructions = R->Behaviour.Instructions;
     Elapsed = std::chrono::duration<double>(T1 - T0).count();
   }
   double Native = nativeSeconds();
@@ -110,19 +111,20 @@ void BM_TinOnSilverRtl(benchmark::State &State) {
   Spec.StdinData = sampleTinProgram(2);
   Spec.CommandLine = {"tin"};
   Spec.MaxSteps = 2'000'000'000ull;
-  Result<Prepared> P = prepare(Spec);
-  if (!P) {
-    State.SkipWithError(P.error().str().c_str());
+  Result<Executor> ExecOr = Executor::create(Spec);
+  if (!ExecOr) {
+    State.SkipWithError(ExecOr.error().str().c_str());
     return;
   }
+  Executor Exec = ExecOr.take();
   uint64_t Cycles = 0;
   for (auto _ : State) {
-    Result<Observed> R = runLevel(Spec, *P, Level::Rtl);
-    if (!R || !R->Terminated) {
+    Result<Outcome> R = Exec.run(Level::Rtl);
+    if (!R || R->Status != RunStatus::Completed) {
       State.SkipWithError("RTL run failed");
       return;
     }
-    Cycles = R->Cycles;
+    Cycles = R->Behaviour.Cycles;
   }
   State.counters["Cycles"] = static_cast<double>(Cycles);
   State.counters["FpgaSecAt32MHz"] = Cycles / 32e6;

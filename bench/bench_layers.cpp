@@ -9,7 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "stack/Apps.h"
-#include "stack/Stack.h"
+#include "stack/Executor.h"
 
 #include <benchmark/benchmark.h>
 
@@ -26,21 +26,23 @@ RunSpec helloSpec() {
 }
 
 void runAtLevel(benchmark::State &State, Level L) {
-  RunSpec Spec = helloSpec();
-  Result<Prepared> P = prepare(Spec);
-  if (!P) {
-    State.SkipWithError(P.error().str().c_str());
+  // One Executor, compiled once, no observer attached: measures the
+  // null-observer dispatch cost of the redesigned engine.
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  if (!ExecOr) {
+    State.SkipWithError(ExecOr.error().str().c_str());
     return;
   }
+  Executor Exec = ExecOr.take();
   uint64_t Instructions = 0, Cycles = 0;
   for (auto _ : State) {
-    Result<Observed> R = runLevel(Spec, *P, L);
-    if (!R || !R->Terminated) {
+    Result<Outcome> R = Exec.run(L);
+    if (!R || R->Status != RunStatus::Completed) {
       State.SkipWithError("run failed");
       return;
     }
-    Instructions = R->Instructions;
-    Cycles = R->Cycles;
+    Instructions = R->Behaviour.Instructions;
+    Cycles = R->Behaviour.Cycles;
   }
   State.counters["Instructions"] = static_cast<double>(Instructions);
   State.counters["InstrPerSec"] = benchmark::Counter(
@@ -73,7 +75,7 @@ void BM_Layer_Spec(benchmark::State &State) {
   // Layer 0, for scale: the reference interpreter.
   RunSpec Spec = helloSpec();
   for (auto _ : State) {
-    Result<Observed> R = run(Spec, Level::Spec);
+    Result<Observed> R = runSpecLevel(Spec);
     if (!R) {
       State.SkipWithError("spec run failed");
       return;

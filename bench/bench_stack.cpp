@@ -1,0 +1,128 @@
+//===- bench/bench_stack.cpp - machine-readable stack benchmarks --------------===//
+//
+// Runs a fixed set of workloads through stack::Executor at several
+// Figure-1 levels and writes BENCH_stack.json (an array of {name, level,
+// instructions, cycles, wall_ns} objects) so the performance trajectory
+// of the stack is tracked across changes by machines, not eyeballs.
+// Unlike the google-benchmark binaries this one has no statistical
+// machinery: one timed run per row, numbers straight from the Executor.
+//
+//   bench_stack [OUTPUT.json]        (default: BENCH_stack.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Apps.h"
+#include "stack/Executor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace silver;
+using namespace silver::stack;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  Level L;
+  uint64_t Instructions;
+  uint64_t Cycles;
+  uint64_t WallNs;
+};
+
+struct Workload {
+  std::string Name;
+  RunSpec Spec;
+  std::vector<Level> Levels;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> W;
+
+  RunSpec Hello;
+  Hello.Source = helloSource();
+  Hello.MaxSteps = 100'000'000;
+  W.push_back({"hello", Hello, {Level::Isa, Level::Rtl, Level::Verilog}});
+
+  RunSpec Wc;
+  Wc.Source = wcSource();
+  Wc.CommandLine = {"wc"};
+  Wc.StdinData = randomLines(/*LineCount=*/10, /*Seed=*/7);
+  Wc.MaxSteps = 100'000'000;
+  W.push_back({"wc-10", Wc, {Level::Isa, Level::Rtl}});
+
+  RunSpec Sort;
+  Sort.Source = sortSource();
+  Sort.CommandLine = {"sort"};
+  Sort.StdinData = randomLines(/*LineCount=*/10, /*Seed=*/9);
+  Sort.MaxSteps = 200'000'000;
+  W.push_back({"sort-10", Sort, {Level::Isa, Level::Rtl}});
+
+  return W;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutFile = Argc > 1 ? Argv[1] : "BENCH_stack.json";
+
+  std::vector<Row> Rows;
+  for (const Workload &W : workloads()) {
+    Result<Executor> ExecOr = Executor::create(W.Spec);
+    if (!ExecOr) {
+      std::fprintf(stderr, "bench_stack: %s: %s\n", W.Name.c_str(),
+                   ExecOr.error().str().c_str());
+      return 1;
+    }
+    Executor Exec = ExecOr.take();
+    for (Level L : W.Levels) {
+      auto T0 = std::chrono::steady_clock::now();
+      Result<Outcome> R = Exec.run(L);
+      auto T1 = std::chrono::steady_clock::now();
+      if (!R || R->Status != RunStatus::Completed) {
+        std::fprintf(stderr, "bench_stack: %s at %s: %s\n", W.Name.c_str(),
+                     levelName(L),
+                     R ? runStatusName(R->Status) : R.error().str().c_str());
+        return 1;
+      }
+      Row Out;
+      Out.Name = W.Name;
+      Out.L = L;
+      Out.Instructions = R->Behaviour.Instructions;
+      Out.Cycles = R->Behaviour.Cycles;
+      Out.WallNs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+              .count());
+      Rows.push_back(Out);
+      std::fprintf(stderr,
+                   "bench_stack: %-8s %-8s %10llu instr %10llu cycles "
+                   "%12llu ns\n",
+                   W.Name.c_str(), levelName(L),
+                   (unsigned long long)Out.Instructions,
+                   (unsigned long long)Out.Cycles,
+                   (unsigned long long)Out.WallNs);
+    }
+  }
+
+  std::ofstream F(OutFile, std::ios::binary);
+  if (!F) {
+    std::fprintf(stderr, "bench_stack: cannot write '%s'\n",
+                 OutFile.c_str());
+    return 1;
+  }
+  F << "[\n";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    F << "  {\"name\": \"" << R.Name << "\", \"level\": \""
+      << levelName(R.L) << "\", \"instructions\": " << R.Instructions
+      << ", \"cycles\": " << R.Cycles << ", \"wall_ns\": " << R.WallNs
+      << "}" << (I + 1 == Rows.size() ? "\n" : ",\n");
+  }
+  F << "]\n";
+  std::fprintf(stderr, "bench_stack: wrote %zu rows to %s\n", Rows.size(),
+               OutFile.c_str());
+  return 0;
+}

@@ -12,7 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "stack/Apps.h"
-#include "stack/Stack.h"
+#include "stack/Executor.h"
 
 #include <chrono>
 #include <cstdio>
@@ -33,13 +33,19 @@ int main() {
   std::string Native = stack::tinSpec(TinProgram);
   auto T1 = std::chrono::steady_clock::now();
 
-  // On-Silver path.
-  Result<stack::Observed> OnSilver = stack::run(Spec, stack::Level::Isa);
-  auto T2 = std::chrono::steady_clock::now();
-  if (!OnSilver) {
-    std::fprintf(stderr, "error: %s\n", OnSilver.error().str().c_str());
+  // On-Silver path (compile + run, like the native measurement).
+  Result<stack::Executor> Exec = stack::Executor::create(Spec);
+  if (!Exec) {
+    std::fprintf(stderr, "error: %s\n", Exec.error().str().c_str());
     return 1;
   }
+  Result<stack::Outcome> Out = Exec->run(stack::Level::Isa);
+  auto T2 = std::chrono::steady_clock::now();
+  if (!Out) {
+    std::fprintf(stderr, "error: %s\n", Out.error().str().c_str());
+    return 1;
+  }
+  const stack::Observed &OnSilver = Out->Behaviour;
 
   double NativeUs =
       std::chrono::duration<double, std::micro>(T1 - T0).count();
@@ -50,10 +56,10 @@ int main() {
               TinProgram.size(), Expected.size());
   std::printf("native:    %.1f us\n", NativeUs);
   std::printf("on Silver: %.1f us simulated-ISA time, %llu instructions\n",
-              SilverUs, (unsigned long long)OnSilver->Instructions);
+              SilverUs, (unsigned long long)OnSilver.Instructions);
   std::printf("slowdown factor (wall clock): %.0fx\n",
               SilverUs / (NativeUs > 0 ? NativeUs : 1));
-  bool Agree = OnSilver->StdoutData == Expected && Native == Expected;
+  bool Agree = OnSilver.StdoutData == Expected && Native == Expected;
   std::printf("outputs agree with tin_spec: %s\n", Agree ? "yes" : "NO");
   return Agree ? 0 : 1;
 }

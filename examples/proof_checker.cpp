@@ -8,28 +8,41 @@
 //===----------------------------------------------------------------------===//
 
 #include "stack/Apps.h"
-#include "stack/Stack.h"
+#include "stack/Executor.h"
 
 #include <cstdio>
 
 using namespace silver;
 
 int main() {
+  // The checker compiles once; each proof re-runs the same machine code
+  // with different pre-filled stdin.
+  stack::RunSpec Spec;
+  Spec.Source = stack::proofCheckerSource();
+  Result<stack::Prepared> P = stack::prepare(Spec);
+  if (!P) {
+    std::fprintf(stderr, "compile: %s\n", P.error().str().c_str());
+    return 1;
+  }
+
   for (const std::string &Proof :
        {stack::sampleValidProof(), stack::sampleInvalidProof()}) {
-    stack::RunSpec Spec;
-    Spec.Source = stack::proofCheckerSource();
     Spec.StdinData = Proof;
-    Result<stack::Observed> R = stack::run(Spec, stack::Level::Isa);
+    stack::Prepared ForProof = *P;
+    ForProof.Image.StdinData = Proof;
+    stack::Executor Exec =
+        stack::Executor::fromPrepared(Spec, std::move(ForProof));
+    Result<stack::Outcome> R = Exec.run(stack::Level::Isa);
     if (!R) {
       std::fprintf(stderr, "error: %s\n", R.error().str().c_str());
       return 1;
     }
+    const stack::Observed &O = R->Behaviour;
     std::string Expected = stack::proofSpec(Proof);
     std::printf("proof:\n%schecker: %sspec:    %s%s\n\n", Proof.c_str(),
-                R->StdoutData.c_str(), Expected.c_str(),
-                R->StdoutData == Expected ? "(agree)" : "(MISMATCH)");
-    if (R->StdoutData != Expected)
+                O.StdoutData.c_str(), Expected.c_str(),
+                O.StdoutData == Expected ? "(agree)" : "(MISMATCH)");
+    if (O.StdoutData != Expected)
       return 1;
   }
   return 0;

@@ -6,9 +6,14 @@
 // system-call code, the circuit-level Silver core, and the generated
 // Verilog under the Verilog operational semantics.
 //
+// The program is compiled once into a stack::Executor, each level runs
+// with an obs::Counters observer attached, and the per-level CPI comes
+// straight from the unified event stream.
+//
 //===----------------------------------------------------------------------===//
 
-#include "stack/Stack.h"
+#include "obs/Counters.h"
+#include "stack/Executor.h"
 
 #include <cstdio>
 
@@ -23,20 +28,38 @@ int main() {
   )";
   Spec.MaxSteps = 50'000'000;
 
+  Result<stack::Executor> ExecOr = stack::Executor::create(Spec);
+  if (!ExecOr) {
+    std::fprintf(stderr, "error: %s\n", ExecOr.error().str().c_str());
+    return 1;
+  }
+  stack::Executor Exec = ExecOr.take();
+  Result<obs::RegionMap> Map = Exec.regionMap();
+  if (!Map) {
+    std::fprintf(stderr, "error: %s\n", Map.error().str().c_str());
+    return 1;
+  }
+
   for (stack::Level L :
        {stack::Level::Spec, stack::Level::Machine, stack::Level::Isa,
         stack::Level::Rtl, stack::Level::Verilog}) {
-    Result<stack::Observed> R = stack::run(Spec, L);
+    obs::Counters Counters(*Map, stack::Executor::ffiNames());
+    Exec.attach(&Counters);
+    Result<stack::Outcome> R = Exec.run(L);
     if (!R) {
       std::fprintf(stderr, "%s: error: %s\n", stack::levelName(L),
                    R.error().str().c_str());
       return 1;
     }
-    std::printf("[%-11s] exit=%d instructions=%llu cycles=%llu\n%s",
-                stack::levelName(L), R->ExitCode,
-                (unsigned long long)R->Instructions,
-                (unsigned long long)R->Cycles, R->StdoutData.c_str());
+    const stack::Observed &O = R->Behaviour;
+    std::printf("[%-11s] %s exit=%d instructions=%llu cycles=%llu "
+                "cpi=%.2f\n%s",
+                stack::levelName(L), stack::runStatusName(R->Status),
+                O.ExitCode, (unsigned long long)O.Instructions,
+                (unsigned long long)O.Cycles, Counters.cpi(),
+                O.StdoutData.c_str());
   }
+  Exec.attach(nullptr);
 
   // And the single end-to-end check, theorem (8) style.
   Result<std::vector<stack::Observed>> E2E = stack::checkEndToEnd(

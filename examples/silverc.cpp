@@ -12,6 +12,10 @@
 //   silverc --emit=flat prog.cml          the Flat IR after optimisation
 //   silverc -O0 ... / -O1 ...             optimisation level (default -O1)
 //   silverc --stdin-file=f --args="a b"   program world
+//   silverc --trace=FILE prog.cml         write a Chrome trace_event file
+//                                         (load in chrome://tracing)
+//   silverc --trace-jsonl=FILE prog.cml   ... as JSONL (one event per line)
+//   silverc --counters prog.cml           print performance counters
 //
 // Reads the program from the named file, or from stdin when the file is
 // "-".  Exit code: the program's exit code (run modes), or 1 on errors.
@@ -25,6 +29,9 @@
 #include "cml/Infer.h"
 #include "cml/Lower.h"
 #include "cml/Parser.h"
+#include "obs/Counters.h"
+#include "obs/TraceSink.h"
+#include "stack/Executor.h"
 #include "stack/Stack.h"
 #include "support/StringUtils.h"
 
@@ -52,8 +59,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: silverc [--level=spec|machine|isa|rtl|verilog]\n"
                "               [--check] [--analyze] [--emit=asm|flat|core]\n"
-               "               [-O0|-O1] [--stdin-file=FILE] [--args=\"...\"]"
-               " FILE\n");
+               "               [-O0|-O1] [--stdin-file=FILE] [--args=\"...\"]\n"
+               "               [--trace=FILE] [--trace-jsonl=FILE]"
+               " [--counters] FILE\n");
   return 1;
 }
 
@@ -104,8 +112,11 @@ int main(int Argc, char **Argv) {
   std::string File;
   std::string StdinFile;
   std::string Args;
+  std::string TraceFile;
+  std::string TraceJsonlFile;
   bool Check = false;
   bool Analyze = false;
+  bool ShowCounters = false;
   cml::OptOptions Opt = cml::OptOptions::all();
 
   for (int I = 1; I != Argc; ++I) {
@@ -118,6 +129,12 @@ int main(int Argc, char **Argv) {
       Check = true;
     else if (A == "--analyze")
       Analyze = true;
+    else if (startsWith(A, "--trace="))
+      TraceFile = A.substr(8);
+    else if (startsWith(A, "--trace-jsonl="))
+      TraceJsonlFile = A.substr(14);
+    else if (A == "--counters")
+      ShowCounters = true;
     else if (A == "-O0")
       Opt = cml::OptOptions::none();
     else if (A == "-O1")
@@ -209,17 +226,79 @@ int main(int Argc, char **Argv) {
   else
     return usage();
 
-  Result<stack::Observed> R = stack::run(Spec, L);
-  if (!R)
-    return fail(R.error().str());
-  if (!R->Terminated)
+  bool WantObs = !TraceFile.empty() || !TraceJsonlFile.empty() || ShowCounters;
+  if (!WantObs && L == stack::Level::Spec) {
+    // The reference interpreter needs no compilation.
+    Result<stack::Observed> R = stack::runSpecLevel(Spec);
+    if (!R)
+      return fail(R.error().str());
+    std::fwrite(R->StdoutData.data(), 1, R->StdoutData.size(), stdout);
+    std::fwrite(R->StderrData.data(), 1, R->StderrData.size(), stderr);
+    std::fprintf(stderr, "silverc: [spec] %llu instructions, exit %d\n",
+                 (unsigned long long)R->Instructions, R->ExitCode);
+    return R->ExitCode;
+  }
+
+  Result<stack::Executor> ExecOr = stack::Executor::create(Spec);
+  if (!ExecOr)
+    return fail(ExecOr.error().str());
+  stack::Executor Exec = ExecOr.take();
+
+  obs::TraceSink Trace;
+  Result<obs::RegionMap> Map = Exec.regionMap();
+  if (!Map)
+    return fail(Map.error().str());
+  obs::Counters Counters(Map.take(), stack::Executor::ffiNames());
+  obs::MultiObserver Multi;
+  if (WantObs) {
+    Trace.setFfiNames(stack::Executor::ffiNames());
+    if (!TraceFile.empty() || !TraceJsonlFile.empty())
+      Multi.add(&Trace);
+    if (ShowCounters)
+      Multi.add(&Counters);
+    Exec.attach(&Multi);
+  }
+
+  Result<stack::Outcome> Out = Exec.run(L);
+  if (!Out)
+    return fail(Out.error().str());
+  const stack::Observed &R = Out->Behaviour;
+
+  auto WriteTraces = [&] {
+    if (!TraceFile.empty()) {
+      std::ofstream F(TraceFile, std::ios::binary);
+      if (!F)
+        return fail("cannot write '" + TraceFile + "'");
+      Trace.writeChromeTrace(F);
+      std::fprintf(stderr,
+                   "silverc: wrote %zu trace events to %s (open in "
+                   "chrome://tracing)\n",
+                   Trace.size(), TraceFile.c_str());
+    }
+    if (!TraceJsonlFile.empty()) {
+      std::ofstream F(TraceJsonlFile, std::ios::binary);
+      if (!F)
+        return fail("cannot write '" + TraceJsonlFile + "'");
+      Trace.writeJsonl(F);
+      std::fprintf(stderr, "silverc: wrote %zu trace events to %s\n",
+                   Trace.size(), TraceJsonlFile.c_str());
+    }
+    return 0;
+  };
+
+  if (int E = WriteTraces())
+    return E;
+  if (ShowCounters)
+    std::fputs(Counters.report().c_str(), stderr);
+
+  if (!R.Terminated)
     return fail("program did not terminate within the step budget");
-  std::fwrite(R->StdoutData.data(), 1, R->StdoutData.size(), stdout);
-  std::fwrite(R->StderrData.data(), 1, R->StderrData.size(), stderr);
+  std::fwrite(R.StdoutData.data(), 1, R.StdoutData.size(), stdout);
+  std::fwrite(R.StderrData.data(), 1, R.StderrData.size(), stderr);
   std::fprintf(stderr, "silverc: [%s] %llu instructions", Level.c_str(),
-               (unsigned long long)R->Instructions);
-  if (R->Cycles)
-    std::fprintf(stderr, ", %llu cycles", (unsigned long long)R->Cycles);
-  std::fprintf(stderr, ", exit %d\n", R->ExitCode);
-  return R->ExitCode;
+               (unsigned long long)R.Instructions);
+  if (R.Cycles)
+    std::fprintf(stderr, ", %llu cycles", (unsigned long long)R.Cycles);
+  std::fprintf(stderr, ", exit %d\n", R.ExitCode);
+  return R.ExitCode;
 }

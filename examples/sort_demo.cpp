@@ -9,11 +9,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "stack/Apps.h"
-#include "stack/Stack.h"
+#include "stack/Executor.h"
 
 #include <cstdio>
 
 using namespace silver;
+
+static Result<stack::Observed> runOnce(const stack::RunSpec &Spec,
+                                       stack::Level L) {
+  Result<stack::Executor> Exec = stack::Executor::create(Spec);
+  if (!Exec)
+    return Exec.error();
+  Result<stack::Outcome> Out = Exec->run(L);
+  if (!Out)
+    return Out.error();
+  return Out->Behaviour;
+}
 
 int main() {
   // ISA level: the paper's 1000-line workload.
@@ -25,7 +36,7 @@ int main() {
     Spec.Compile.Layout.MemSize = 16u << 20;
     Spec.Compile.Layout.StdinCap = 1u << 20;
     Spec.MaxSteps = 3'000'000'000ull;
-    Result<stack::Observed> R = stack::run(Spec, stack::Level::Isa);
+    Result<stack::Observed> R = runOnce(Spec, stack::Level::Isa);
     if (!R) {
       std::fprintf(stderr, "isa: %s\n", R.error().str().c_str());
       return 1;
@@ -45,7 +56,7 @@ int main() {
     Spec.Source = stack::sortSource();
     Spec.StdinData = Input;
     Spec.MaxSteps = 400'000'000ull;
-    Result<stack::Observed> R = stack::run(Spec, stack::Level::Rtl);
+    Result<stack::Observed> R = runOnce(Spec, stack::Level::Rtl);
     if (!R) {
       std::fprintf(stderr, "rtl: %s\n", R.error().str().c_str());
       return 1;

@@ -8,7 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "stack/Apps.h"
-#include "stack/Stack.h"
+#include "stack/Executor.h"
 
 #include <cstdio>
 
@@ -25,20 +25,29 @@ int main() {
   std::string Expected = stack::wcSpec(Input);
   std::printf("wc_spec input = %s", Expected.c_str());
 
+  // One Executor: wc compiles once, runs at both levels.
+  Result<stack::Executor> ExecOr = stack::Executor::create(Spec);
+  if (!ExecOr) {
+    std::fprintf(stderr, "compile: %s\n", ExecOr.error().str().c_str());
+    return 1;
+  }
+  stack::Executor Exec = ExecOr.take();
+
   for (stack::Level L : {stack::Level::Isa, stack::Level::Rtl}) {
-    Result<stack::Observed> R = stack::run(Spec, L);
+    Result<stack::Outcome> R = Exec.run(L);
     if (!R) {
       std::fprintf(stderr, "%s: %s\n", stack::levelName(L),
                    R.error().str().c_str());
       return 1;
     }
-    bool Match = R->StdoutData == Expected && R->ExitCode == 0;
+    const stack::Observed &O = R->Behaviour;
+    bool Match = O.StdoutData == Expected && O.ExitCode == 0;
     std::string CycleNote =
-        R->Cycles ? ", " + std::to_string(R->Cycles) + " cycles" : "";
+        O.Cycles ? ", " + std::to_string(O.Cycles) + " cycles" : "";
     std::printf("[%-3s] stdout = %s  (%s; %llu instructions%s)\n",
-                stack::levelName(L), R->StdoutData.substr(0, 16).c_str(),
+                stack::levelName(L), O.StdoutData.substr(0, 16).c_str(),
                 Match ? "matches wc_spec" : "MISMATCH",
-                (unsigned long long)R->Instructions, CycleNote.c_str());
+                (unsigned long long)O.Instructions, CycleNote.c_str());
     if (!Match)
       return 1;
   }

@@ -7,6 +7,8 @@
 
 #include "cpu/Check.h"
 
+#include "isa/Abi.h"
+#include "isa/Encoding.h"
 #include "support/StringUtils.h"
 
 using namespace silver;
@@ -21,45 +23,157 @@ static Result<std::unique_ptr<CoreSim>> makeSim(const SilverCore &Core,
   return makeVerilogSim(Core);
 }
 
-Result<CoreRunResult> silver::cpu::runCore(const sys::MemoryImage &Image,
-                                           const RunOptions &Options) {
-  SilverCore Core = buildSilverCore();
-  if (Result<void> V = Core.Circuit.validate(); !V)
+//===----------------------------------------------------------------------===//
+// CoreRunner
+//===----------------------------------------------------------------------===//
+
+CoreRunner::CoreRunner(const sys::MemoryImage &Image,
+                       const RunOptions &Options)
+    : Core(buildSilverCore()), Env(Image.Memory, Image.Layout, Options.Env),
+      Layout(Image.Layout), Opt(Options) {}
+
+CoreRunner::~CoreRunner() = default;
+
+Result<std::unique_ptr<CoreRunner>>
+CoreRunner::create(const sys::MemoryImage &Image, const RunOptions &Options) {
+  // Heap-allocate first: the simulator keeps a reference to this->Core.
+  std::unique_ptr<CoreRunner> R(new CoreRunner(Image, Options));
+  if (Result<void> V = R->Core.Circuit.validate(); !V)
     return V.error();
-  Result<std::unique_ptr<CoreSim>> SimOr = makeSim(Core, Options.Level);
+  Result<std::unique_ptr<CoreSim>> SimOr = makeSim(R->Core, Options.Level);
   if (!SimOr)
     return SimOr.error();
-  CoreSim &Sim = **SimOr;
+  R->Sim = SimOr.take();
+  if (Options.Obs)
+    R->Sim->attachCycleObserver(Options.Obs);
+  return R;
+}
 
-  LabEnv Env(Image.Memory, Image.Layout, Options.Env);
-  CoreRunResult R;
-  std::map<std::string, uint64_t> Outputs;
+Result<CoreStop> CoreRunner::advance(uint64_t MaxInstructions,
+                                     uint64_t MaxCycles) {
+  if (Halted)
+    return CoreStop::Halted;
+  obs::Observer *Obs = Opt.Obs;
+  uint64_t InstrDone = 0;
+  uint64_t CycDone = 0;
+  while (true) {
+    if (InstrDone >= MaxInstructions)
+      return CoreStop::InstructionBudget;
+    if (CycDone >= MaxCycles)
+      return CoreStop::CycleBudget;
+    if (CyclesSinceRetire >= Opt.WedgeCycles)
+      return CoreStop::NoRetireProgress;
 
-  while (R.Cycles < Options.MaxCycles) {
-    Word PcBefore = Sim.archState().Pc;
+    Word PcBefore = Sim->archState().Pc;
     std::map<std::string, uint64_t> Inputs = Env.inputsForCycle();
-    if (Result<void> S = Sim.step(Inputs, Outputs); !S)
+    if (Result<void> S = Sim->step(Inputs, Outputs); !S)
       return S.error();
     if (Result<void> O = Env.observeOutputs(Outputs); !O)
       return O.error();
-    ++R.Cycles;
-    if (Outputs.at("retire")) {
-      ++R.Instructions;
-      if (static_cast<Word>(Outputs.at("retire_pc")) == PcBefore) {
-        // The halt self-loop: the machine will stay here forever.
-        R.Halted = true;
-        break;
+    ++Cycles;
+    ++CycDone;
+    ++CyclesSinceRetire;
+
+    if (Obs) {
+      if (Outputs.at("mem_ren")) {
+        // The fetch of the in-flight instruction reads at the arch pc;
+        // MemEvent covers data accesses only, so filter it out to keep
+        // the region-traffic buckets comparable with the ISA level.
+        Word Addr = static_cast<Word>(Outputs.at("mem_addr"));
+        if (Addr != PcBefore) {
+          obs::MemEvent Ev;
+          Ev.Addr = Addr;
+          Ev.Size = 4;
+          Ev.IsWrite = false;
+          Obs->onMem(Ev);
+        }
+      } else if (Outputs.at("mem_wen")) {
+        obs::MemEvent Ev;
+        Ev.Addr = static_cast<Word>(Outputs.at("mem_addr"));
+        Ev.Size = Outputs.at("mem_wbyte") ? 1 : 4;
+        Ev.IsWrite = true;
+        Obs->onMem(Ev);
       }
     }
-  }
 
+    if (!Outputs.at("retire"))
+      continue;
+    CyclesSinceRetire = 0;
+    // The core's retire_pc output is the *next* pc; the retired
+    // instruction itself sits at the arch pc captured before the cycle
+    // (the arch pc only advances on retire).
+    Word NextPc = static_cast<Word>(Outputs.at("retire_pc"));
+    Word RetirePc = PcBefore;
+
+    if (Obs) {
+      obs::RetireEvent Ev;
+      Ev.Pc = RetirePc;
+      Ev.Index = Instructions;
+      const std::vector<uint8_t> &M = Env.memory();
+      if (RetirePc + 4 <= M.size()) {
+        Word W = static_cast<Word>(M[RetirePc]) |
+                 static_cast<Word>(M[RetirePc + 1]) << 8 |
+                 static_cast<Word>(M[RetirePc + 2]) << 16 |
+                 static_cast<Word>(M[RetirePc + 3]) << 24;
+        if (Result<isa::Instruction> I = isa::decode(W)) {
+          Ev.Opcode = static_cast<uint8_t>(I->Op);
+          Ev.Mnemonic = isa::opcodeName(I->Op);
+        }
+      }
+      Obs->onRetire(Ev);
+
+      // FFI spans: the installed syscall code occupies
+      // [SyscallCodeBase, HeapBase); entry is a retire at its first
+      // instruction, exit the first retire back outside it.
+      if (Layout.SyscallCodeBase != 0) {
+        if (!InFfi && RetirePc == Layout.SyscallCodeBase) {
+          InFfi = true;
+          FfiIndex = static_cast<unsigned>(
+              Sim->archState().Regs[abi::FfiIndexReg]);
+          Obs->onFfi({FfiIndex, true});
+        } else if (InFfi && (RetirePc < Layout.SyscallCodeBase ||
+                             RetirePc >= Layout.HeapBase)) {
+          InFfi = false;
+          Obs->onFfi({FfiIndex, false});
+        }
+      }
+    }
+
+    ++Instructions;
+    ++InstrDone;
+    if (NextPc == PcBefore) {
+      // The halt self-loop: the machine will stay here forever.
+      Halted = true;
+      return CoreStop::Halted;
+    }
+  }
+}
+
+CoreRunResult CoreRunner::result() const {
+  CoreRunResult R;
+  R.Halted = Halted;
+  R.Cycles = Cycles;
+  R.Instructions = Instructions;
   R.StdoutData = Env.collectedStdout();
   R.StderrData = Env.collectedStderr();
   R.FinalMemory = Env.memory();
   isa::MachineState Tmp(R.FinalMemory.size());
   Tmp.Memory = R.FinalMemory;
-  R.Exit = sys::readExitStatus(Tmp, Image.Layout);
+  R.Exit = sys::readExitStatus(Tmp, Layout);
   return R;
+}
+
+Result<CoreRunResult> silver::cpu::runCore(const sys::MemoryImage &Image,
+                                           const RunOptions &Options) {
+  Result<std::unique_ptr<CoreRunner>> RunnerOr =
+      CoreRunner::create(Image, Options);
+  if (!RunnerOr)
+    return RunnerOr.error();
+  CoreRunner &Runner = **RunnerOr;
+  Result<CoreStop> Stop = Runner.advance(UINT64_MAX, Options.MaxCycles);
+  if (!Stop)
+    return Stop.error();
+  return Runner.result();
 }
 
 Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,

@@ -15,8 +15,11 @@
 ///    full architectural state (the ag32_eq_* relation family) at every
 ///    retire pulse, and the memories at the end.
 ///
-///  - runCore: executes a memory image on the core and reports the
-///    observable behaviour (the hardware half of theorem (8)).
+///  - runCore / CoreRunner: executes a memory image on the core and
+///    reports the observable behaviour (the hardware half of theorem
+///    (8)).  CoreRunner is the resumable form used by stack::Executor:
+///    it holds the simulator, the lab environment, and the observer
+///    hookup across multiple advance() calls.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +40,15 @@ struct RunOptions {
   SimLevel Level = SimLevel::Circuit;
   LabEnvOptions Env;
   uint64_t MaxCycles = 100'000'000ull;
+  /// Receives retire / FFI / memory / cycle events; null runs silent.
+  /// Not owned.
+  obs::Observer *Obs = nullptr;
+  /// Wedge watchdog: a core that goes this many cycles without retiring
+  /// a single instruction is stuck in the memory/interrupt protocol (a
+  /// healthy transaction completes in a handful of cycles), and the
+  /// runner stops with CoreStop::NoRetireProgress instead of burning
+  /// the whole cycle budget.
+  uint64_t WedgeCycles = 4096;
 };
 
 struct CoreRunResult {
@@ -47,6 +59,69 @@ struct CoreRunResult {
   std::string StderrData;
   sys::ExitStatus Exit;
   std::vector<uint8_t> FinalMemory;
+};
+
+/// Why an advance() call returned.
+enum class CoreStop : uint8_t {
+  Halted,            ///< the halt self-loop retired; the run is over
+  InstructionBudget, ///< this call's instruction quota was used up
+  CycleBudget,       ///< this call's cycle quota was used up
+  NoRetireProgress,  ///< wedge watchdog fired (see RunOptions)
+};
+
+/// A resumable core execution: create once from a bootable image, then
+/// advance() any number of times with per-call instruction/cycle quotas.
+/// This is what lets stack::Executor pause, step, and enforce budgets at
+/// the hardware levels; runCore below is the one-shot wrapper.
+///
+/// Event streams (when RunOptions::Obs is set): onCycle ticks come from
+/// the simulator itself, onRetire carries the retire_pc and the decoded
+/// opcode of the instruction word at that address, onMem reports the
+/// core's DRAM transactions, and onFfi brackets time spent in the
+/// installed syscall code (entry = retire at SyscallCodeBase, exit =
+/// first retire outside the syscall-code region).
+class CoreRunner {
+public:
+  /// Builds the core, validates it, and wires up the simulator, the lab
+  /// environment, and the observer.  The runner is heap-allocated and
+  /// pinned because the simulator keeps a reference to the core.
+  static Result<std::unique_ptr<CoreRunner>>
+  create(const sys::MemoryImage &Image, const RunOptions &Options);
+  ~CoreRunner();
+
+  CoreRunner(const CoreRunner &) = delete;
+  CoreRunner &operator=(const CoreRunner &) = delete;
+
+  /// Runs until the halt self-loop retires, \p MaxInstructions more
+  /// instructions retire, \p MaxCycles more cycles elapse, or the wedge
+  /// watchdog fires.  Quotas are per-call, not cumulative; pass
+  /// UINT64_MAX for "no limit".  Errors are environment protocol
+  /// violations or simulator failures.
+  Result<CoreStop> advance(uint64_t MaxInstructions, uint64_t MaxCycles);
+
+  bool halted() const { return Halted; }
+  uint64_t cycles() const { return Cycles; }
+  uint64_t instructions() const { return Instructions; }
+
+  /// Snapshots the observable behaviour so far (stdout, stderr, exit
+  /// status, final memory).
+  CoreRunResult result() const;
+
+private:
+  CoreRunner(const sys::MemoryImage &Image, const RunOptions &Options);
+
+  SilverCore Core;
+  std::unique_ptr<CoreSim> Sim;
+  LabEnv Env;
+  sys::MemoryLayout Layout;
+  RunOptions Opt;
+  bool Halted = false;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t CyclesSinceRetire = 0;
+  bool InFfi = false;
+  unsigned FfiIndex = 0;
+  std::map<std::string, uint64_t> Outputs;
 };
 
 /// Runs a bootable image on the Silver core until the halt self-loop is

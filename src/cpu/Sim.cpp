@@ -23,8 +23,15 @@ public:
 
   Result<void> step(const std::map<std::string, uint64_t> &Inputs,
                     std::map<std::string, uint64_t> &Outputs) override {
-    return rtl::stepCircuit(Core.Circuit, State, Inputs, &Outputs);
+    Result<void> R = rtl::stepCircuit(Core.Circuit, State, Inputs, &Outputs);
+    if (Obs) {
+      Obs->onCycle(Cycle);
+      ++Cycle;
+    }
+    return R;
   }
+
+  void attachCycleObserver(obs::Observer *O) override { Obs = O; }
 
   ArchState archState() const override {
     ArchState A;
@@ -50,6 +57,8 @@ public:
 private:
   const SilverCore &Core;
   rtl::CircuitState State;
+  obs::Observer *Obs = nullptr;
+  uint64_t Cycle = 0;
 };
 
 class VerilogSim : public CoreSim {
@@ -66,6 +75,10 @@ public:
     for (const rtl::OutputDef &O : Core.Circuit.Outputs)
       Outputs[O.Name] = Sim->valueOf(O.Name);
     return {};
+  }
+
+  void attachCycleObserver(obs::Observer *O) override {
+    Sim->setCycleObserver(O);
   }
 
   ArchState archState() const override {

@@ -20,6 +20,7 @@
 #include "cpu/Core.h"
 #include "hdl/Semantics.h"
 #include "isa/MachineState.h"
+#include "obs/Observer.h"
 #include "rtl/ToVerilog.h"
 
 #include <map>
@@ -44,6 +45,11 @@ public:
   /// One clock cycle.
   virtual Result<void> step(const std::map<std::string, uint64_t> &Inputs,
                             std::map<std::string, uint64_t> &Outputs) = 0;
+
+  /// Ticks obs::Observer::onCycle once per step (the circuit level emits
+  /// directly; the Verilog level forwards to hdl::FastSim).  Null
+  /// detaches; not owned.
+  virtual void attachCycleObserver(obs::Observer *O) = 0;
 
   /// Reads the current architectural state.
   virtual ArchState archState() const = 0;

@@ -121,6 +121,25 @@ bool BasisFfi::isKnownCall(const std::string &Name) {
 FfiResult BasisFfi::call(const std::string &Name,
                          const std::vector<uint8_t> &Conf,
                          const std::vector<uint8_t> &Bytes) {
+  if (!Obs)
+    return callImpl(Name, Conf, Bytes);
+  const std::vector<std::string> &Names = callNames();
+  unsigned Index = 0;
+  while (Index < Names.size() && Names[Index] != Name)
+    ++Index;
+  obs::FfiEvent E;
+  E.Index = Index;
+  E.Entry = true;
+  Obs->onFfi(E);
+  FfiResult R = callImpl(Name, Conf, Bytes);
+  E.Entry = false;
+  Obs->onFfi(E);
+  return R;
+}
+
+FfiResult BasisFfi::callImpl(const std::string &Name,
+                             const std::vector<uint8_t> &Conf,
+                             const std::vector<uint8_t> &Bytes) {
   FfiResult R;
   R.Bytes = Bytes;
 

@@ -39,6 +39,8 @@
 #ifndef SILVER_FFI_BASISFFI_H
 #define SILVER_FFI_BASISFFI_H
 
+#include "obs/Observer.h"
+
 #include <cstdint>
 #include <map>
 #include <string>
@@ -131,6 +133,11 @@ public:
   FfiResult call(const std::string &Name, const std::vector<uint8_t> &Conf,
                  const std::vector<uint8_t> &Bytes);
 
+  /// Emits an obs::FfiEvent entry/exit pair around every oracle call (the
+  /// machine level's FFI calls are instantaneous: the oracle replaces the
+  /// system-call code).  Null detaches; not owned.
+  void attachObserver(obs::Observer *O) { Obs = O; }
+
   /// All bytes written to stdout so far (the paper's get_stdout io).
   const std::string &getStdout() const { return Fs.StdoutData; }
   const std::string &getStderr() const { return Fs.StderrData; }
@@ -141,6 +148,13 @@ public:
   /// The FFI names in their canonical index order (the syscall table
   /// order used by the Silver memory image).
   static const std::vector<std::string> &callNames();
+
+private:
+  FfiResult callImpl(const std::string &Name,
+                     const std::vector<uint8_t> &Conf,
+                     const std::vector<uint8_t> &Bytes);
+
+  obs::Observer *Obs = nullptr;
 };
 
 // Big-endian helpers shared with the syscall implementation tests.

@@ -68,6 +68,10 @@ struct FastSim::Impl {
   std::vector<std::pair<std::string, int>> InputSlots;
   std::vector<std::vector<FStmt>> Processes;
 
+  // Observability: cycle ticks for the unified trace/counter subsystem.
+  obs::Observer *CycleObs = nullptr;
+  uint64_t Cycle = 0;
+
   // Per-cycle scratch.
   std::vector<NbEntry> Queue;
   std::vector<std::pair<int, uint64_t>> UndoLog;
@@ -408,8 +412,13 @@ Result<void> FastSim::step(const std::map<std::string, uint64_t> &Inputs) {
       return Error("fastsim: memory write out of range");
     Mem[W.Index] = W.Value;
   }
+  if (Im.CycleObs)
+    Im.CycleObs->onCycle(Im.Cycle);
+  ++Im.Cycle;
   return {};
 }
+
+void FastSim::setCycleObserver(obs::Observer *O) { I->CycleObs = O; }
 
 uint64_t FastSim::valueOf(const std::string &Name) const {
   auto It = I->ScalarSlots.find(Name);

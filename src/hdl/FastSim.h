@@ -24,6 +24,7 @@
 #define SILVER_HDL_FASTSIM_H
 
 #include "hdl/Semantics.h"
+#include "obs/Observer.h"
 
 #include <memory>
 
@@ -39,6 +40,11 @@ public:
 
   /// One clock cycle; \p Inputs must cover every input port.
   Result<void> step(const std::map<std::string, uint64_t> &Inputs);
+
+  /// Ticks obs::Observer::onCycle once per step (the Verilog level's
+  /// clock source for the unified trace/counter subsystem).  Null
+  /// detaches; not owned.
+  void setCycleObserver(obs::Observer *O);
 
   /// Current value of a scalar (bool/vec) variable's bits.
   uint64_t valueOf(const std::string &Name) const;

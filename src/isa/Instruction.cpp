@@ -62,6 +62,40 @@ const char *silver::isa::shiftName(ShiftKind K) {
   return "?";
 }
 
+const char *silver::isa::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Normal:
+    return "alu";
+  case Opcode::Shift:
+    return "shift";
+  case Opcode::LoadMEM:
+    return "load";
+  case Opcode::LoadMEMByte:
+    return "loadb";
+  case Opcode::StoreMEM:
+    return "store";
+  case Opcode::StoreMEMByte:
+    return "storeb";
+  case Opcode::LoadConstant:
+    return "li";
+  case Opcode::LoadUpperConstant:
+    return "lui";
+  case Opcode::Jump:
+    return "jmp";
+  case Opcode::JumpIfZero:
+    return "bz";
+  case Opcode::JumpIfNotZero:
+    return "bnz";
+  case Opcode::Interrupt:
+    return "interrupt";
+  case Opcode::In:
+    return "in";
+  case Opcode::Out:
+    return "out";
+  }
+  return "?";
+}
+
 static std::string operandString(Operand Op) {
   if (Op.IsImm)
     return "#" + std::to_string(asSigned(Op.immValue()));

@@ -260,6 +260,9 @@ const char *funcName(Func F);
 /// Printable name of a shift kind.
 const char *shiftName(ShiftKind K);
 
+/// Printable name of an instruction kind (used by the trace observers).
+const char *opcodeName(Opcode Op);
+
 /// Renders an instruction in assembler syntax (see asm/Disassembler.cpp).
 std::string toString(const Instruction &I);
 

@@ -7,6 +7,8 @@
 
 #include "isa/Interp.h"
 
+#include "isa/Abi.h"
+
 using namespace silver;
 using namespace silver::isa;
 
@@ -121,7 +123,40 @@ static Word applyAlu(MachineState &State, Func F, Word A, Word B) {
   return R.Value;
 }
 
-StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
+namespace {
+
+/// No-op emitter: stepImpl instantiated with it is the uninstrumented
+/// interpreter, bit-identical to the pre-observability code.
+struct NullEmit {
+  void mem(Word, uint8_t, bool) {}
+  void retire(Word, const Instruction &) {}
+};
+
+/// Observer-backed emitter.
+struct ObsEmit {
+  obs::Observer &Obs;
+  uint64_t RetireIndex;
+  void mem(Word Addr, uint8_t Size, bool IsWrite) {
+    obs::MemEvent E;
+    E.Addr = Addr;
+    E.Size = Size;
+    E.IsWrite = IsWrite;
+    Obs.onMem(E);
+  }
+  void retire(Word Pc, const Instruction &I) {
+    obs::RetireEvent E;
+    E.Pc = Pc;
+    E.Opcode = static_cast<uint8_t>(I.Op);
+    E.Mnemonic = opcodeName(I.Op);
+    E.Index = RetireIndex;
+    Obs.onRetire(E);
+  }
+};
+
+} // namespace
+
+template <class Emit>
+static StepResult stepImpl(MachineState &State, IsaEnv &Env, Emit &&E) {
   StepResult Out;
   if (!State.inRange(State.PC, 4)) {
     Out.Fault = StepFault::PcOutOfRange;
@@ -159,6 +194,7 @@ StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
       Out.Fault = StepFault::MemMisaligned;
       return Out;
     }
+    E.mem(Addr, 4, /*IsWrite=*/false);
     State.Regs[I.WReg] = State.readWord(Addr);
     break;
   }
@@ -168,6 +204,7 @@ StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
       Out.Fault = StepFault::MemOutOfRange;
       return Out;
     }
+    E.mem(Addr, 1, /*IsWrite=*/false);
     State.Regs[I.WReg] = State.readByte(Addr);
     break;
   }
@@ -181,6 +218,7 @@ StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
       Out.Fault = StepFault::MemMisaligned;
       return Out;
     }
+    E.mem(Addr, 4, /*IsWrite=*/true);
     State.writeWord(Addr, State.operandValue(I.A));
     break;
   }
@@ -190,6 +228,7 @@ StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
       Out.Fault = StepFault::MemOutOfRange;
       return Out;
     }
+    E.mem(Addr, 1, /*IsWrite=*/true);
     State.writeByte(Addr, static_cast<uint8_t>(State.operandValue(I.A)));
     break;
   }
@@ -246,8 +285,20 @@ StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
   }
   }
 
+  E.retire(State.PC, I);
   State.PC = NextPC;
   return Out;
+}
+
+StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
+  NullEmit E;
+  return stepImpl(State, Env, E);
+}
+
+StepResult silver::isa::step(MachineState &State, IsaEnv &Env,
+                             obs::Observer &Obs, uint64_t RetireIndex) {
+  ObsEmit E{Obs, RetireIndex};
+  return stepImpl(State, Env, E);
 }
 
 bool silver::isa::isHalted(const MachineState &State) {
@@ -272,5 +323,44 @@ RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
     }
     ++R.Steps;
   }
+  return R;
+}
+
+RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
+                           uint64_t MaxSteps, ObsHooks &Hooks) {
+  if (!Hooks.Obs)
+    return run(State, Env, MaxSteps);
+
+  obs::Observer &Obs = *Hooks.Obs;
+  RunResult R;
+  while (R.Steps < MaxSteps) {
+    if (isHalted(State)) {
+      R.Halted = true;
+      break;
+    }
+    if (Hooks.FfiEntryPc && !Hooks.InFfi && State.PC == Hooks.FfiEntryPc) {
+      Hooks.InFfi = true;
+      Hooks.FfiIndex = State.Regs[abi::FfiIndexReg];
+      obs::FfiEvent E;
+      E.Index = Hooks.FfiIndex;
+      E.Entry = true;
+      Obs.onFfi(E);
+    }
+    StepResult S = step(State, Env, Obs, Hooks.RetireIndexBase + R.Steps);
+    if (!S.ok()) {
+      R.Fault = S.Fault;
+      break;
+    }
+    ++R.Steps;
+    if (Hooks.InFfi && (State.PC < Hooks.FfiRegionBegin ||
+                        State.PC >= Hooks.FfiRegionEnd)) {
+      Hooks.InFfi = false;
+      obs::FfiEvent E;
+      E.Index = Hooks.FfiIndex;
+      E.Entry = false;
+      Obs.onFfi(E);
+    }
+  }
+  Hooks.RetireIndexBase += R.Steps;
   return R;
 }

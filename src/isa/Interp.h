@@ -17,6 +17,7 @@
 
 #include "isa/Encoding.h"
 #include "isa/MachineState.h"
+#include "obs/Observer.h"
 #include "support/Result.h"
 
 namespace silver {
@@ -80,6 +81,13 @@ struct StepResult {
 /// One step of the ISA semantics: fetch the word at PC, decode, execute.
 StepResult step(MachineState &State, IsaEnv &Env);
 
+/// Instrumented step: additionally emits the memory accesses and the
+/// retirement (with \p RetireIndex) of this instruction to \p Obs.  Both
+/// overloads are compiled from the same template; the uninstrumented one
+/// pays nothing for the hooks.
+StepResult step(MachineState &State, IsaEnv &Env, obs::Observer &Obs,
+                uint64_t RetireIndex);
+
 /// Runs until the machine halts (reaches the self-jump fixpoint), a fault
 /// occurs, or \p MaxSteps instructions execute.
 struct RunResult {
@@ -88,6 +96,32 @@ struct RunResult {
   StepFault Fault = StepFault::None;
 };
 RunResult run(MachineState &State, IsaEnv &Env, uint64_t MaxSteps);
+
+/// Observation hooks for an instrumented run.  All fields are optional;
+/// a default-constructed ObsHooks makes run() behave exactly like the
+/// plain overload.
+struct ObsHooks {
+  obs::Observer *Obs = nullptr;
+  /// Retirement index of the first instruction this run executes (lets a
+  /// resumed run continue the event stream where it paused).
+  uint64_t RetireIndexBase = 0;
+  /// FFI-span detection: entering \p FfiEntryPc opens a span for the call
+  /// index in register abi::FfiIndexReg; leaving [FfiRegionBegin,
+  /// FfiRegionEnd) closes it.  All-zero disables detection.
+  Word FfiEntryPc = 0;
+  Word FfiRegionBegin = 0;
+  Word FfiRegionEnd = 0;
+  /// True when an FFI span is open (carried across paused runs).
+  bool InFfi = false;
+  unsigned FfiIndex = 0;
+};
+
+/// Instrumented run: emits retire/memory/FFI events to Hooks.Obs.  With a
+/// null observer this is exactly the plain run().  \p Hooks is updated so
+/// a subsequent call resumes the event stream (paper-faithful pause /
+/// step-N execution for the stack::Executor API).
+RunResult run(MachineState &State, IsaEnv &Env, uint64_t MaxSteps,
+              ObsHooks &Hooks);
 
 /// The paper's is_halted predicate: the instruction at PC is an
 /// unconditional self-jump, so every further step leaves the ISA-visible

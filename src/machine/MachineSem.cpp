@@ -94,7 +94,9 @@ bool MachineSem::stepOnce() {
     return false;
   }
 
-  isa::StepResult S = isa::step(State, isa::nullEnv());
+  isa::StepResult S = Obs ? isa::step(State, isa::nullEnv(), *Obs,
+                                      RetireIndex++)
+                          : isa::step(State, isa::nullEnv());
   if (!S.ok()) {
     LastBehaviour.Kind = BehaviourKind::Failed;
     LastBehaviour.Fault = S.Fault;

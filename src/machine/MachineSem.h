@@ -88,6 +88,14 @@ public:
   /// program has terminated or faulted; details land in LastBehaviour.
   bool stepOnce();
 
+  /// Streams retire/memory events for every ISA step and an FFI span for
+  /// every oracle consultation to \p O (null detaches; not owned).  The
+  /// uninstrumented path is unchanged.
+  void attachObserver(obs::Observer *O) {
+    Obs = O;
+    Ffi.attachObserver(O);
+  }
+
   const isa::MachineState &state() const { return State; }
   const ffi::BasisFfi &ffi() const { return Ffi; }
   Behaviour LastBehaviour;
@@ -96,6 +104,8 @@ private:
   isa::MachineState State;
   ffi::BasisFfi Ffi;
   sys::MemoryLayout Layout;
+  obs::Observer *Obs = nullptr;
+  uint64_t RetireIndex = 0;
 };
 
 } // namespace machine

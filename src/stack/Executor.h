@@ -1,0 +1,129 @@
+//===- stack/Executor.h - Observable execution engine -----------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution engine behind the stack API: prepare a program once,
+/// then run it at any level of Figure 1 with a unified observer attached
+/// (obs/Observer.h), instruction *and* cycle budgets enforced, and
+/// run/pause/resume control.
+///
+///   stack::Executor Exec = stack::Executor::create(Spec).take();
+///   obs::Counters Counters(Exec.regionMap().take(), Exec.ffiNames());
+///   Exec.attach(&Counters);
+///   stack::Outcome Out = Exec.run(stack::Level::Rtl).take();
+///   std::cout << Counters.report();
+///
+/// The one-shot free functions in Stack.h (run, runLevel, checkEndToEnd)
+/// are retained as thin wrappers over this class.
+///
+/// Budgets: RunSpec::MaxSteps bounds retired instructions at every level;
+/// the cycle-accurate levels additionally get RunSpec::MaxCycles clock
+/// cycles (0 = derived as MaxSteps x 16, saturating) plus a wedge
+/// watchdog (cpu::RunOptions::WedgeCycles).  A budget running out is a
+/// distinct RunStatus::Timeout, never a hang and never an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_STACK_EXECUTOR_H
+#define SILVER_STACK_EXECUTOR_H
+
+#include "obs/Observer.h"
+#include "stack/Stack.h"
+
+#include <memory>
+
+namespace silver {
+namespace stack {
+
+/// Why an execution stopped.
+enum class RunStatus : uint8_t {
+  Completed, ///< the program halted / terminated
+  Paused,    ///< a step() quota was used up; the session is resumable
+  Timeout,   ///< the instruction or cycle budget ran out
+};
+const char *runStatusName(RunStatus S);
+
+/// Final outcome of an execution: how it stopped plus the observable
+/// behaviour so far (complete when Status == Completed, the prefix
+/// otherwise).  Faults and environment protocol violations are reported
+/// as errors, not outcomes.
+struct Outcome {
+  RunStatus Status = RunStatus::Completed;
+  Observed Behaviour;
+};
+
+/// The observable execution engine.  Movable, not copyable.  An attached
+/// observer sees, per run: onRunBegin, then retire / memory / FFI-span /
+/// cycle events as the level produces them, then onRunEnd.  With no
+/// observer attached every level runs its uninstrumented path, so a null
+/// Executor run costs the same as the pre-redesign free functions.
+class Executor {
+public:
+  /// Compiles Spec.Source once (every run/level reuses the result).
+  static Result<Executor> create(RunSpec Spec);
+  /// Wraps an already-prepared program (e.g. from stack::prepare).
+  static Executor fromPrepared(RunSpec Spec, Prepared P);
+
+  Executor(Executor &&) noexcept;
+  Executor &operator=(Executor &&) noexcept;
+  ~Executor();
+
+  const RunSpec &spec() const { return Spec; }
+  const Prepared &prepared() const { return Prep; }
+
+  /// Attaches \p O (null detaches).  Not owned; must outlive every run.
+  /// Use obs::MultiObserver to attach several sinks.
+  void attach(obs::Observer *O) { Obs = O; }
+
+  /// Figure-2 address classifier for this program's layout — pass to
+  /// obs::Counters to bucket memory traffic by region.
+  Result<obs::RegionMap> regionMap() const;
+
+  /// Basis FFI call names in index order — pass to obs::Counters /
+  /// obs::TraceSink to label FFI spans.
+  static const std::vector<std::string> &ffiNames();
+
+  /// The cycle budget the hardware levels run under: Spec.MaxCycles, or
+  /// MaxSteps x 16 (saturating) when MaxCycles is 0.
+  uint64_t cycleBudget() const;
+
+  /// One-shot run at \p L to completion or budget exhaustion.
+  Result<Outcome> run(Level L);
+
+  // --- Resumable sessions (Machine / Isa / Rtl / Verilog) ---
+  //
+  //   begin(L); while (step(10'000) == Paused) {...}; finish();
+  //
+  // The Spec level has no machine steps and is not resumable.
+
+  /// Starts a session at \p L (boots the image, fires onRunBegin).
+  Result<void> begin(Level L);
+  /// Runs at most \p MaxInstructions more instructions.  Completed and
+  /// Timeout end the program but keep the session alive for finish().
+  Result<RunStatus> step(uint64_t MaxInstructions);
+  /// Collects the outcome, fires onRunEnd, and ends the session.
+  Result<Outcome> finish();
+  bool active() const { return Session != nullptr; }
+
+  /// Per-level session state; internal.
+  struct SessionBase;
+
+private:
+  Executor(RunSpec SpecIn, Prepared PrepIn);
+
+  RunSpec Spec;
+  Prepared Prep;
+  obs::Observer *Obs = nullptr;
+  std::unique_ptr<SessionBase> Session;
+  uint64_t InstrBudgetLeft = 0;
+  RunStatus LastStatus = RunStatus::Completed;
+};
+
+} // namespace stack
+} // namespace silver
+
+#endif // SILVER_STACK_EXECUTOR_H

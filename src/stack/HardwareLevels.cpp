@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "cpu/Check.h"
+#include "stack/Executor.h"
 #include "stack/Stack.h"
 
 using namespace silver;
@@ -14,30 +14,16 @@ using namespace silver::stack;
 // Runs the compiled image on the Silver core — cycle-accurate circuit
 // simulation, or the generated Verilog AST under verilog_sem.  This is
 // the execution the paper's theorem (8) speaks about: the same memory
-// image, the hardware implementation, the lab environment.
+// image, the hardware implementation, the lab environment.  A thin
+// deprecated wrapper over stack::Executor, which owns the runner
+// (budgets, wedge watchdog, observer hookup) for all levels.
 Result<Observed> silver::stack::runRtlLevel(const RunSpec &Spec,
                                             const Prepared &P,
                                             bool ThroughVerilog) {
-  Result<sys::MemoryImage> Image = sys::buildImage(P.Image);
-  if (!Image)
-    return Image.error();
-
-  cpu::RunOptions Options;
-  Options.Level =
-      ThroughVerilog ? cpu::SimLevel::Verilog : cpu::SimLevel::Circuit;
-  // A generous cycles-per-instruction bound over the ISA step budget.
-  Options.MaxCycles = Spec.MaxSteps;
-
-  Result<cpu::CoreRunResult> R = cpu::runCore(*Image, Options);
-  if (!R)
-    return R.error();
-
-  Observed O;
-  O.Terminated = R->Halted;
-  O.Cycles = R->Cycles;
-  O.Instructions = R->Instructions;
-  O.StdoutData = R->StdoutData;
-  O.StderrData = R->StderrData;
-  O.ExitCode = R->Exit.Exited ? R->Exit.Code : 0;
-  return O;
+  Executor Exec = Executor::fromPrepared(Spec, P);
+  Result<Outcome> Out =
+      Exec.run(ThroughVerilog ? Level::Verilog : Level::Rtl);
+  if (!Out)
+    return Out.error();
+  return Out->Behaviour;
 }

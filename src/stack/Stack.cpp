@@ -9,6 +9,7 @@
 
 #include "cml/Interp.h"
 #include "cml/Parser.h"
+#include "stack/Executor.h"
 #include "support/StringUtils.h"
 
 using namespace silver;
@@ -53,7 +54,7 @@ silver::stack::auditPrepared(const Prepared &P) {
                               static_cast<Word>(P.Image.Program.size()));
 }
 
-static Result<Observed> runSpecLevel(const RunSpec &Spec) {
+Result<Observed> silver::stack::runSpecLevel(const RunSpec &Spec) {
   Result<cml::Program> Prog =
       cml::parseProgram(cml::withPrelude(Spec.Source));
   if (!Prog)
@@ -71,70 +72,25 @@ static Result<Observed> runSpecLevel(const RunSpec &Spec) {
   return O;
 }
 
-static Result<Observed> runIsaLevel(const RunSpec &Spec, const Prepared &P) {
-  Result<sys::BootResult> Boot = sys::boot(P.Image);
-  if (!Boot)
-    return Boot.error();
-  sys::SysEnv Env(Boot->Image.Layout);
-  isa::RunResult R = isa::run(Boot->State, Env, Spec.MaxSteps);
-  if (R.Fault != isa::StepFault::None)
-    return Error("ISA execution faulted");
-  Observed O;
-  O.Terminated = R.Halted;
-  O.Instructions = R.Steps + Boot->StartupSteps;
-  O.StdoutData = Env.collectedStdout();
-  O.StderrData = Env.collectedStderr();
-  sys::ExitStatus S =
-      sys::readExitStatus(Boot->State, Boot->Image.Layout);
-  O.ExitCode = S.Exited ? S.Code : 0;
-  return O;
-}
-
-static Result<Observed> runMachineLevel(const RunSpec &Spec,
-                                        const Prepared &P) {
-  Result<sys::BootResult> Boot = sys::boot(P.Image);
-  if (!Boot)
-    return Boot.error();
-  ffi::BasisFfi Ffi(Spec.CommandLine,
-                    ffi::Filesystem::withStdin(Spec.StdinData));
-  machine::MachineSem Sem(std::move(Boot->State), std::move(Ffi),
-                          Boot->Image.Layout);
-  machine::Behaviour B = Sem.run(Spec.MaxSteps);
-  if (B.Kind == machine::BehaviourKind::Failed)
-    return Error("machine-sem execution failed");
-  Observed O;
-  O.Terminated = B.Kind == machine::BehaviourKind::Terminated;
-  O.ExitCode = B.ExitCode;
-  O.Instructions = B.Steps;
-  O.StdoutData = Sem.ffi().getStdout();
-  O.StderrData = Sem.ffi().getStderr();
-  return O;
-}
-
 Result<Observed> silver::stack::runLevel(const RunSpec &Spec,
                                          const Prepared &P, Level L) {
-  switch (L) {
-  case Level::Spec:
-    return runSpecLevel(Spec);
-  case Level::Machine:
-    return runMachineLevel(Spec, P);
-  case Level::Isa:
-    return runIsaLevel(Spec, P);
-  case Level::Rtl:
-    return runRtlLevel(Spec, P, /*ThroughVerilog=*/false);
-  case Level::Verilog:
-    return runRtlLevel(Spec, P, /*ThroughVerilog=*/true);
-  }
-  return Error("unknown level");
+  Executor Exec = Executor::fromPrepared(Spec, P);
+  Result<Outcome> Out = Exec.run(L);
+  if (!Out)
+    return Out.error();
+  return Out->Behaviour;
 }
 
 Result<Observed> silver::stack::run(const RunSpec &Spec, Level L) {
   if (L == Level::Spec)
     return runSpecLevel(Spec);
-  Result<Prepared> P = prepare(Spec);
-  if (!P)
-    return P.error();
-  return runLevel(Spec, *P, L);
+  Result<Executor> Exec = Executor::create(Spec);
+  if (!Exec)
+    return Exec.error();
+  Result<Outcome> Out = Exec->run(L);
+  if (!Out)
+    return Out.error();
+  return Out->Behaviour;
 }
 
 Result<std::vector<Observed>>

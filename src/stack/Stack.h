@@ -41,7 +41,10 @@ struct RunSpec {
   std::vector<std::string> CommandLine = {"prog"};
   std::string StdinData;
   cml::CompileOptions Compile;
-  uint64_t MaxSteps = 2'000'000'000ull; ///< ISA instruction budget
+  uint64_t MaxSteps = 2'000'000'000ull; ///< instruction budget (all levels)
+  /// Clock-cycle budget for the Rtl/Verilog levels; 0 derives a generous
+  /// bound from MaxSteps (see Executor::cycleBudget).
+  uint64_t MaxCycles = 0;
 };
 
 /// Execution level (Figure 1).
@@ -72,22 +75,37 @@ Result<Prepared> prepare(const RunSpec &Spec);
 /// report is the audit outcome; the build itself failing is an error.
 Result<analysis::AuditReport> auditPrepared(const Prepared &P);
 
+/// Runs the reference interpreter (the Spec level) directly; never
+/// compiles.
+Result<Observed> runSpecLevel(const RunSpec &Spec);
+
 /// Runs at one level.  Rtl and Verilog are considerably slower; their
-/// budgets derive from MaxSteps times a cycles-per-instruction bound.
+/// cycle budgets derive from MaxSteps times a cycles-per-instruction
+/// bound (see RunSpec::MaxCycles).
+///
+/// \deprecated Thin wrapper over stack::Executor (Executor.h), which
+/// adds observers, counters, pause/resume, and a distinct timeout
+/// status.  Kept for the one-shot call sites; see DESIGN.md §8.
 Result<Observed> runLevel(const RunSpec &Spec, const Prepared &P, Level L);
 
 /// Convenience: prepare + run.
+///
+/// \deprecated Thin wrapper over stack::Executor; see runLevel.
 Result<Observed> run(const RunSpec &Spec, Level L);
 
 /// Runs the compiled image on the circuit-level Silver core (RTL), or on
 /// the generated Verilog AST under verilog_sem when \p ThroughVerilog.
-/// Implemented in stack/HardwareLevels.cpp.
+///
+/// \deprecated Thin wrapper over stack::Executor; see runLevel.
 Result<Observed> runRtlLevel(const RunSpec &Spec, const Prepared &P,
                              bool ThroughVerilog);
 
 /// The cross-level check: runs the given levels and verifies agreement
 /// of stdout/stderr/exit code.  A run that exited with the OOM code is
 /// accepted when its output is a prefix of the spec's (extend_with_oom).
+///
+/// \deprecated Thin wrapper over stack::Executor (one Executor, one run
+/// per level); see DESIGN.md §8.
 Result<std::vector<Observed>> checkEndToEnd(const RunSpec &Spec,
                                             const std::vector<Level> &Levels);
 

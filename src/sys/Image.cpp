@@ -195,6 +195,11 @@ Result<void> silver::sys::validateInstalled(const isa::MachineState &State,
 }
 
 Result<BootResult> silver::sys::boot(const ImageSpec &Spec) {
+  return boot(Spec, nullptr);
+}
+
+Result<BootResult> silver::sys::boot(const ImageSpec &Spec,
+                                     obs::Observer *Obs) {
   Result<MemoryImage> Image = buildImage(Spec);
   if (!Image)
     return Image.error();
@@ -207,7 +212,9 @@ Result<BootResult> silver::sys::boot(const ImageSpec &Spec) {
   while (Out.State.PC != Out.Image.Layout.CodeBase) {
     if (Out.StartupSteps >= StartupBudget)
       return Error("startup code did not reach the program entry");
-    isa::StepResult S = isa::step(Out.State, isa::nullEnv());
+    isa::StepResult S =
+        Obs ? isa::step(Out.State, isa::nullEnv(), *Obs, Out.StartupSteps)
+            : isa::step(Out.State, isa::nullEnv());
     if (!S.ok())
       return Error("startup code faulted");
     ++Out.StartupSteps;

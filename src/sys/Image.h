@@ -111,6 +111,11 @@ struct BootResult {
 };
 Result<BootResult> boot(const ImageSpec &Spec);
 
+/// As above, but reports each startup-code retire to \p Obs (retire
+/// indices 0..StartupSteps-1, matching the RTL level, which retires the
+/// startup code on the real core from reset).  Null behaves like boot().
+Result<BootResult> boot(const ImageSpec &Spec, obs::Observer *Obs);
+
 } // namespace sys
 } // namespace silver
 

@@ -1,0 +1,303 @@
+//===- tests/stack/ExecutorTest.cpp - observable execution engine tests --------===//
+//
+// The redesigned stack API: cross-level retire-stream equality (the
+// event-level strengthening of the end-to-end theorem — the ISA and the
+// circuit retire the *same pc+opcode sequence*, not just the same final
+// stdout), observer-neutrality (attaching a null observer changes
+// nothing observable), deterministic counters, budget Timeouts instead
+// of hangs, and pause/resume sessions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Counters.h"
+#include "obs/TraceSink.h"
+#include "stack/Apps.h"
+#include "stack/Executor.h"
+
+#include <gtest/gtest.h>
+
+using namespace silver;
+using namespace silver::stack;
+
+namespace {
+
+RunSpec helloSpec() {
+  RunSpec Spec;
+  Spec.Source = helloSource();
+  Spec.MaxSteps = 100'000'000;
+  return Spec;
+}
+
+void expectSameObserved(const Observed &A, const Observed &B,
+                        bool CompareInstructions = true) {
+  EXPECT_EQ(A.StdoutData, B.StdoutData);
+  EXPECT_EQ(A.StderrData, B.StderrData);
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  EXPECT_EQ(A.Terminated, B.Terminated);
+  if (CompareInstructions)
+    EXPECT_EQ(A.Instructions, B.Instructions);
+}
+
+// Runs Spec at Isa and Rtl with a TraceSink each and requires the
+// pc+opcode retirement sequences to be equal.  The circuit retires the
+// final halt self-jump (that is how it signals halt) where the ISA
+// interpreter stops *at* it, so the RTL stream is exactly one retire
+// longer; trim it before comparing.
+void expectRetireStreamsEqual(const RunSpec &Spec) {
+  Result<Executor> ExecOr = Executor::create(Spec);
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+
+  obs::TraceSink IsaSink, RtlSink;
+  Exec.attach(&IsaSink);
+  Result<Outcome> Isa = Exec.run(Level::Isa);
+  ASSERT_TRUE(Isa) << Isa.error().str();
+  ASSERT_EQ(Isa->Status, RunStatus::Completed);
+
+  Exec.attach(&RtlSink);
+  Result<Outcome> Rtl = Exec.run(Level::Rtl);
+  ASSERT_TRUE(Rtl) << Rtl.error().str();
+  ASSERT_EQ(Rtl->Status, RunStatus::Completed);
+
+  // The circuit counts its extra halt retire in Instructions too.
+  expectSameObserved(Isa->Behaviour, Rtl->Behaviour,
+                     /*CompareInstructions=*/false);
+  EXPECT_EQ(Rtl->Behaviour.Instructions, Isa->Behaviour.Instructions + 1);
+
+  std::vector<std::pair<Word, uint8_t>> IsaStream = IsaSink.retireStream();
+  std::vector<std::pair<Word, uint8_t>> RtlStream = RtlSink.retireStream();
+  ASSERT_EQ(RtlStream.size(), IsaStream.size() + 1);
+  RtlStream.pop_back();
+  ASSERT_EQ(IsaStream.size(), RtlStream.size());
+  for (size_t I = 0; I != IsaStream.size(); ++I) {
+    ASSERT_EQ(IsaStream[I].first, RtlStream[I].first)
+        << "pc diverges at retirement " << I;
+    ASSERT_EQ(IsaStream[I].second, RtlStream[I].second)
+        << "opcode diverges at retirement " << I;
+  }
+}
+
+} // namespace
+
+TEST(Executor, RetireStreamEqualHello) {
+  expectRetireStreamsEqual(helloSpec());
+}
+
+TEST(Executor, RetireStreamEqualWc) {
+  RunSpec Spec;
+  Spec.Source = wcSource();
+  Spec.CommandLine = {"wc"};
+  Spec.StdinData = "alpha beta\ngamma\n";
+  Spec.MaxSteps = 100'000'000;
+  expectRetireStreamsEqual(Spec);
+}
+
+TEST(Executor, RetireStreamEqualSort) {
+  RunSpec Spec;
+  Spec.Source = sortSource();
+  Spec.StdinData = "pear\napple\nzebra\nmango\n";
+  Spec.MaxSteps = 400'000'000;
+  expectRetireStreamsEqual(Spec);
+}
+
+TEST(Executor, NullObserverIsBehaviourNeutral) {
+  // The zero-cost-when-null claim, behavioural half: an Executor with no
+  // observer must produce exactly the Observed of an instrumented run.
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+
+  for (Level L : {Level::Machine, Level::Isa, Level::Rtl}) {
+    Result<Outcome> Null = Exec.run(L);
+    ASSERT_TRUE(Null) << Null.error().str();
+
+    obs::Counters Counters(Exec.regionMap().take(), Executor::ffiNames());
+    Exec.attach(&Counters);
+    Result<Outcome> Observed = Exec.run(L);
+    Exec.attach(nullptr);
+    ASSERT_TRUE(Observed) << Observed.error().str();
+
+    expectSameObserved(Null->Behaviour, Observed->Behaviour);
+    EXPECT_EQ(Null->Behaviour.Cycles, Observed->Behaviour.Cycles);
+    // The counters agree with the Observed the API reports.  At the
+    // machine level FFI calls are oracle steps, not retirements, so the
+    // retire count plus the call count makes up the step count.
+    uint64_t FfiCalls = 0;
+    for (const obs::Counters::FfiCost &C : Counters.Ffi)
+      FfiCalls += C.Calls;
+    if (L == Level::Machine)
+      EXPECT_EQ(Counters.Retired + FfiCalls,
+                Observed->Behaviour.Instructions);
+    else
+      EXPECT_EQ(Counters.Retired, Observed->Behaviour.Instructions);
+    EXPECT_EQ(Counters.Cycles, Observed->Behaviour.Cycles);
+  }
+}
+
+TEST(Executor, CountersDeterministicAndRegionBucketed) {
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+
+  obs::Counters A(Exec.regionMap().take(), Executor::ffiNames());
+  Exec.attach(&A);
+  ASSERT_TRUE(Exec.run(Level::Isa));
+
+  obs::Counters B(Exec.regionMap().take(), Executor::ffiNames());
+  Exec.attach(&B);
+  ASSERT_TRUE(Exec.run(Level::Isa));
+
+  // Identical runs, byte-identical reports.
+  EXPECT_EQ(A.report(), B.report());
+  EXPECT_EQ(A.toJson(), B.toJson());
+
+  // hello writes its message through the output buffer, and every access
+  // lands in a mapped Figure-2 region.
+  EXPECT_GT(A.RegionStores[static_cast<size_t>(obs::Region::OutBuf)], 0u);
+  EXPECT_EQ(A.RegionLoads[static_cast<size_t>(obs::Region::Other)], 0u);
+  EXPECT_EQ(A.RegionStores[static_cast<size_t>(obs::Region::Other)], 0u);
+  EXPECT_DOUBLE_EQ(A.cpi(), 1.0); // no clock at the ISA level
+  // The write_stdout syscall was called and retired instructions.
+  bool SawCalls = false;
+  for (const obs::Counters::FfiCost &C : A.Ffi)
+    SawCalls |= C.Calls != 0 && C.Instructions != 0;
+  EXPECT_TRUE(SawCalls);
+}
+
+TEST(Executor, RegionTrafficAndFfiCostMatchAcrossLevels) {
+  // The ISA interpreter and the circuit must agree not just on the
+  // retire stream but on the aggregated observables: data-memory
+  // traffic per Figure-2 region (the circuit's instruction fetches are
+  // filtered out) and per-syscall calls/instructions.
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+
+  obs::Counters IsaC(Exec.regionMap().take(), Executor::ffiNames());
+  Exec.attach(&IsaC);
+  ASSERT_TRUE(Exec.run(Level::Isa));
+
+  obs::Counters RtlC(Exec.regionMap().take(), Executor::ffiNames());
+  Exec.attach(&RtlC);
+  ASSERT_TRUE(Exec.run(Level::Rtl));
+
+  for (unsigned R = 0; R != obs::NumRegions; ++R) {
+    EXPECT_EQ(IsaC.RegionLoads[R], RtlC.RegionLoads[R])
+        << "loads differ in region "
+        << obs::regionName(static_cast<obs::Region>(R));
+    EXPECT_EQ(IsaC.RegionStores[R], RtlC.RegionStores[R])
+        << "stores differ in region "
+        << obs::regionName(static_cast<obs::Region>(R));
+  }
+  ASSERT_EQ(IsaC.Ffi.size(), RtlC.Ffi.size());
+  for (size_t I = 0; I != IsaC.Ffi.size(); ++I) {
+    EXPECT_EQ(IsaC.Ffi[I].Calls, RtlC.Ffi[I].Calls);
+    EXPECT_EQ(IsaC.Ffi[I].Instructions, RtlC.Ffi[I].Instructions);
+  }
+}
+
+TEST(Executor, InstructionBudgetTimesOutAtIsa) {
+  RunSpec Spec = helloSpec();
+  Spec.MaxSteps = 50; // far too few to finish
+  Result<Executor> ExecOr = Executor::create(Spec);
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Result<Outcome> R = ExecOr->run(Level::Isa);
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ(R->Status, RunStatus::Timeout);
+  EXPECT_FALSE(R->Behaviour.Terminated);
+}
+
+TEST(Executor, CycleBudgetTimesOutAtRtl) {
+  // Pre-redesign, MaxSteps was enforced only at the ISA level and a
+  // too-small budget at the circuit level simply ran forever.  Now the
+  // derived cycle budget turns it into a Timeout outcome.
+  RunSpec Spec = helloSpec();
+  Spec.MaxSteps = 50;
+  Result<Executor> ExecOr = Executor::create(Spec);
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  EXPECT_EQ(ExecOr->cycleBudget(), 50u * 16u);
+  Result<Outcome> R = ExecOr->run(Level::Rtl);
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ(R->Status, RunStatus::Timeout);
+  EXPECT_FALSE(R->Behaviour.Terminated);
+}
+
+TEST(Executor, CycleBudgetDerivation) {
+  RunSpec Spec = helloSpec();
+  Spec.MaxSteps = 10;
+  EXPECT_EQ(Executor::create(Spec).take().cycleBudget(), 160u);
+  Spec.MaxCycles = 1000; // explicit budget wins
+  EXPECT_EQ(Executor::create(Spec).take().cycleBudget(), 1000u);
+}
+
+TEST(Executor, PauseResumeMatchesOneShot) {
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+
+  Result<Outcome> OneShot = Exec.run(Level::Isa);
+  ASSERT_TRUE(OneShot) << OneShot.error().str();
+
+  ASSERT_TRUE(Exec.begin(Level::Isa));
+  EXPECT_TRUE(Exec.active());
+  unsigned Pauses = 0;
+  for (;;) {
+    Result<RunStatus> S = Exec.step(100);
+    ASSERT_TRUE(S) << S.error().str();
+    if (*S != RunStatus::Paused)
+      break;
+    ++Pauses;
+  }
+  EXPECT_GT(Pauses, 5u); // hello takes well over 500 instructions
+  Result<Outcome> Stepped = Exec.finish();
+  ASSERT_TRUE(Stepped) << Stepped.error().str();
+  EXPECT_FALSE(Exec.active());
+
+  EXPECT_EQ(Stepped->Status, RunStatus::Completed);
+  expectSameObserved(OneShot->Behaviour, Stepped->Behaviour);
+}
+
+TEST(Executor, PauseResumeWorksAtRtl) {
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+
+  Result<Outcome> OneShot = Exec.run(Level::Rtl);
+  ASSERT_TRUE(OneShot) << OneShot.error().str();
+
+  ASSERT_TRUE(Exec.begin(Level::Rtl));
+  Result<RunStatus> First = Exec.step(200);
+  ASSERT_TRUE(First) << First.error().str();
+  EXPECT_EQ(*First, RunStatus::Paused);
+  for (;;) {
+    Result<RunStatus> S = Exec.step(1'000'000);
+    ASSERT_TRUE(S) << S.error().str();
+    if (*S != RunStatus::Paused)
+      break;
+  }
+  Result<Outcome> Stepped = Exec.finish();
+  ASSERT_TRUE(Stepped) << Stepped.error().str();
+  EXPECT_EQ(Stepped->Status, RunStatus::Completed);
+  expectSameObserved(OneShot->Behaviour, Stepped->Behaviour);
+  EXPECT_EQ(OneShot->Behaviour.Cycles, Stepped->Behaviour.Cycles);
+}
+
+TEST(Executor, SpecLevelRunsButIsNotResumable) {
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Result<Outcome> R = ExecOr->run(Level::Spec);
+  ASSERT_TRUE(R) << R.error().str();
+  EXPECT_EQ(R->Behaviour.StdoutData, "Hello, world!\n");
+  EXPECT_FALSE(ExecOr->begin(Level::Spec));
+}
+
+TEST(Executor, DeprecatedWrappersStillAgree) {
+  // The old one-shot API is now a thin wrapper; its Observed must be
+  // unchanged.
+  RunSpec Spec = helloSpec();
+  Result<Observed> Old = run(Spec, Level::Isa);
+  ASSERT_TRUE(Old) << Old.error().str();
+  Result<Outcome> New = Executor::create(Spec).take().run(Level::Isa);
+  ASSERT_TRUE(New) << New.error().str();
+  expectSameObserved(*Old, New->Behaviour);
+}
