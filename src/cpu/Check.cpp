@@ -149,6 +149,12 @@ Result<CoreStop> CoreRunner::advance(uint64_t MaxInstructions,
   }
 }
 
+ArchState CoreRunner::archState() const { return Sim->archState(); }
+
+const std::vector<uint8_t> &CoreRunner::memory() const {
+  return Env.memory();
+}
+
 CoreRunResult CoreRunner::result() const {
   CoreRunResult R;
   R.Halted = Halted;

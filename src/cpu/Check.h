@@ -103,6 +103,13 @@ public:
   uint64_t cycles() const { return Cycles; }
   uint64_t instructions() const { return Instructions; }
 
+  /// The core's current architectural registers (PC, flags, register
+  /// file).  Used by the cross-level state digests (stack::Executor).
+  ArchState archState() const;
+  /// The lab DRAM contents (same address space as the ISA state's
+  /// memory, so final memories are directly comparable across levels).
+  const std::vector<uint8_t> &memory() const;
+
   /// Snapshots the observable behaviour so far (stdout, stderr, exit
   /// status, final memory).
   CoreRunResult result() const;

@@ -1,0 +1,64 @@
+//===- fuzz/Corpus.h - Reproducer corpus persistence -----------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialises fuzz cases (fuzz/Generator.h) to a small line-oriented
+/// text format and back, so minimized reproducers can be committed
+/// under tests/fuzz/corpus/ and replayed as regression tests:
+///
+///   ; silver-fuzz case v1
+///   ; seed=0x2a index=7 profile=mixed
+///   ; divergence=state:isa:rtl r17 = 0x1 vs 0x0
+///   ; arg=fuzz
+///   ; stdin=68656c6c6f
+///   li r10 0xdeadbeef
+///   instr 0x0a0b0c0d        ; add r10, r11, #3
+///   label L3
+///   branch nz snd #0 r45 L3
+///   jump L7
+///   ffi 1 0x7000 8 0x7400 12
+///
+/// Plain instructions are stored as their encoded word (the
+/// disassembly comment is for humans), so a corpus file roundtrips
+/// through encode/decode exactly.  Unknown directives and malformed
+/// lines are hard parse errors: a corpus that silently loses items
+/// would silently weaken the regression suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_FUZZ_CORPUS_H
+#define SILVER_FUZZ_CORPUS_H
+
+#include "fuzz/Oracle.h"
+
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace fuzz {
+
+/// Renders \p C (with an optional divergence note) as corpus text.
+std::string serializeCase(const CaseSpec &C, const Divergence *D = nullptr);
+
+/// Parses corpus text back into a case.
+Result<CaseSpec> parseCase(const std::string &Text);
+
+/// Writes \p C to \p Path (creating parent directories).
+Result<void> saveCase(const std::string &Path, const CaseSpec &C,
+                      const Divergence *D = nullptr);
+
+/// Reads and parses one corpus file.
+Result<CaseSpec> loadCase(const std::string &Path);
+
+/// The `.s` files under \p Dir, sorted by name (deterministic replay
+/// order).  A missing directory is an empty corpus, not an error.
+std::vector<std::string> listCorpus(const std::string &Dir);
+
+} // namespace fuzz
+} // namespace silver
+
+#endif // SILVER_FUZZ_CORPUS_H

@@ -1,0 +1,144 @@
+//===- fuzz/Generator.h - Seeded Silver program generators -----*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generators of well-formed Silver test programs for the
+/// differential conformance fuzzer (fuzz/Fuzzer.h).  A generated case is
+/// a list of structured items — instructions, constant loads, labels,
+/// branches, and FFI calls — rather than raw words, so that
+///
+///  - the same case assembles identically at any load address (the
+///    shrinker and the corpus replay re-assemble it),
+///  - the shrinker (fuzz/Shrink.h) can delete or simplify items without
+///    producing wild control flow: a branch whose label was deleted is
+///    re-pointed at the epilogue, and
+///  - every program is *safe by construction*: it halts (loops are
+///    down-counted, other branches only go forward), touches memory only
+///    inside a small heap window, never executes Interrupt/In/Out
+///    directly, and makes only well-formed FFI calls — so any
+///    cross-level disagreement is a semantics divergence, not a fuzzer
+///    artefact.
+///
+/// Generation is a pure function of (Seed, Index, Profile): the fuzzer
+/// distributes case indices over worker threads in any order and still
+/// produces a deterministic corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_FUZZ_GENERATOR_H
+#define SILVER_FUZZ_GENERATOR_H
+
+#include "asm/Assembler.h"
+#include "isa/Instruction.h"
+#include "sys/Layout.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace fuzz {
+
+/// Program shapes the generator can produce.  Each profile stresses a
+/// different slice of the ISA so a single fuzz run covers ALU semantics,
+/// control flow, the memory system, and the FFI boundary.
+enum class Profile : uint8_t {
+  Alu,       ///< straight-line ALU/shift/constant chains
+  Branchy,   ///< forward branches and bounded down-counted loops
+  LoadStore, ///< word/byte loads and stores over the heap window
+  Ffi,       ///< well-formed Basis FFI calls via the installed dispatcher
+  Mixed,     ///< all of the above
+};
+inline constexpr unsigned NumProfiles = 5;
+const char *profileName(Profile P);
+/// Parses a profile name; returns false on unknown names.
+bool parseProfile(const std::string &Name, Profile &Out);
+
+/// One structured program item.  Kept deliberately flat (like
+/// isa::Instruction) so the shrinker and the corpus serialiser can
+/// pattern-match on it.
+struct ProgItem {
+  enum class Kind : uint8_t {
+    Instr,  ///< a fixed machine instruction
+    Li,     ///< load a 32-bit constant (1-2 instructions)
+    Label,  ///< define label L<Target>
+    Branch, ///< conditional branch to L<Target> (epilogue if undefined)
+    Jump,   ///< unconditional jump to L<Target> (epilogue if undefined)
+    Ffi,    ///< load the FFI argument registers and call ffi_dispatch
+  };
+  Kind K = Kind::Instr;
+  isa::Instruction Instr;       ///< Instr
+  uint8_t Reg = 0;              ///< Li destination
+  Word Value = 0;               ///< Li constant
+  unsigned Target = 0;          ///< Label id defined / branched to
+  bool WhenZero = false;        ///< Branch polarity
+  isa::Func F = isa::Func::Add; ///< Branch condition function
+  isa::Operand A, B;            ///< Branch condition operands
+  unsigned FfiIndex = 0;        ///< Ffi: sys::FfiIndex value
+  Word ConfAddr = 0, ConfLen = 0;
+  Word BytesAddr = 0, BytesLen = 0;
+
+  bool operator==(const ProgItem &O) const;
+};
+
+/// A generated test case: the program items plus the world it runs in.
+struct CaseSpec {
+  uint64_t Seed = 0;  ///< fuzz-run seed this case derives from
+  uint64_t Index = 0; ///< case index within the run
+  Profile P = Profile::Alu;
+  std::vector<ProgItem> Items;
+  std::vector<std::string> CommandLine = {"fuzz"};
+  std::string StdinData;
+
+  bool hasFfi() const;
+};
+
+// --- Register discipline (see file comment) ---
+//
+// The generator only writes registers outside every ABI-reserved range:
+// r0-r4 are the startup info registers, r5-r9 the FFI argument
+// registers, r55-r63 assembler/syscall temporaries and the link
+// register.
+inline constexpr unsigned DataRegLo = 10;  ///< scratch data registers...
+inline constexpr unsigned DataRegHi = 42;  ///< ...r10..r42 inclusive
+inline constexpr unsigned CarryOutReg = 43;    ///< epilogue: carry flag
+inline constexpr unsigned OverflowOutReg = 44; ///< epilogue: overflow flag
+inline constexpr unsigned LoopRegLo = 45; ///< loop counters r45..r49
+inline constexpr unsigned AddrRegLo = 50; ///< address temps r50..r54
+inline constexpr unsigned FfiValReg = 55; ///< FFI buffer byte values
+
+/// The fixed small layout every fuzz case runs under: a 1 MiB image with
+/// tight region capacities, so images build fast and whole-memory
+/// hashing stays cheap.
+sys::LayoutParams fuzzLayoutParams();
+
+/// The layout computed from fuzzLayoutParams().  HeapBase and
+/// SyscallCodeBase depend only on the region capacities (sys/Layout.cpp),
+/// never on the program size, so the generator can bake heap addresses
+/// into the instruction stream before the program is assembled.
+const sys::MemoryLayout &fuzzLayout();
+
+/// Generates case \p Index of a run with \p Seed.  Pure: equal arguments
+/// give equal cases on every platform and thread.
+CaseSpec generateCase(uint64_t Seed, uint64_t Index, Profile P);
+
+/// Emits \p C into \p A: the items, then the epilogue (label "exit",
+/// carry -> r43, overflow -> r44, halt).  Branches and jumps whose label
+/// id is not defined by any Label item target "exit" — this is what
+/// keeps shrunk cases well-formed.  Callers assemble with the
+/// "ffi_dispatch" extern bound to SyscallCodeBase.
+void emitProgram(const CaseSpec &C, assembler::Assembler &A);
+
+/// Per-case deterministic seed: a SplitMix64-style mix of the run seed
+/// and the case index (so neighbouring indices get uncorrelated
+/// streams).
+uint64_t caseSeed(uint64_t Seed, uint64_t Index);
+
+} // namespace fuzz
+} // namespace silver
+
+#endif // SILVER_FUZZ_GENERATOR_H

@@ -1,0 +1,269 @@
+//===- fuzz/Oracle.cpp - Cross-level differential oracle --------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "obs/TraceSink.h"
+#include "support/StringUtils.h"
+#include "sys/Syscalls.h"
+
+#include <algorithm>
+
+using namespace silver;
+using namespace silver::fuzz;
+using stack::Level;
+
+const char *silver::fuzz::diffKindName(DiffKind K) {
+  switch (K) {
+  case DiffKind::None:
+    return "none";
+  case DiffKind::Inconclusive:
+    return "inconclusive";
+  case DiffKind::Status:
+    return "status";
+  case DiffKind::Behaviour:
+    return "behaviour";
+  case DiffKind::Retire:
+    return "retire";
+  case DiffKind::State:
+    return "state";
+  }
+  return "?";
+}
+
+std::string Divergence::fingerprint() const {
+  return std::string(diffKindName(Kind)) + ":" + stack::levelName(Ref) + ":" +
+         stack::levelName(Other);
+}
+
+Result<stack::Prepared> silver::fuzz::prepareCase(const CaseSpec &C) {
+  assembler::Assembler A;
+  emitProgram(C, A);
+  const std::map<std::string, Word> Externs = {
+      {"ffi_dispatch", fuzzLayout().SyscallCodeBase}};
+
+  // Two-pass assembly: the program size decides CodeBase, and CodeBase
+  // decides the relaxation of symbolic branches.  Item sizes depend on
+  // label distances, not on the base address, so one re-assembly
+  // converges; the loop guards the invariant rather than assuming it.
+  Result<assembler::Assembled> First = A.assemble(0, Externs);
+  if (!First)
+    return First.error();
+  Word Size = static_cast<Word>(First->Bytes.size());
+  for (int Attempt = 0; Attempt != 4; ++Attempt) {
+    Result<sys::MemoryLayout> L =
+        sys::MemoryLayout::compute(fuzzLayoutParams(), Size);
+    if (!L)
+      return L.error();
+    Result<assembler::Assembled> Out = A.assemble(L->CodeBase, Externs);
+    if (!Out)
+      return Out.error();
+    if (Out->Bytes.size() == Size) {
+      stack::Prepared P;
+      P.Program.Program = Out->Bytes;
+      P.Program.CodeBase = L->CodeBase;
+      P.Image.CommandLine = C.CommandLine;
+      P.Image.StdinData = C.StdinData;
+      P.Image.Program = std::move(Out->Bytes);
+      P.Image.Params = fuzzLayoutParams();
+      return P;
+    }
+    Size = static_cast<Word>(Out->Bytes.size());
+  }
+  return Error("fuzz program size did not converge across re-assembly");
+}
+
+namespace {
+
+LevelRun runOne(const stack::Prepared &P, const CaseSpec &C, Level L,
+                uint64_t MaxSteps) {
+  LevelRun R;
+  R.L = L;
+  R.Ran = true;
+
+  stack::RunSpec Spec;
+  Spec.CommandLine = C.CommandLine;
+  Spec.StdinData = C.StdinData;
+  Spec.MaxSteps = MaxSteps;
+
+  stack::Executor E = stack::Executor::fromPrepared(Spec, P);
+  obs::TraceSink Sink;
+  Sink.setFfiNames(stack::Executor::ffiNames());
+  E.attach(&Sink);
+
+  if (Result<void> B = E.begin(L); !B) {
+    R.Errored = true;
+    R.ErrorMessage = B.error().message();
+    return R;
+  }
+  Result<stack::RunStatus> St = E.step(UINT64_MAX);
+  if (!St) {
+    R.Errored = true;
+    R.ErrorMessage = St.error().message();
+    return R;
+  }
+  R.Status = *St;
+  if (Result<stack::StateDigest> D = E.sessionState())
+    R.Digest = *D;
+  Result<stack::Outcome> Out = E.finish();
+  if (!Out) {
+    R.Errored = true;
+    R.ErrorMessage = Out.error().message();
+    return R;
+  }
+  R.Behaviour = Out->Behaviour;
+  R.Retires = Sink.retireStream();
+  return R;
+}
+
+bool isHardware(Level L) { return L == Level::Rtl || L == Level::Verilog; }
+
+Divergence diverge(DiffKind K, const LevelRun &Other, std::string Detail) {
+  Divergence D;
+  D.Kind = K;
+  D.Ref = Level::Isa;
+  D.Other = Other.L;
+  D.Detail = std::move(Detail);
+  return D;
+}
+
+/// Compares \p R against the ISA reference \p Ref; see the file comment
+/// of Oracle.h for the two masked asymmetries.
+Divergence compareRuns(const LevelRun &Ref, const LevelRun &R, bool HasFfi) {
+  if (Ref.Errored || R.Errored) {
+    // Both sides failing is agreement (the generator aims never to get
+    // here); one side failing while the other completes is the kind of
+    // asymmetry the fuzzer exists to find.
+    if (Ref.Errored == R.Errored)
+      return {};
+    const LevelRun &Bad = Ref.Errored ? Ref : R;
+    return diverge(DiffKind::Status, R,
+                   std::string(stack::levelName(Bad.L)) +
+                       " errored: " + Bad.ErrorMessage);
+  }
+  if (Ref.Status != R.Status)
+    return diverge(DiffKind::Status, R,
+                   std::string(stack::runStatusName(Ref.Status)) + " vs " +
+                       stack::runStatusName(R.Status));
+
+  const stack::Observed &A = Ref.Behaviour;
+  const stack::Observed &B = R.Behaviour;
+  if (A.StdoutData != B.StdoutData)
+    return diverge(DiffKind::Behaviour, R, "stdout differs");
+  if (A.StderrData != B.StderrData)
+    return diverge(DiffKind::Behaviour, R, "stderr differs");
+  if (A.Terminated != B.Terminated || A.ExitCode != B.ExitCode)
+    return diverge(DiffKind::Behaviour, R,
+                   "exit " + std::to_string(A.Terminated) + "/" +
+                       std::to_string(A.ExitCode) + " vs " +
+                       std::to_string(B.Terminated) + "/" +
+                       std::to_string(B.ExitCode));
+
+  // Retire streams: Isa vs the hardware levels only (the Machine level
+  // compresses each FFI call into one unobserved oracle step).
+  if (isHardware(R.L)) {
+    std::vector<std::pair<Word, uint8_t>> Other = R.Retires;
+    if (Other.size() == Ref.Retires.size() + 1 && !Other.empty() &&
+        Other.back().first == Ref.Digest.Pc)
+      Other.pop_back(); // the hardware's extra halt-self-jump retire
+    if (Other != Ref.Retires) {
+      size_t N = std::min(Other.size(), Ref.Retires.size());
+      size_t At = N;
+      for (size_t I = 0; I != N; ++I)
+        if (Other[I] != Ref.Retires[I]) {
+          At = I;
+          break;
+        }
+      Divergence D = diverge(
+          DiffKind::Retire, R,
+          At < N ? "first mismatch at retire " + std::to_string(At) +
+                       ": pc " + toHex(Ref.Retires[At].first) + " vs " +
+                       toHex(Other[At].first)
+                 : "stream lengths " + std::to_string(Ref.Retires.size()) +
+                       " vs " + std::to_string(Other.size()));
+      D.RetireAt = At;
+      return D;
+    }
+  }
+
+  stack::StateDigest DA = Ref.Digest;
+  stack::StateDigest DB = R.Digest;
+  if (isHardware(R.L)) {
+    // The retired halt self-jump wrote PC+4 to the link register and
+    // ran the ALU once more; the epilogue preserved the real flags in
+    // r43/r44, which stay unmasked.
+    DB.Regs[isa::NumRegs - 1] = DA.Regs[isa::NumRegs - 1];
+    DB.Carry = DA.Carry;
+    DB.Overflow = DA.Overflow;
+  }
+  if (R.L == Level::Machine && HasFfi) {
+    // The interference oracle zeroes the clobber set instead of running
+    // the syscall code (which leaves junk in those registers).  The
+    // flags stay unmasked: the generator re-normalises them with an
+    // Add right after every FFI call.
+    for (unsigned Reg : sys::syscallClobberedRegs())
+      DB.Regs[Reg] = DA.Regs[Reg];
+  }
+  if (DA.Pc != DB.Pc)
+    return diverge(DiffKind::State, R,
+                   "pc " + toHex(DA.Pc) + " vs " + toHex(DB.Pc));
+  if (DA.Carry != DB.Carry || DA.Overflow != DB.Overflow)
+    return diverge(DiffKind::State, R, "flags differ");
+  for (unsigned I = 0; I != isa::NumRegs; ++I)
+    if (DA.Regs[I] != DB.Regs[I])
+      return diverge(DiffKind::State, R,
+                     "r" + std::to_string(I) + " = " + toHex(DA.Regs[I]) +
+                         " vs " + toHex(DB.Regs[I]));
+  if (DA.MemoryBytes != DB.MemoryBytes || DA.MemoryHash != DB.MemoryHash)
+    return diverge(DiffKind::State, R, "final memory differs");
+  return {};
+}
+
+} // namespace
+
+Result<OracleResult> silver::fuzz::runCase(const CaseSpec &C,
+                                           const OracleOptions &O) {
+  for (Level L : O.Levels)
+    if (L == Level::Spec)
+      return Error("the fuzz oracle has no Spec level: generated cases "
+                   "are machine code with no source program");
+
+  Result<stack::Prepared> POr = prepareCase(C);
+  if (!POr)
+    return POr.error();
+
+  OracleResult Res;
+  LevelRun Isa = runOne(*POr, C, Level::Isa, O.MaxSteps);
+  Res.IsaInstructions = Isa.Behaviour.Instructions;
+  if (!Isa.Errored && Isa.Status != stack::RunStatus::Completed) {
+    // Nothing to compare against; also keeps runaway loops away from
+    // the cycle-accurate levels.
+    Res.Diff.Kind = DiffKind::Inconclusive;
+    Res.Diff.Detail = "reference level did not complete within budget";
+    Res.Runs.push_back(std::move(Isa));
+    return Res;
+  }
+
+  // A diverging level that runs off into a loop should be cut short
+  // cheaply: everything after the reference gets a budget just above
+  // the ISA instruction count (the slack covers the startup prefix and
+  // the extra halt retire).
+  uint64_t Budget =
+      Isa.Errored ? O.MaxSteps : Isa.Behaviour.Instructions + 256;
+
+  Res.Runs.push_back(Isa);
+  for (Level L : O.Levels) {
+    if (L == Level::Isa)
+      continue;
+    LevelRun R = runOne(*POr, C, L, Budget);
+    Divergence D = compareRuns(Res.Runs.front(), R, C.hasFfi());
+    Res.Runs.push_back(std::move(R));
+    if (D.found() && !Res.Diff.found())
+      Res.Diff = D;
+  }
+  return Res;
+}

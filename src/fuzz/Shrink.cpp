@@ -1,0 +1,193 @@
+//===- fuzz/Shrink.cpp - Automatic divergence reducer -----------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrink.h"
+
+#include <algorithm>
+
+using namespace silver;
+using namespace silver::fuzz;
+
+namespace {
+
+/// Runs one candidate and decides whether the original bug is still
+/// there (same fingerprint).  Counts against the attempt budget.
+struct Reproducer {
+  OracleOptions Opts;
+  std::string Fingerprint;
+  uint64_t Attempts = 0;
+  uint64_t MaxAttempts;
+
+  Reproducer(const OracleOptions &O, const Divergence &Orig,
+             uint64_t IsaInstructions, uint64_t MaxAttempts)
+      : Opts(O), Fingerprint(Orig.fingerprint()), MaxAttempts(MaxAttempts) {
+    // Deleting items can only shorten the non-looping parts, so a tight
+    // budget rejects candidates that shrink into infinite loops without
+    // burning the full oracle budget on them.
+    Opts.MaxSteps = std::max<uint64_t>(2 * IsaInstructions + 1024, 4096);
+  }
+
+  bool exhausted() const { return Attempts >= MaxAttempts; }
+
+  bool reproduces(const CaseSpec &C, Divergence *DiffOut = nullptr) {
+    if (exhausted())
+      return false;
+    ++Attempts;
+    Result<OracleResult> R = runCase(C, Opts);
+    if (!R || !R->Diff.found())
+      return false;
+    if (R->Diff.fingerprint() != Fingerprint)
+      return false;
+    if (DiffOut)
+      *DiffOut = R->Diff;
+    return true;
+  }
+};
+
+CaseSpec withoutRange(const CaseSpec &C, size_t Begin, size_t Count) {
+  CaseSpec Out = C;
+  Out.Items.erase(Out.Items.begin() + Begin,
+                  Out.Items.begin() + Begin + Count);
+  return Out;
+}
+
+/// Chunked deletion to a fixpoint (ddmin-style: halve the chunk once a
+/// full pass removes nothing).
+void deletePass(CaseSpec &C, Reproducer &Rep, uint64_t &Removed) {
+  size_t Chunk = std::max<size_t>(C.Items.size() / 2, 1);
+  while (Chunk >= 1 && !Rep.exhausted()) {
+    bool Shrunk = false;
+    for (size_t I = 0; I + Chunk <= C.Items.size() && !Rep.exhausted();) {
+      CaseSpec Cand = withoutRange(C, I, Chunk);
+      if (Rep.reproduces(Cand)) {
+        C = std::move(Cand);
+        Removed += Chunk;
+        Shrunk = true; // keep I: the next chunk slid into place
+      } else {
+        ++I;
+      }
+    }
+    if (Chunk == 1 && !Shrunk)
+      break;
+    if (!Shrunk)
+      Chunk /= 2;
+  }
+}
+
+/// Candidate single-item simplifications, most aggressive first.
+std::vector<ProgItem> simplificationsOf(const ProgItem &It) {
+  using isa::Operand;
+  std::vector<ProgItem> Out;
+  auto Add = [&](ProgItem P) {
+    if (!(P == It))
+      Out.push_back(std::move(P));
+  };
+
+  switch (It.K) {
+  case ProgItem::Kind::Li: {
+    ProgItem P = It;
+    P.Value = 0;
+    Add(P);
+    P.Value = 1;
+    Add(P);
+    break;
+  }
+  case ProgItem::Kind::Instr: {
+    ProgItem P = It;
+    if (!P.Instr.A.IsImm || P.Instr.A.Value != 0) {
+      P.Instr.A = Operand::imm(0);
+      Add(P);
+    }
+    P = It;
+    if (!P.Instr.B.IsImm || P.Instr.B.Value != 0) {
+      P.Instr.B = Operand::imm(0);
+      Add(P);
+    }
+    P = It;
+    if (P.Instr.Imm != 0) {
+      P.Instr.Imm = 0;
+      Add(P);
+    }
+    break;
+  }
+  case ProgItem::Kind::Branch: {
+    ProgItem P = It;
+    P.A = Operand::imm(0);
+    Add(P);
+    P = It;
+    P.B = Operand::imm(0);
+    Add(P);
+    break;
+  }
+  default:
+    break;
+  }
+  return Out;
+}
+
+void simplifyPass(CaseSpec &C, Reproducer &Rep) {
+  bool Changed = true;
+  while (Changed && !Rep.exhausted()) {
+    Changed = false;
+    for (size_t I = 0; I != C.Items.size() && !Rep.exhausted(); ++I) {
+      for (ProgItem &Alt : simplificationsOf(C.Items[I])) {
+        CaseSpec Cand = C;
+        Cand.Items[I] = Alt;
+        if (Rep.reproduces(Cand)) {
+          C = std::move(Cand);
+          Changed = true;
+          break;
+        }
+      }
+    }
+    // Dropping stdin is a whole-case simplification, not per item.
+    if (!C.StdinData.empty() && !Rep.exhausted()) {
+      CaseSpec Cand = C;
+      Cand.StdinData.clear();
+      if (Rep.reproduces(Cand)) {
+        C = std::move(Cand);
+        Changed = true;
+      }
+    }
+  }
+}
+
+} // namespace
+
+ShrinkResult silver::fuzz::shrinkCase(const CaseSpec &C,
+                                      const Divergence &Orig,
+                                      const OracleOptions &O,
+                                      const ShrinkOptions &S) {
+  ShrinkResult Res;
+  Res.Minimized = C;
+  Res.Diff = Orig;
+
+  // Seed replay: the first attempt re-runs the untouched case.  If the
+  // divergence is not reproducible (it never should be: generation and
+  // the oracle are deterministic), return the original unshrunk.
+  Result<OracleResult> Seed = runCase(C, O);
+  Reproducer Rep(O, Orig, Seed ? Seed->IsaInstructions : O.MaxSteps,
+                 S.MaxAttempts);
+  ++Rep.Attempts;
+  if (!Seed || Seed->Diff.fingerprint() != Orig.fingerprint()) {
+    Res.Attempts = Rep.Attempts;
+    return Res;
+  }
+
+  deletePass(Res.Minimized, Rep, Res.Removed);
+  simplifyPass(Res.Minimized, Rep);
+
+  // Final replay so the reported divergence describes the minimized
+  // case (the detail string may have drifted while shrinking).
+  if (Result<OracleResult> Last = runCase(Res.Minimized, Rep.Opts);
+      Last && Last->Diff.found())
+    Res.Diff = Last->Diff;
+  ++Rep.Attempts;
+
+  Res.Attempts = Rep.Attempts;
+  return Res;
+}

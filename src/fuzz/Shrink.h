@@ -1,0 +1,56 @@
+//===- fuzz/Shrink.h - Automatic divergence reducer ------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reduces a diverging fuzz case (fuzz/Oracle.h) to a minimal
+/// reproducer.  Delta-debugging over the structured item list:
+///
+///  1. chunked deletion — remove runs of items, halving the chunk size
+///     down to single items (a branch whose label is deleted re-targets
+///     the epilogue, so every candidate stays well-formed);
+///  2. operand simplification — rewrite immediates and constants to 0,
+///     registers to the lowest data register, and drop stdin;
+///  3. a final replay that records the minimized case's divergence.
+///
+/// A candidate counts as reproducing only when its divergence has the
+/// *same fingerprint* (kind + level pair) as the original, which keeps
+/// the shrinker from sliding off one bug onto an unrelated one.
+/// Candidates run under a tight instruction budget derived from the
+/// original case, so a candidate that loops forever is rejected
+/// cheaply.  Shrinking is deterministic: same case, same options, same
+/// minimized result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_FUZZ_SHRINK_H
+#define SILVER_FUZZ_SHRINK_H
+
+#include "fuzz/Oracle.h"
+
+namespace silver {
+namespace fuzz {
+
+struct ShrinkOptions {
+  /// Hard cap on oracle invocations; shrinking stops when it runs out.
+  uint64_t MaxAttempts = 1500;
+};
+
+struct ShrinkResult {
+  CaseSpec Minimized;
+  Divergence Diff;       ///< the minimized case's divergence
+  uint64_t Attempts = 0; ///< oracle invocations spent
+  uint64_t Removed = 0;  ///< items deleted from the original
+};
+
+/// Shrinks \p C, whose divergence under \p O was \p Orig.
+ShrinkResult shrinkCase(const CaseSpec &C, const Divergence &Orig,
+                        const OracleOptions &O, const ShrinkOptions &S);
+
+} // namespace fuzz
+} // namespace silver
+
+#endif // SILVER_FUZZ_SHRINK_H

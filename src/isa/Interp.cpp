@@ -25,6 +25,10 @@ IsaEnv &silver::isa::nullEnv() {
   return Env;
 }
 
+#if SILVER_FAULT_INJECTION
+bool silver::isa::fault::InvertAddCarry = false;
+#endif
+
 AluResult silver::isa::evalAlu(Func F, Word A, Word B, bool CarryIn,
                                bool OverflowIn) {
   AluResult R;
@@ -32,7 +36,7 @@ AluResult silver::isa::evalAlu(Func F, Word A, Word B, bool CarryIn,
   case Func::Add: {
     uint64_t Wide = uint64_t(A) + uint64_t(B);
     R.Value = static_cast<Word>(Wide);
-    R.Carry = Wide > 0xffffffffull;
+    R.Carry = (Wide > 0xffffffffull) != fault::InvertAddCarry;
     R.Overflow = ((~(A ^ B)) & (A ^ R.Value)) >> 31;
     R.FlagsUpdated = true;
     break;

@@ -58,6 +58,21 @@ struct AluResult {
 /// current flag values (consumed by AddCarry/Carry/Overflow).
 AluResult evalAlu(Func F, Word A, Word B, bool CarryIn, bool OverflowIn);
 
+/// Test-only fault injection for the fuzzing self-check (DESIGN.md §9).
+/// With the SILVER_FAULT_INJECTION build option (default ON), setting
+/// InvertAddCarry flips the carry flag Add computes at the ISA and
+/// machine-sem levels; the RTL core's ALU is an independent circuit and
+/// is unaffected, so the differential oracle must surface the mutation
+/// as a cross-level divergence.  When the option is OFF the flag is a
+/// compile-time false and the check folds away.
+namespace fault {
+#if SILVER_FAULT_INJECTION
+extern bool InvertAddCarry;
+#else
+inline constexpr bool InvertAddCarry = false;
+#endif
+} // namespace fault
+
 /// Shift unit.
 Word evalShift(ShiftKind K, Word A, Word B);
 

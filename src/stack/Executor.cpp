@@ -58,9 +58,22 @@ struct Executor::SessionBase {
   virtual uint64_t instructions() const = 0;
   /// Snapshots the observable behaviour.
   virtual Observed collect() const = 0;
+  /// Snapshots the architectural state (Executor::sessionState).
+  virtual StateDigest digest() const = 0;
 };
 
 namespace {
+
+StateDigest digestOf(const isa::MachineState &S) {
+  StateDigest D;
+  D.Pc = S.PC;
+  D.Carry = S.CarryFlag;
+  D.Overflow = S.OverflowFlag;
+  D.Regs = S.Regs;
+  D.MemoryHash = fnv1a64(S.Memory.data(), S.Memory.size());
+  D.MemoryBytes = S.Memory.size();
+  return D;
+}
 
 /// Isa level: the Silver ISA Next function with the real system-call
 /// code (sys::SysEnv reacting to Interrupt).  The startup prefix retires
@@ -107,6 +120,8 @@ struct IsaSession final : Executor::SessionBase {
     O.ExitCode = S.Exited ? S.Code : 0;
     return O;
   }
+
+  StateDigest digest() const override { return digestOf(Boot.State); }
 };
 
 /// Machine level: machine_sem with the FFI interference oracle.  As in
@@ -151,6 +166,8 @@ struct MachineSession final : Executor::SessionBase {
     O.StderrData = Sem.ffi().getStderr();
     return O;
   }
+
+  StateDigest digest() const override { return digestOf(Sem.state()); }
 };
 
 /// Rtl / Verilog levels: the Silver core in the lab environment, driven
@@ -200,6 +217,19 @@ struct RtlSession final : Executor::SessionBase {
     O.StderrData = R.StderrData;
     O.ExitCode = R.Exit.Exited ? R.Exit.Code : 0;
     return O;
+  }
+
+  StateDigest digest() const override {
+    cpu::ArchState A = Runner->archState();
+    StateDigest D;
+    D.Pc = A.Pc;
+    D.Carry = A.Carry;
+    D.Overflow = A.Overflow;
+    D.Regs = A.Regs;
+    const std::vector<uint8_t> &M = Runner->memory();
+    D.MemoryHash = fnv1a64(M.data(), M.size());
+    D.MemoryBytes = M.size();
+    return D;
   }
 };
 
@@ -335,6 +365,12 @@ Result<RunStatus> Executor::step(uint64_t MaxInstructions) {
   if (LastStatus == RunStatus::Paused && InstrBudgetLeft == 0)
     LastStatus = RunStatus::Timeout; // the global budget, not the quota
   return LastStatus;
+}
+
+Result<StateDigest> Executor::sessionState() const {
+  if (!Session)
+    return Error("no active execution session: call begin() first");
+  return Session->digest();
 }
 
 Result<Outcome> Executor::finish() {

@@ -34,10 +34,26 @@
 #include "obs/Observer.h"
 #include "stack/Stack.h"
 
+#include <array>
 #include <memory>
 
 namespace silver {
 namespace stack {
+
+/// Architectural snapshot of an execution session: PC, flags, the full
+/// register file, and an FNV-1a hash of the whole memory.  This is the
+/// cross-level comparison key of the fuzzing oracle (fuzz/Oracle.h): the
+/// end-to-end theorem's levels must agree not only on stdout but on the
+/// machine state they leave behind (the paper's ag32_eq relation family,
+/// made cheap to compare by hashing the memory).
+struct StateDigest {
+  Word Pc = 0;
+  bool Carry = false;
+  bool Overflow = false;
+  std::array<Word, isa::NumRegs> Regs{};
+  uint64_t MemoryHash = 0; ///< fnv1a64 over the full memory
+  uint64_t MemoryBytes = 0;
+};
 
 /// Why an execution stopped.
 enum class RunStatus : uint8_t {
@@ -108,6 +124,13 @@ public:
   /// Collects the outcome, fires onRunEnd, and ends the session.
   Result<Outcome> finish();
   bool active() const { return Session != nullptr; }
+
+  /// Snapshots the architectural state of the active session — valid
+  /// between begin() and finish(), typically once step() reports
+  /// Completed.  The Machine/Isa levels read the interpreter state; the
+  /// hardware levels read the core's registers and the lab DRAM.  The
+  /// Spec level has no machine state and is not supported.
+  Result<StateDigest> sessionState() const;
 
   /// Per-level session state; internal.
   struct SessionBase;

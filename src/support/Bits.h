@@ -17,6 +17,7 @@
 #define SILVER_SUPPORT_BITS_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 
 namespace silver {
@@ -85,6 +86,20 @@ constexpr bool isAligned(Word Value, Word Alignment) {
 constexpr Word alignUp(Word Value, Word Alignment) {
   assert((Alignment & (Alignment - 1)) == 0 && "alignment not a power of 2");
   return (Value + Alignment - 1) & ~(Alignment - 1);
+}
+
+/// FNV-1a 64-bit hash.  Used by the cross-level state digests (the fuzz
+/// oracle compares whole-memory contents by hash) and the corpus
+/// fingerprints; \p Seed lets callers chain hashes over several spans.
+constexpr uint64_t Fnv1aInit = 0xcbf29ce484222325ull;
+constexpr uint64_t fnv1a64(const uint8_t *Data, size_t Len,
+                           uint64_t Seed = Fnv1aInit) {
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
 }
 
 } // namespace silver

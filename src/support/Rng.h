@@ -37,10 +37,20 @@ public:
   /// Next 32-bit value.
   uint32_t next32() { return static_cast<uint32_t>(next64() >> 32); }
 
-  /// Uniform value in [0, Bound); Bound must be positive.
+  /// Uniform value in [0, Bound); Bound must be positive.  Uses rejection
+  /// sampling: a raw draw landing in the short tail [Limit, 2^64) — the
+  /// region that makes plain `next64() % Bound` favour small residues —
+  /// is discarded and redrawn.  For any Bound the tail holds fewer than
+  /// Bound values, so the rejection probability is below 2^-32 and the
+  /// accepted value stream is (almost surely) the one the old modulo
+  /// reduction produced, keeping seed-dependent test expectations stable.
   uint32_t below(uint32_t Bound) {
     assert(Bound > 0 && "empty range");
-    return static_cast<uint32_t>(next64() % Bound);
+    const uint64_t Limit = UINT64_MAX - UINT64_MAX % Bound;
+    uint64_t Raw = next64();
+    while (Raw >= Limit)
+      Raw = next64();
+    return static_cast<uint32_t>(Raw % Bound);
   }
 
   /// Uniform value in [Lo, Hi] inclusive.

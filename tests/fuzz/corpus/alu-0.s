@@ -1,0 +1,48 @@
+; silver-fuzz case v1
+; seed=0x7e3 index=0x0 profile=alu
+; arg=fuzz
+li r13 0xb7979c6f
+instr 0x04779e90        ; overflow r29, #-13, #-23
+instr 0x097b99f0        ; and r30, #-13, r31
+instr 0x002d31d0        ; add r11, r38, r29
+instr 0x004701f0        ; add r17, #-32, r31
+instr 0x0494cf10        ; overflow r37, r25, #-15
+instr 0x124e09f0        ; sra r19, #1, r31
+instr 0x054450a0        ; inc r17, r10, r10
+instr 0x065c9110        ; dec r23, r18, r17
+instr 0x054f9690        ; inc r19, #-14, #-23
+instr 0x083b3e60        ; mulhi r14, #-25, #-26
+instr 0x113bf0c0        ; srl r14, #-2, r12
+li r36 0xf803a006
+instr 0x0a5c8960        ; or r23, r17, r22
+instr 0x038ce1f0        ; carry r35, r28, r31
+instr 0x00a137f0        ; add r40, r38, #-1
+instr 0x0640b8e0        ; dec r16, r23, r14
+li r35 0x89270af1
+instr 0x11291a70        ; srl r10, r35, r39
+instr 0x0f8cbd90        ; snd r35, r23, #25
+instr 0x07651900        ; mul r25, r35, r16
+instr 0x0a5350c0        ; or r20, #-22, r12
+instr 0x04953a80        ; overflow r37, r39, r40
+li r37 0x704a7065
+instr 0x06907190        ; dec r36, r14, r25
+instr 0x01745510        ; addc r29, r10, #17
+li r31 0xc65fee87
+instr 0x0734baa0        ; mul r13, r23, r42
+instr 0x033f9100        ; carry r15, #-14, r16
+instr 0x0a461ca0        ; or r17, #3, #10
+instr 0x01a85980        ; addc r42, r11, r24
+instr 0x05593560        ; inc r22, r38, #22
+instr 0x10688d00        ; sll r26, r17, #16
+instr 0x0d62dfa0        ; lt r24, #27, #-6
+instr 0x036891d0        ; carry r26, r18, r29
+instr 0x099bfa80        ; and r38, #-1, r40
+instr 0x13746da0        ; ror r29, r13, #26
+instr 0x108498b0        ; sll r33, r19, r11
+instr 0x0f420280        ; snd r16, #0, r40
+instr 0x074b6210        ; mul r18, #-20, r33
+instr 0x11494240        ; srl r18, r40, r36
+instr 0x0c986970        ; eq r38, r13, r23
+instr 0x10571120        ; sll r21, #-30, r18
+li r32 0x499bf9d2
+instr 0x0b588930        ; xor r22, r17, r19

@@ -1,0 +1,68 @@
+; silver-fuzz case v1
+; seed=0x7e3 index=0x0 profile=branchy
+; arg=fuzz
+branch z ltu r42 #-23 L0
+instr 0x097b99f0        ; and r30, #-13, r31
+instr 0x07333260        ; mul r12, #-26, r38
+instr 0x008b2500        ; add r34, #-28, #16
+label L0
+instr 0x1176ea00        ; srl r29, #29, r32
+li r45 0x00000001
+label L1
+li r10 0x3c2d179d
+instr 0x06b56c00        ; dec r45, r45, #0
+branch nz snd #0 r45 L1
+instr 0x0c3e9970        ; eq r15, #19, r23
+branch z dec #-4 r40 L2
+instr 0x0b5aba40        ; xor r22, #23, r36
+label L2
+li r45 0x00000001
+label L3
+li r22 0x30189998
+li r46 0x00000005
+label L4
+instr 0x1073d200        ; sll r28, #-6, r32
+jump L5
+instr 0x006c7660        ; add r27, r14, #-26
+jump L6
+instr 0x11291a70        ; srl r10, r35, r39
+label L6
+li r30 0xdfb6cd9e
+label L5
+instr 0x07651900        ; mul r25, r35, r16
+instr 0x06b97400        ; dec r46, r46, #0
+branch nz snd #0 r46 L4
+instr 0x1066dca0        ; sll r25, #27, #10
+li r40 0xdf3bd48a
+branch z dec r28 r36 L7
+instr 0x128b05c0        ; sra r34, #-32, #28
+label L7
+li r46 0x00000002
+label L8
+branch z lt #7 r36 L9
+branch z overflow r39 r42 L10
+branch z lt r22 r35 L11
+label L10
+instr 0x0d5cb4f0        ; lt r23, r22, #15
+instr 0x0b38c8e0        ; xor r14, r25, r14
+instr 0x0f68ea50        ; snd r26, r29, r37
+instr 0x099bfa80        ; and r38, #-1, r40
+label L9
+li r29 0x491071e3
+label L11
+instr 0x0830c780        ; mulhi r12, r24, #-8
+instr 0x0088f8f0        ; add r34, r31, r15
+jump L12
+branch nz overflow #1 r40 L13
+li r20 0x5a1669de
+instr 0x0782d140        ; mul r32, #26, r20
+label L12
+instr 0x09927110        ; and r36, #14, r17
+label L13
+instr 0x074b5d80        ; mul r18, #-21, #24
+branch nz mul r34 r27 L14
+instr 0x06b97400        ; dec r46, r46, #0
+branch nz snd #0 r46 L8
+instr 0x06b56c00        ; dec r45, r45, #0
+branch nz snd #0 r45 L3
+label L14

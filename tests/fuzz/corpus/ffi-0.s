@@ -1,0 +1,67 @@
+; silver-fuzz case v1
+; seed=0x7e3 index=0x0 profile=ffi
+; arg=fuzz
+; stdin=796259632d487976254f5e6f6455567138613c26507723686526742f21652725596c
+instr 0x0494cf10        ; overflow r37, r25, #-15
+instr 0x0344a130        ; carry r17, r20, r19
+li r10 0x3c2d179d
+instr 0x065c9110        ; dec r23, r18, r17
+instr 0x037a3520        ; carry r30, #6, #18
+li r50 0x00007480
+instr 0x50020320        ; stb #0, [r50]
+li r50 0x00007481
+instr 0x50020320        ; stb #0, [r50]
+li r50 0x00007482
+instr 0x50020320        ; stb #0, [r50]
+li r50 0x00007483
+instr 0x50020320        ; stb #0, [r50]
+ffi 4 0x00007040 0 0x00007480 4
+instr 0x0b3358e0        ; xor r12, #-21, r14
+instr 0x09a52250        ; and r41, r36, r37
+li r22 0x65f0a32b
+li r50 0x00007400
+instr 0x50020320        ; stb #0, [r50]
+li r50 0x00007401
+instr 0x50020320        ; stb #0, [r50]
+li r50 0x00007402
+instr 0x50020320        ; stb #0, [r50]
+li r50 0x00007403
+instr 0x50020320        ; stb #0, [r50]
+ffi 4 0x00007000 0 0x00007400 4
+instr 0x038ce1f0        ; carry r35, r28, r31
+instr 0x00a137f0        ; add r40, r38, #-1
+instr 0x0640b8e0        ; dec r16, r23, r14
+li r35 0x89270af1
+instr 0x11291a70        ; srl r10, r35, r39
+instr 0x0f8cbd90        ; snd r35, r23, #25
+instr 0x07651900        ; mul r25, r35, r16
+instr 0x0a5350c0        ; or r20, #-22, r12
+instr 0x04953a80        ; overflow r37, r39, r40
+li r37 0x704a7065
+instr 0x06907190        ; dec r36, r14, r25
+instr 0x01745510        ; addc r29, r10, #17
+li r31 0xc65fee87
+instr 0x0734baa0        ; mul r13, r23, r42
+instr 0x033f9100        ; carry r15, #-14, r16
+instr 0x0a461ca0        ; or r17, #3, #10
+instr 0x01a85980        ; addc r42, r11, r24
+instr 0x05593560        ; inc r22, r38, #22
+instr 0x10688d00        ; sll r26, r17, #16
+instr 0x0d62dfa0        ; lt r24, #27, #-6
+instr 0x036891d0        ; carry r26, r18, r29
+instr 0x099bfa80        ; and r38, #-1, r40
+instr 0x13746da0        ; ror r29, r13, #26
+instr 0x108498b0        ; sll r33, r19, r11
+instr 0x0f420280        ; snd r16, #0, r40
+instr 0x074b6210        ; mul r18, #-20, r33
+instr 0x11494240        ; srl r18, r40, r36
+instr 0x0c986970        ; eq r38, r13, r23
+instr 0x10571120        ; sll r21, #-30, r18
+li r32 0x499bf9d2
+instr 0x0b588930        ; xor r22, r17, r19
+instr 0x01407ed0        ; addc r16, r15, #-19
+instr 0x0b8ca0f0        ; xor r35, r20, r15
+instr 0x06a109b0        ; dec r40, r33, r27
+instr 0x0e8acd00        ; ltu r34, #25, #16
+instr 0x034cb1a0        ; carry r19, r22, r26
+instr 0x13351100        ; ror r13, r34, r16

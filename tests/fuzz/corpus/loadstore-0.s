@@ -1,0 +1,100 @@
+; silver-fuzz case v1
+; seed=0x7e3 index=0x0 profile=loadstore
+; arg=fuzz
+li r52 0x00007d00
+instr 0x40015340        ; stw r42, [r52]
+instr 0x2039a000        ; ldw r14, [r52]
+li r51 0x00008e4f
+instr 0x30919800        ; ldb r36, [r51]
+li r53 0x0000a3f4
+instr 0x00d5ac00        ; add r53, r53, #0
+instr 0x2079a800        ; ldw r30, [r53]
+li r51 0x00008d78
+instr 0x00cd9c00        ; add r51, r51, #0
+instr 0x20859800        ; ldw r33, [r51]
+li r51 0x00008714
+instr 0x203d9800        ; ldw r15, [r51]
+instr 0x10495420        ; sll r18, r42, #2
+li r54 0x00007c71
+instr 0x5002eb60        ; stb #29, [r54]
+instr 0x3075b000        ; ldb r29, [r54]
+li r17 0xa48632b8
+li r53 0x00007084
+instr 0x00d5ac00        ; add r53, r53, #0
+instr 0x3045a800        ; ldb r17, [r53]
+li r50 0x00007a2e
+instr 0x50009320        ; stb r18, [r50]
+instr 0x305d9000        ; ldb r23, [r50]
+li r51 0x000094a3
+instr 0x50039330        ; stb #-14, [r51]
+instr 0x083b3e60        ; mulhi r14, #-25, #-26
+li r53 0x0000a1ec
+instr 0x4002cb50        ; stw #25, [r53]
+instr 0x20a1a800        ; ldw r40, [r53]
+instr 0x0a58b6a0        ; or r22, r22, #-22
+li r54 0x0000748c
+instr 0x00d9b400        ; add r54, r54, #0
+instr 0x2081b000        ; ldw r32, [r54]
+li r38 0x9629551f
+instr 0x0f895260        ; snd r34, r42, r38
+li r53 0x00009606
+instr 0x50013350        ; stb r38, [r53]
+instr 0x07291c60        ; mul r10, r35, #6
+li r53 0x0000712c
+instr 0x2071a800        ; ldw r28, [r53]
+li r54 0x000097d8
+instr 0x40027360        ; stw #14, [r54]
+instr 0x2041b000        ; ldw r16, [r54]
+li r52 0x00009efc
+instr 0x4002b340        ; stw #22, [r52]
+li r51 0x00009798
+instr 0x00cd9c00        ; add r51, r51, #0
+instr 0x20659800        ; ldw r25, [r51]
+instr 0x0a8d45c0        ; or r35, r40, #28
+instr 0x06907190        ; dec r36, r14, r25
+li r53 0x00009a8c
+instr 0x40005350        ; stw r10, [r53]
+li r53 0x000076ec
+instr 0x4000a350        ; stw r20, [r53]
+instr 0x2071a800        ; ldw r28, [r53]
+li r51 0x0000924c
+instr 0x00cd9c00        ; add r51, r51, #0
+instr 0x207d9800        ; ldw r31, [r51]
+li r51 0x00009538
+instr 0x40007b30        ; stw r15, [r51]
+li r50 0x0000854c
+instr 0x40021b20        ; stw #3, [r50]
+instr 0x20459000        ; ldw r17, [r50]
+li r53 0x00007404
+instr 0x00d5ac00        ; add r53, r53, #0
+instr 0x208da800        ; ldw r35, [r53]
+li r52 0x000086d4
+instr 0x4002b340        ; stw #22, [r52]
+li r52 0x0000785c
+instr 0x5000b340        ; stb r22, [r52]
+instr 0x3045a000        ; ldb r17, [r52]
+li r53 0x00009f80
+instr 0x4003d350        ; stw #-6, [r53]
+li r52 0x00009acc
+instr 0x2095a000        ; ldw r37, [r52]
+li r50 0x000073a4
+instr 0x00c99400        ; add r50, r50, #0
+instr 0x20619000        ; ldw r24, [r50]
+li r51 0x00009fdc
+instr 0x40013330        ; stw r38, [r51]
+li r52 0x0000afe0
+instr 0x2075a000        ; ldw r29, [r52]
+instr 0x108498b0        ; sll r33, r19, r11
+li r50 0x0000a5d8
+instr 0x40020320        ; stw #0, [r50]
+instr 0x20419000        ; ldw r16, [r50]
+li r54 0x00009011
+instr 0x00d9b400        ; add r54, r54, #0
+instr 0x3035b000        ; ldb r13, [r54]
+li r54 0x0000a8fd
+instr 0x50014360        ; stb r40, [r54]
+li r50 0x0000aa7c
+instr 0x205d9000        ; ldw r23, [r50]
+li r53 0x00007bb4
+instr 0x4003ab50        ; stw #-11, [r53]
+instr 0x005a9a20        ; add r22, #19, r34

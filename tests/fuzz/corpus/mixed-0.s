@@ -1,0 +1,84 @@
+; silver-fuzz case v1
+; seed=0x7e3 index=0x0 profile=mixed
+; arg=fuzz
+li r54 0x0000a2ee
+instr 0x00d9b400        ; add r54, r54, #0
+instr 0x30a9b000        ; ldb r42, [r54]
+instr 0x13893210        ; ror r34, r38, r33
+instr 0x0484ee00        ; overflow r33, r29, #-32
+instr 0x125d5460        ; sra r23, r42, #6
+instr 0x116465c0        ; srl r25, r12, #28
+li r51 0x00007690
+instr 0x4000fb30        ; stw r31, [r51]
+instr 0x058c8e40        ; inc r35, r17, #-28
+li r51 0x00009db8
+instr 0x20499800        ; ldw r18, [r51]
+instr 0x054f9690        ; inc r19, #-14, #-23
+li r54 0x00008560
+instr 0x40033b60        ; stw #-25, [r54]
+instr 0x2039b000        ; ldw r14, [r54]
+li r53 0x0000a1ec
+instr 0x4002cb50        ; stw #25, [r53]
+instr 0x20a1a800        ; ldw r40, [r53]
+li r54 0x0000987a
+instr 0x5003e360        ; stb #-4, [r54]
+instr 0x077eea60        ; mul r31, #29, r38
+li r53 0x0000ac40
+instr 0x00d5ac00        ; add r53, r53, #0
+instr 0x2079a800        ; ldw r30, [r53]
+instr 0x006c7660        ; add r27, r14, #-26
+li r45 0x00000005
+label L0
+li r54 0x00008004
+instr 0x00d9b400        ; add r54, r54, #0
+instr 0x209db000        ; ldw r39, [r54]
+li r50 0x0000a4fc
+instr 0x4000e320        ; stw r28, [r50]
+instr 0x20359000        ; ldw r13, [r50]
+instr 0x07651900        ; mul r25, r35, r16
+instr 0x114be560        ; srl r18, #-4, #22
+li r40 0xde935de2
+li r51 0x0000a365
+instr 0x50012b30        ; stb r37, [r51]
+instr 0x30599800        ; ldb r22, [r51]
+branch z carry r24 r11 L1
+li r50 0x000099c0
+instr 0x5000fb20        ; stb r31, [r50]
+instr 0x30999000        ; ldb r38, [r50]
+li r53 0x00007960
+label L1
+instr 0x40023b50        ; stw #7, [r53]
+li r52 0x00007932
+instr 0x50039340        ; stb #-14, [r52]
+instr 0x303da000        ; ldb r15, [r52]
+instr 0x1158d4e0        ; srl r22, r26, #14
+li r53 0x00007404
+instr 0x00d5ac00        ; add r53, r53, #0
+instr 0x208da800        ; ldw r35, [r53]
+instr 0x059a7fd0        ; inc r38, #15, #-3
+instr 0x0b38c8e0        ; xor r14, r25, r14
+li r50 0x000090bc
+instr 0x00c99400        ; add r50, r50, #0
+instr 0x20819000        ; ldw r32, [r50]
+instr 0x077c59a0        ; mul r31, r11, r26
+instr 0x1280aa30        ; sra r32, r21, r35
+instr 0x0f4f4570        ; snd r19, #-24, #23
+instr 0x0080aa10        ; add r32, r21, r33
+instr 0x06b56c00        ; dec r45, r45, #0
+branch nz snd #0 r45 L0
+instr 0x0492ef60        ; overflow r36, #29, #-10
+li r45 0x00000006
+label L2
+li r46 0x00000004
+label L3
+instr 0x054a9a60        ; inc r18, #19, r38
+instr 0x005a9a20        ; add r22, #19, r34
+instr 0x09927110        ; and r36, #14, r17
+instr 0x063f48c0        ; dec r15, #-23, r12
+instr 0x06a109b0        ; dec r40, r33, r27
+li r52 0x0000ac38
+instr 0x2065a000        ; ldw r25, [r52]
+instr 0x06b97400        ; dec r46, r46, #0
+branch nz snd #0 r46 L3
+instr 0x06b56c00        ; dec r45, r45, #0
+branch nz snd #0 r45 L2

@@ -1,0 +1,48 @@
+; silver-fuzz case v1
+; seed=0x7e3 index=0x2 profile=mixed
+; arg=fuzz
+; stdin=705f3a752e515678555d5951754b27443069213079624a324d3b36685361722750446c4029256342357232342a204658527c26436f646a62794b3535
+li r50 0x00007400
+instr 0x50020320        ; stb #0, [r50]
+li r50 0x00007401
+instr 0x50020320        ; stb #0, [r50]
+ffi 3 0x00007000 0 0x00007400 2
+instr 0x0b48d9c0        ; xor r18, r27, r28
+instr 0x115264b0        ; srl r20, #12, #11
+li r45 0x00000006
+label L0
+li r50 0x0000ad08
+instr 0x40005b20        ; stw r11, [r50]
+instr 0x209d9000        ; ldw r39, [r50]
+instr 0x11407420        ; srl r16, r14, #2
+instr 0x016cd700        ; addc r27, r26, #-16
+instr 0x0280a1d0        ; sub r32, r20, r29
+instr 0x032d40b0        ; carry r11, r40, r11
+instr 0x073c70c0        ; mul r15, r14, r12
+li r40 0xc2cac9f1
+instr 0x007eae50        ; add r31, #21, #-27
+instr 0x0c40c190        ; eq r16, r24, r25
+instr 0x125be2a0        ; sra r22, #-4, r42
+instr 0x107f4c90        ; sll r31, #-23, #9
+li r52 0x00008309
+instr 0x50007340        ; stb r14, [r52]
+instr 0x307da000        ; ldb r31, [r52]
+instr 0x13374950        ; ror r13, #-23, r21
+instr 0x0257c910        ; sub r21, #-7, r17
+instr 0x0338b8b0        ; carry r14, r23, r11
+instr 0x126cbcd0        ; sra r27, r23, #13
+li r12 0x96d4a1cc
+instr 0x03a2e100        ; carry r40, #28, r16
+instr 0x0f76d1a0        ; snd r29, #26, r26
+instr 0x1158ed10        ; srl r22, r29, #17
+li r51 0x000074b0
+instr 0x40038330        ; stw #-16, [r51]
+instr 0x0373df50        ; carry r28, #-5, #-11
+instr 0x0640f510        ; dec r16, r30, #17
+instr 0x03687a40        ; carry r26, r15, r36
+li r53 0x00009aac
+instr 0x00d5ac00        ; add r53, r53, #0
+instr 0x2039a800        ; ldw r14, [r53]
+instr 0x0f5d2560        ; snd r23, r36, #22
+instr 0x06b56c00        ; dec r45, r45, #0
+branch nz snd #0 r45 L0

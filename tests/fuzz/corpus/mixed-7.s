@@ -1,0 +1,22 @@
+; silver-fuzz case v1
+; seed=0x7e3 index=0x7 profile=mixed
+; arg=fuzz
+instr 0x0b7461b0        ; xor r29, r12, r27
+instr 0x0b9e2a50        ; xor r39, #5, r37
+branch nz dec r35 #-3 L0
+li r13 0xd4faece2
+instr 0x0464bf10        ; overflow r25, r23, #-15
+branch nz add r17 r37 L1
+branch z or r31 #-11 L2
+label L0
+label L1
+li r54 0x0000adcd
+instr 0x3045b000        ; ldb r17, [r54]
+li r52 0x00007d28
+instr 0x2065a000        ; ldw r25, [r52]
+li r37 0x98f63442
+label L2
+instr 0x0e7fa230        ; ltu r31, #-12, r35
+instr 0x07885e70        ; mul r34, r11, #-25
+instr 0x0d4ac8d0        ; lt r18, #25, r13
+instr 0x10abc520        ; sll r42, #-8, #18
