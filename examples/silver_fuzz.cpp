@@ -20,6 +20,7 @@
 #include "fuzz/Fuzzer.h"
 
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <thread>
@@ -27,6 +28,25 @@
 using namespace silver;
 
 namespace {
+
+/// Formats N/Seconds with an SI suffix: "12.4M", "310.5k", "87.0".
+std::string rate(uint64_t N, double Seconds) {
+  double R = static_cast<double>(N) / Seconds;
+  const char *Suffix = "";
+  if (R >= 1e9) {
+    R /= 1e9;
+    Suffix = "G";
+  } else if (R >= 1e6) {
+    R /= 1e6;
+    Suffix = "M";
+  } else if (R >= 1e3) {
+    R /= 1e3;
+    Suffix = "k";
+  }
+  std::ostringstream Out;
+  Out << std::fixed << std::setprecision(1) << R << Suffix;
+  return Out.str();
+}
 
 int usage(const char *Argv0) {
   std::cerr
@@ -142,6 +162,20 @@ int main(int Argc, char **Argv) {
   std::cout << "ran " << Report.CasesRun << " cases ("
             << Report.Inconclusive << " inconclusive, " << Report.CaseErrors
             << " errors): " << Report.Findings.size() << " divergences\n";
+  if (Report.WallSeconds > 0) {
+    std::cout << "throughput: " << std::fixed << std::setprecision(2)
+              << Report.WallSeconds << " s, "
+              << rate(Report.CasesRun, Report.WallSeconds) << " cases/s\n";
+    for (const fuzz::LevelWork &W : Report.Work) {
+      std::cout << "  " << stack::levelName(W.L) << ": " << W.Instructions
+                << " instrs (" << rate(W.Instructions, Report.WallSeconds)
+                << " instrs/s)";
+      if (W.Cycles != 0)
+        std::cout << ", " << W.Cycles << " cycles ("
+                  << rate(W.Cycles, Report.WallSeconds) << " cycles/s)";
+      std::cout << "\n";
+    }
+  }
   for (const fuzz::Finding &F : Report.Findings) {
     std::cout << "--- case " << F.Case.Index << " ("
               << fuzz::profileName(F.Case.P) << "), shrunk from "

@@ -8,6 +8,7 @@
 #include "cpu/Check.h"
 
 #include "isa/Abi.h"
+#include "isa/DecodeCache.h"
 #include "isa/Encoding.h"
 #include "support/StringUtils.h"
 
@@ -64,9 +65,9 @@ Result<CoreStop> CoreRunner::advance(uint64_t MaxInstructions,
     if (CyclesSinceRetire >= Opt.WedgeCycles)
       return CoreStop::NoRetireProgress;
 
-    Word PcBefore = Sim->archState().Pc;
-    std::map<std::string, uint64_t> Inputs = Env.inputsForCycle();
-    if (Result<void> S = Sim->step(Inputs, Outputs); !S)
+    Word PcBefore = Sim->archPc();
+    Env.inputsForCycle(Inputs);
+    if (Result<void> S = Sim->stepDense(Inputs, Outputs); !S)
       return S.error();
     if (Result<void> O = Env.observeOutputs(Outputs); !O)
       return O.error();
@@ -75,11 +76,11 @@ Result<CoreStop> CoreRunner::advance(uint64_t MaxInstructions,
     ++CyclesSinceRetire;
 
     if (Obs) {
-      if (Outputs.at("mem_ren")) {
+      if (Outputs.MemRen) {
         // The fetch of the in-flight instruction reads at the arch pc;
         // MemEvent covers data accesses only, so filter it out to keep
         // the region-traffic buckets comparable with the ISA level.
-        Word Addr = static_cast<Word>(Outputs.at("mem_addr"));
+        Word Addr = static_cast<Word>(Outputs.MemAddr);
         if (Addr != PcBefore) {
           obs::MemEvent Ev;
           Ev.Addr = Addr;
@@ -87,22 +88,22 @@ Result<CoreStop> CoreRunner::advance(uint64_t MaxInstructions,
           Ev.IsWrite = false;
           Obs->onMem(Ev);
         }
-      } else if (Outputs.at("mem_wen")) {
+      } else if (Outputs.MemWen) {
         obs::MemEvent Ev;
-        Ev.Addr = static_cast<Word>(Outputs.at("mem_addr"));
-        Ev.Size = Outputs.at("mem_wbyte") ? 1 : 4;
+        Ev.Addr = static_cast<Word>(Outputs.MemAddr);
+        Ev.Size = Outputs.MemWbyte ? 1 : 4;
         Ev.IsWrite = true;
         Obs->onMem(Ev);
       }
     }
 
-    if (!Outputs.at("retire"))
+    if (!Outputs.Retire)
       continue;
     CyclesSinceRetire = 0;
     // The core's retire_pc output is the *next* pc; the retired
     // instruction itself sits at the arch pc captured before the cycle
     // (the arch pc only advances on retire).
-    Word NextPc = static_cast<Word>(Outputs.at("retire_pc"));
+    Word NextPc = static_cast<Word>(Outputs.RetirePc);
     Word RetirePc = PcBefore;
 
     if (Obs) {
@@ -196,7 +197,10 @@ Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,
   Sim.primeArchState(Initial);
 
   // The ISA side: its own copy of the machine state and environment.
+  // The ISA steps run predecoded; SysEnv only reads memory on interrupts,
+  // so the interpreter's own store invalidation keeps the cache exact.
   isa::MachineState Isa = Initial;
+  isa::DecodeCache IsaCache;
   std::unique_ptr<sys::SysEnv> SysEnv;
   if (Layout)
     SysEnv = std::make_unique<sys::SysEnv>(*Layout);
@@ -207,7 +211,8 @@ Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,
 
   uint64_t Instructions = 0;
   uint64_t Cycles = 0;
-  std::map<std::string, uint64_t> Outputs;
+  CoreInputs Inputs;
+  CoreOutputs Outputs;
 
   auto CompareArch = [&](uint64_t At) -> Result<void> {
     ArchState A = Sim.archState();
@@ -228,22 +233,22 @@ Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,
   };
 
   while (Instructions < MaxInstructions) {
-    if (isa::isHalted(Isa))
+    if (isa::isHalted(Isa, IsaCache))
       break;
     if (Cycles > Options.MaxCycles)
       return Error("cycle budget exhausted before instruction " +
                    std::to_string(Instructions));
-    std::map<std::string, uint64_t> Inputs = Env.inputsForCycle();
-    if (Result<void> S = Sim.step(Inputs, Outputs); !S)
+    Env.inputsForCycle(Inputs);
+    if (Result<void> S = Sim.stepDense(Inputs, Outputs); !S)
       return S.error();
     if (Result<void> O = Env.observeOutputs(Outputs); !O)
       return O.error();
     ++Cycles;
-    if (!Outputs.at("retire"))
+    if (!Outputs.Retire)
       continue;
 
     // One implementation retire corresponds to one ISA Next step.
-    isa::StepResult S = isa::step(Isa, IsaEnv);
+    isa::StepResult S = isa::step(Isa, IsaEnv, IsaCache);
     if (!S.ok())
       return Error("ISA faulted at instruction " +
                    std::to_string(Instructions) +

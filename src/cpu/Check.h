@@ -128,7 +128,8 @@ private:
   uint64_t CyclesSinceRetire = 0;
   bool InFfi = false;
   unsigned FfiIndex = 0;
-  std::map<std::string, uint64_t> Outputs;
+  CoreInputs Inputs;
+  CoreOutputs Outputs;
 };
 
 /// Runs a bootable image on the Silver core until the halt self-loop is

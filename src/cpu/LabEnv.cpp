@@ -10,7 +10,7 @@
 using namespace silver;
 using namespace silver::cpu;
 
-std::map<std::string, uint64_t> LabEnv::inputsForCycle() {
+void LabEnv::inputsForCycle(CoreInputs &In) {
   ReadyNow = false;
   AckNow = false;
   RData = 0;
@@ -48,25 +48,32 @@ std::map<std::string, uint64_t> LabEnv::inputsForCycle() {
     }
   }
 
-  std::map<std::string, uint64_t> In;
-  In["mem_rdata"] = RData;
-  In["mem_ready"] = ReadyNow ? 1 : 0;
-  In["mem_start_ready"] = Cycle >= Opt.StartDelay ? 1 : 0;
-  In["interrupt_ack"] = AckNow ? 1 : 0;
-  In["data_in"] = 0;
+  In.MemRdata = RData;
+  In.MemReady = ReadyNow;
+  In.MemStartReady = Cycle >= Opt.StartDelay;
+  In.InterruptAck = AckNow;
+  In.DataIn = 0;
   ++Cycle;
+}
+
+std::map<std::string, uint64_t> LabEnv::inputsForCycle() {
+  CoreInputs Dense;
+  inputsForCycle(Dense);
+  std::map<std::string, uint64_t> In;
+  In["mem_rdata"] = Dense.MemRdata;
+  In["mem_ready"] = Dense.MemReady ? 1 : 0;
+  In["mem_start_ready"] = Dense.MemStartReady ? 1 : 0;
+  In["interrupt_ack"] = Dense.InterruptAck ? 1 : 0;
+  In["data_in"] = Dense.DataIn;
   return In;
 }
 
-Result<void>
-LabEnv::observeOutputs(const std::map<std::string, uint64_t> &Out) {
-  uint64_t Ren = Out.at("mem_ren");
-  uint64_t Wen = Out.at("mem_wen");
-  if (Ren || Wen) {
+Result<void> LabEnv::observeOutputs(const CoreOutputs &Out) {
+  if (Out.MemRen || Out.MemWen) {
     if (MemBusy)
       return Error("lab env: memory request while a transaction is busy");
-    Word Addr = static_cast<Word>(Out.at("mem_addr"));
-    bool IsByte = Out.at("mem_wbyte") != 0;
+    Word Addr = static_cast<Word>(Out.MemAddr);
+    bool IsByte = Out.MemWbyte;
     if (!IsByte && (Addr & 3))
       return Error("lab env: misaligned word access at " +
                    std::to_string(Addr));
@@ -76,12 +83,12 @@ LabEnv::observeOutputs(const std::map<std::string, uint64_t> &Out) {
                    std::to_string(Addr));
     MemBusy = true;
     MemRemaining = Opt.MemLatency;
-    MemIsWrite = Wen != 0;
+    MemIsWrite = Out.MemWen;
     MemIsByte = IsByte;
     MemAddr = Addr;
-    MemWData = static_cast<Word>(Out.at("mem_wdata"));
+    MemWData = static_cast<Word>(Out.MemWdata);
   }
-  if (Out.at("interrupt_req")) {
+  if (Out.InterruptReq) {
     if (IntBusy)
       return Error("lab env: interrupt request while one is pending");
     // The observable action happens at notification time, matching the
@@ -92,4 +99,16 @@ LabEnv::observeOutputs(const std::map<std::string, uint64_t> &Out) {
     IntRemaining = Opt.AckDelay;
   }
   return {};
+}
+
+Result<void>
+LabEnv::observeOutputs(const std::map<std::string, uint64_t> &Out) {
+  CoreOutputs Dense;
+  Dense.MemRen = Out.at("mem_ren") != 0;
+  Dense.MemWen = Out.at("mem_wen") != 0;
+  Dense.MemWbyte = Out.at("mem_wbyte") != 0;
+  Dense.MemAddr = Out.at("mem_addr");
+  Dense.MemWdata = Out.at("mem_wdata");
+  Dense.InterruptReq = Out.at("interrupt_req") != 0;
+  return observeOutputs(Dense);
 }

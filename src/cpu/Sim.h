@@ -38,13 +38,49 @@ struct ArchState {
   Word DataOut = 0;
 };
 
+/// Dense input frame for one core cycle: one field per input port of the
+/// Silver core.  The cycle loops (CoreRunner, checkIsaRtl) exchange
+/// these instead of string-keyed maps, so the per-cycle path does no
+/// name lookups and no allocation.
+struct CoreInputs {
+  uint64_t MemRdata = 0;
+  uint64_t DataIn = 0;
+  bool MemReady = false;
+  bool MemStartReady = false;
+  bool InterruptAck = false;
+};
+
+/// Dense output frame: one field per output port of the Silver core.
+struct CoreOutputs {
+  uint64_t MemAddr = 0;
+  uint64_t MemWdata = 0;
+  uint64_t RetirePc = 0;
+  uint64_t DataOut = 0;
+  uint64_t DbgState = 0;
+  bool MemRen = false;
+  bool MemWen = false;
+  bool MemWbyte = false;
+  bool InterruptReq = false;
+  bool Retire = false;
+};
+
 class CoreSim {
 public:
   virtual ~CoreSim();
 
-  /// One clock cycle.
+  /// One clock cycle over the dense frames (the hot path; port-to-field
+  /// bindings are resolved once when the simulator is built).
+  virtual Result<void> stepDense(const CoreInputs &In, CoreOutputs &Out) = 0;
+
+  /// One clock cycle with named ports.  Compatibility surface for tests
+  /// and tools; the runners use stepDense.
   virtual Result<void> step(const std::map<std::string, uint64_t> &Inputs,
                             std::map<std::string, uint64_t> &Outputs) = 0;
+
+  /// The architectural PC alone.  The cycle loop reads this every cycle
+  /// (the retired instruction sits at the pre-cycle PC), and archState()
+  /// rebuilds the whole register file per call.
+  virtual Word archPc() const = 0;
 
   /// Ticks obs::Observer::onCycle once per step (the circuit level emits
   /// directly; the Verilog level forwards to hdl::FastSim).  Null

@@ -8,6 +8,7 @@
 #include "fuzz/Fuzzer.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -26,10 +27,17 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
   std::atomic<uint64_t> CasesRun{0};
   std::atomic<uint64_t> Inconclusive{0};
   std::atomic<uint64_t> CaseErrors{0};
+  // Per-level work totals, indexed by stack::Level; summed lock-free in
+  // the workers and folded into the report at the end.
+  constexpr size_t NumLevels = static_cast<size_t>(stack::Level::Verilog) + 1;
+  std::array<std::atomic<uint64_t>, NumLevels> LevelInstrs{};
+  std::array<std::atomic<uint64_t>, NumLevels> LevelCycles{};
+  std::array<std::atomic<uint64_t>, NumLevels> LevelRuns{};
   std::mutex Mu; // guards Report.Findings and O.Log
+  const auto Start = std::chrono::steady_clock::now();
   const auto Deadline =
       O.TimeBudgetSeconds > 0
-          ? std::chrono::steady_clock::now() +
+          ? Start +
                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(O.TimeBudgetSeconds))
           : std::chrono::steady_clock::time_point::max();
@@ -52,6 +60,16 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
         if (O.Log)
           *O.Log << "case " << Index << ": " << R.error().message() << "\n";
         continue;
+      }
+      for (const LevelRun &Run : R->Runs) {
+        if (!Run.Ran)
+          continue;
+        size_t L = static_cast<size_t>(Run.L);
+        LevelRuns[L].fetch_add(1, std::memory_order_relaxed);
+        LevelInstrs[L].fetch_add(Run.Behaviour.Instructions,
+                                 std::memory_order_relaxed);
+        LevelCycles[L].fetch_add(Run.Behaviour.Cycles,
+                                 std::memory_order_relaxed);
       }
       if (R->Diff.Kind == DiffKind::Inconclusive) {
         Inconclusive.fetch_add(1, std::memory_order_relaxed);
@@ -97,6 +115,18 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
   Report.CasesRun = CasesRun.load();
   Report.Inconclusive = Inconclusive.load();
   Report.CaseErrors = CaseErrors.load();
+  Report.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  for (size_t L = 0; L != NumLevels; ++L) {
+    if (LevelRuns[L].load() == 0)
+      continue;
+    LevelWork W;
+    W.L = static_cast<stack::Level>(L);
+    W.Instructions = LevelInstrs[L].load();
+    W.Cycles = LevelCycles[L].load();
+    Report.Work.push_back(W);
+  }
   // Workers race on push order; the index sort restores determinism.
   std::sort(Report.Findings.begin(), Report.Findings.end(),
             [](const Finding &A, const Finding &B) {

@@ -65,11 +65,26 @@ struct Finding {
   uint64_t ShrinkAttempts = 0;
 };
 
+/// Work done at one level over a whole campaign, for throughput
+/// reporting (instructions at every level; cycles only at the clocked
+/// ones).
+struct LevelWork {
+  stack::Level L = stack::Level::Isa;
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+};
+
 struct FuzzReport {
   uint64_t CasesRun = 0;
   uint64_t Inconclusive = 0; ///< reference timed out; skipped
   uint64_t CaseErrors = 0;   ///< cases the oracle could not run at all
   std::vector<Finding> Findings; ///< sorted by case index
+  /// Campaign wall-clock time (generation + oracle + shrinking), for
+  /// cases/sec and per-level instrs/sec throughput lines.
+  double WallSeconds = 0;
+  /// Per-level totals across every case the oracle ran, in level order;
+  /// levels that never ran are omitted.
+  std::vector<LevelWork> Work;
 };
 
 /// Runs a fuzzing campaign.  Deterministic for fixed (Seed, MaxCases)

@@ -72,10 +72,17 @@ struct FastSim::Impl {
   obs::Observer *CycleObs = nullptr;
   uint64_t Cycle = 0;
 
+  /// With a single process there are no later processes to shield from
+  /// blocking writes, so they commit in place and the undo/commit logs
+  /// stay empty (the rtl-generated module is one process; this removes
+  /// two log appends per assignment from the Verilog-level hot path).
+  bool DirectBlocking = false;
+
   // Per-cycle scratch.
   std::vector<NbEntry> Queue;
   std::vector<std::pair<int, uint64_t>> UndoLog;
   std::vector<std::pair<int, uint64_t>> CommitLog;
+  std::vector<uint64_t> DenseScratch; // map-step compatibility buffer
 
   Result<FExp> compileExp(const VExp &E);
   Result<FStmt> compileStmt(const VStmt &S);
@@ -322,8 +329,10 @@ void FastSim::Impl::exec(const FStmt &S) {
     return;
   case VStmtKind::BlockingAssign: {
     uint64_t V = eval(S.Rhs);
-    UndoLog.emplace_back(S.Slot, Values[S.Slot]);
-    CommitLog.emplace_back(S.Slot, V);
+    if (!DirectBlocking) {
+      UndoLog.emplace_back(S.Slot, Values[S.Slot]);
+      CommitLog.emplace_back(S.Slot, V);
+    }
     Values[S.Slot] = V;
     return;
   }
@@ -374,19 +383,33 @@ Result<std::unique_ptr<FastSim>> FastSim::compile(const VModule &M) {
       return Body.error();
     I.Processes.push_back({Body.take()});
   }
+  I.DirectBlocking = I.Processes.size() <= 1;
   return Sim;
 }
 
 Result<void> FastSim::step(const std::map<std::string, uint64_t> &Inputs) {
   Impl &Im = *I;
-  for (const auto &[Name, Slot] : Im.InputSlots) {
-    auto It = Inputs.find(Name);
+  Im.DenseScratch.resize(Im.InputSlots.size());
+  for (size_t K = 0; K != Im.InputSlots.size(); ++K) {
+    auto It = Inputs.find(Im.InputSlots[K].first);
     if (It == Inputs.end())
-      return Error("fastsim: input '" + Name + "' not driven");
-    Im.Values[Slot] = maskTo(Im.SlotWidths[Slot] == 0
-                                 ? 1
-                                 : Im.SlotWidths[Slot],
-                             It->second);
+      return Error("fastsim: input '" + Im.InputSlots[K].first +
+                   "' not driven");
+    Im.DenseScratch[K] = It->second;
+  }
+  return stepDense(Im.DenseScratch.data(), Im.DenseScratch.size());
+}
+
+Result<void> FastSim::stepDense(const uint64_t *Inputs, size_t Count) {
+  Impl &Im = *I;
+  if (Count != Im.InputSlots.size())
+    return Error("fastsim: dense input frame has " + std::to_string(Count) +
+                 " values, module has " +
+                 std::to_string(Im.InputSlots.size()) + " input ports");
+  for (size_t K = 0; K != Count; ++K) {
+    int Slot = Im.InputSlots[K].second;
+    unsigned W = Im.SlotWidths[Slot];
+    Im.Values[Slot] = maskTo(W == 0 ? 1 : W, Inputs[K]);
   }
   Im.Queue.clear();
   Im.CommitLog.clear();
@@ -419,6 +442,44 @@ Result<void> FastSim::step(const std::map<std::string, uint64_t> &Inputs) {
 }
 
 void FastSim::setCycleObserver(obs::Observer *O) { I->CycleObs = O; }
+
+size_t FastSim::numInputs() const { return I->InputSlots.size(); }
+
+const std::string &FastSim::inputName(size_t Ordinal) const {
+  assert(Ordinal < I->InputSlots.size() && "input ordinal out of range");
+  return I->InputSlots[Ordinal].first;
+}
+
+int FastSim::slotOf(const std::string &Name) const {
+  auto It = I->ScalarSlots.find(Name);
+  return It == I->ScalarSlots.end() ? -1 : It->second;
+}
+
+int FastSim::memSlotOf(const std::string &Name) const {
+  auto It = I->MemSlots.find(Name);
+  return It == I->MemSlots.end() ? -1 : It->second;
+}
+
+uint64_t FastSim::valueOf(int Slot) const {
+  assert(Slot >= 0 && static_cast<size_t>(Slot) < I->Values.size());
+  return I->Values[Slot];
+}
+
+void FastSim::setValue(int Slot, uint64_t Bits) {
+  assert(Slot >= 0 && static_cast<size_t>(Slot) < I->Values.size());
+  unsigned W = I->SlotWidths[Slot];
+  I->Values[Slot] = maskTo(W == 0 ? 1 : W, Bits);
+}
+
+const std::vector<uint64_t> &FastSim::memOf(int MemSlot) const {
+  assert(MemSlot >= 0 && static_cast<size_t>(MemSlot) < I->Mems.size());
+  return I->Mems[MemSlot];
+}
+
+std::vector<uint64_t> &FastSim::memOf(int MemSlot) {
+  assert(MemSlot >= 0 && static_cast<size_t>(MemSlot) < I->Mems.size());
+  return I->Mems[MemSlot];
+}
 
 uint64_t FastSim::valueOf(const std::string &Name) const {
   auto It = I->ScalarSlots.find(Name);

@@ -38,8 +38,31 @@ public:
   static Result<std::unique_ptr<FastSim>> compile(const VModule &M);
   ~FastSim();
 
-  /// One clock cycle; \p Inputs must cover every input port.
+  /// One clock cycle; \p Inputs holds one value per input port in port
+  /// declaration order (see numInputs / inputName).  This is the hot
+  /// path: no name lookups, no per-cycle allocation.
+  Result<void> stepDense(const uint64_t *Inputs, size_t Count);
+
+  /// One clock cycle with named inputs; \p Inputs must cover every input
+  /// port.  Thin compatibility wrapper over stepDense.
   Result<void> step(const std::map<std::string, uint64_t> &Inputs);
+
+  /// Number of input ports (the stepDense frame size).
+  size_t numInputs() const;
+  /// Name of input port \p Ordinal (stepDense frame order).
+  const std::string &inputName(size_t Ordinal) const;
+
+  /// Slot handle of a scalar (bool/vec) variable, or -1 when unknown.
+  /// Slots are stable for the lifetime of the simulator; resolve once,
+  /// then use the indexed accessors below on hot paths.
+  int slotOf(const std::string &Name) const;
+  /// Memory handle of a memory variable, or -1 when unknown.
+  int memSlotOf(const std::string &Name) const;
+  /// Indexed accessors (hot-path counterparts of the named ones).
+  uint64_t valueOf(int Slot) const;
+  void setValue(int Slot, uint64_t Bits);
+  const std::vector<uint64_t> &memOf(int MemSlot) const;
+  std::vector<uint64_t> &memOf(int MemSlot);
 
   /// Ticks obs::Observer::onCycle once per step (the Verilog level's
   /// clock source for the unified trace/counter subsystem).  Null

@@ -8,6 +8,7 @@
 #include "isa/Interp.h"
 
 #include "isa/Abi.h"
+#include "isa/DecodeCache.h"
 
 using namespace silver;
 using namespace silver::isa;
@@ -157,25 +158,26 @@ struct ObsEmit {
   }
 };
 
+/// Store-invalidation policies for execImpl: the uncached interpreter
+/// does nothing, the cached one drops the overwritten decode slots so
+/// self-modifying code keeps matching the reference semantics.
+struct NoInval {
+  void operator()(Word, Word) {}
+};
+struct CacheInval {
+  DecodeCache &Cache;
+  void operator()(Word Addr, Word Size) { Cache.invalidate(Addr, Size); }
+};
+
 } // namespace
 
-template <class Emit>
-static StepResult stepImpl(MachineState &State, IsaEnv &Env, Emit &&E) {
+/// Executes the already-decoded \p I at State.PC.  The fetch-side checks
+/// (PC range/alignment, decodability) are the caller's: stepImpl does
+/// them per step, the predecoded loops get them from the cache entry.
+template <class Emit, class Inval>
+static StepResult execImpl(MachineState &State, IsaEnv &Env,
+                           const Instruction &I, Emit &&E, Inval &&Inv) {
   StepResult Out;
-  if (!State.inRange(State.PC, 4)) {
-    Out.Fault = StepFault::PcOutOfRange;
-    return Out;
-  }
-  if (!isAligned(State.PC, 4)) {
-    Out.Fault = StepFault::PcMisaligned;
-    return Out;
-  }
-  Result<Instruction> Decoded = decode(State.readWord(State.PC));
-  if (!Decoded) {
-    Out.Fault = StepFault::IllegalInstruction;
-    return Out;
-  }
-  const Instruction &I = *Decoded;
   Word NextPC = State.PC + 4;
 
   switch (I.Op) {
@@ -224,6 +226,7 @@ static StepResult stepImpl(MachineState &State, IsaEnv &Env, Emit &&E) {
     }
     E.mem(Addr, 4, /*IsWrite=*/true);
     State.writeWord(Addr, State.operandValue(I.A));
+    Inv(Addr, 4);
     break;
   }
   case Opcode::StoreMEMByte: {
@@ -234,6 +237,7 @@ static StepResult stepImpl(MachineState &State, IsaEnv &Env, Emit &&E) {
     }
     E.mem(Addr, 1, /*IsWrite=*/true);
     State.writeByte(Addr, static_cast<uint8_t>(State.operandValue(I.A)));
+    Inv(Addr, 1);
     break;
   }
   case Opcode::LoadConstant: {
@@ -294,6 +298,48 @@ static StepResult stepImpl(MachineState &State, IsaEnv &Env, Emit &&E) {
   return Out;
 }
 
+/// Reference fetch-decode-execute step.
+template <class Emit>
+static StepResult stepImpl(MachineState &State, IsaEnv &Env, Emit &&E) {
+  StepResult Out;
+  if (!State.inRange(State.PC, 4)) {
+    Out.Fault = StepFault::PcOutOfRange;
+    return Out;
+  }
+  if (!isAligned(State.PC, 4)) {
+    Out.Fault = StepFault::PcMisaligned;
+    return Out;
+  }
+  Result<Instruction> Decoded = decode(State.readWord(State.PC));
+  if (!Decoded) {
+    Out.Fault = StepFault::IllegalInstruction;
+    return Out;
+  }
+  return execImpl(State, Env, *Decoded, E, NoInval{});
+}
+
+/// Predecoded step: the fetch-side checks survive, but the decode comes
+/// from the cache (and stores drop the slots they overwrite).
+template <class Emit>
+static StepResult cachedStepImpl(MachineState &State, IsaEnv &Env,
+                                 DecodeCache &Cache, Emit &&E) {
+  StepResult Out;
+  if (!State.inRange(State.PC, 4)) {
+    Out.Fault = StepFault::PcOutOfRange;
+    return Out;
+  }
+  if (!isAligned(State.PC, 4)) {
+    Out.Fault = StepFault::PcMisaligned;
+    return Out;
+  }
+  const DecodedInsn &D = Cache.lookup(State, State.PC);
+  if (D.St == DecodedInsn::Illegal) {
+    Out.Fault = StepFault::IllegalInstruction;
+    return Out;
+  }
+  return execImpl(State, Env, D.I, E, CacheInval{Cache});
+}
+
 StepResult silver::isa::step(MachineState &State, IsaEnv &Env) {
   NullEmit E;
   return stepImpl(State, Env, E);
@@ -305,11 +351,69 @@ StepResult silver::isa::step(MachineState &State, IsaEnv &Env,
   return stepImpl(State, Env, E);
 }
 
+StepResult silver::isa::step(MachineState &State, IsaEnv &Env,
+                             DecodeCache &Cache) {
+  NullEmit E;
+  return cachedStepImpl(State, Env, Cache, E);
+}
+
+StepResult silver::isa::step(MachineState &State, IsaEnv &Env,
+                             obs::Observer &Obs, uint64_t RetireIndex,
+                             DecodeCache &Cache) {
+  ObsEmit E{Obs, RetireIndex};
+  return cachedStepImpl(State, Env, Cache, E);
+}
+
+template <class Emit>
+static HaltOrStep stepUnlessHaltedImpl(MachineState &State, IsaEnv &Env,
+                                       DecodeCache &Cache, Emit &&E) {
+  HaltOrStep R;
+  if (!State.inRange(State.PC, 4)) {
+    R.S.Fault = StepFault::PcOutOfRange;
+    return R;
+  }
+  if (!isAligned(State.PC, 4)) {
+    R.S.Fault = StepFault::PcMisaligned;
+    return R;
+  }
+  const DecodedInsn &D = Cache.lookup(State, State.PC);
+  if (D.St == DecodedInsn::Illegal) {
+    R.S.Fault = StepFault::IllegalInstruction;
+    return R;
+  }
+  if (D.SelfJump) {
+    R.Halted = true;
+    return R;
+  }
+  R.S = execImpl(State, Env, D.I, E, CacheInval{Cache});
+  return R;
+}
+
+HaltOrStep silver::isa::stepUnlessHalted(MachineState &State, IsaEnv &Env,
+                                         DecodeCache &Cache) {
+  NullEmit E;
+  return stepUnlessHaltedImpl(State, Env, Cache, E);
+}
+
+HaltOrStep silver::isa::stepUnlessHalted(MachineState &State, IsaEnv &Env,
+                                         obs::Observer &Obs,
+                                         uint64_t RetireIndex,
+                                         DecodeCache &Cache) {
+  ObsEmit E{Obs, RetireIndex};
+  return stepUnlessHaltedImpl(State, Env, Cache, E);
+}
+
 bool silver::isa::isHalted(const MachineState &State) {
   if (!State.inRange(State.PC, 4) || !isAligned(State.PC, 4))
     return false;
   Result<Instruction> Decoded = decode(State.readWord(State.PC));
   return Decoded && Decoded->isSelfJump();
+}
+
+bool silver::isa::isHalted(const MachineState &State, DecodeCache &Cache) {
+  if (!State.inRange(State.PC, 4) || !isAligned(State.PC, 4))
+    return false;
+  return Cache.lookup(State, State.PC).SelfJump;
 }
 
 RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
@@ -331,14 +435,88 @@ RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
 }
 
 RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
+                           uint64_t MaxSteps, DecodeCache &Cache) {
+  // The reference loop above fetches and decodes PC twice per iteration
+  // (isHalted, then step).  Here both collapse into one cache lookup; on
+  // a hit the loop body is check-flag-and-execute.
+  RunResult R;
+  NullEmit E;
+  while (R.Steps < MaxSteps) {
+    if (!State.inRange(State.PC, 4) || !isAligned(State.PC, 4)) {
+      // Not a halt; take the reference step to report the exact fault.
+      StepResult S = step(State, Env);
+      R.Fault = S.Fault;
+      return R;
+    }
+    const DecodedInsn &D = Cache.lookup(State, State.PC);
+    if (D.St == DecodedInsn::Illegal) {
+      R.Fault = StepFault::IllegalInstruction;
+      return R;
+    }
+    if (D.SelfJump) {
+      R.Halted = true;
+      return R;
+    }
+    StepResult S = execImpl(State, Env, D.I, E, CacheInval{Cache});
+    if (!S.ok()) {
+      R.Fault = S.Fault;
+      return R;
+    }
+    ++R.Steps;
+  }
+  return R;
+}
+
+RunStopResult silver::isa::runUntilPc(MachineState &State, IsaEnv &Env,
+                                      uint64_t MaxSteps, Word StopPc,
+                                      DecodeCache &Cache) {
+  RunStopResult R;
+  NullEmit E;
+  while (R.Steps < MaxSteps) {
+    if (State.PC == StopPc) {
+      R.AtStopPc = true;
+      return R;
+    }
+    if (!State.inRange(State.PC, 4) || !isAligned(State.PC, 4)) {
+      StepResult S = step(State, Env);
+      R.Fault = S.Fault;
+      return R;
+    }
+    const DecodedInsn &D = Cache.lookup(State, State.PC);
+    if (D.St == DecodedInsn::Illegal) {
+      R.Fault = StepFault::IllegalInstruction;
+      return R;
+    }
+    if (D.SelfJump) {
+      R.Halted = true;
+      return R;
+    }
+    StepResult S = execImpl(State, Env, D.I, E, CacheInval{Cache});
+    if (!S.ok()) {
+      R.Fault = S.Fault;
+      return R;
+    }
+    ++R.Steps;
+  }
+  return R;
+}
+
+RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
                            uint64_t MaxSteps, ObsHooks &Hooks) {
+  DecodeCache Cache;
+  return run(State, Env, MaxSteps, Hooks, Cache);
+}
+
+RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
+                           uint64_t MaxSteps, ObsHooks &Hooks,
+                           DecodeCache &Cache) {
   if (!Hooks.Obs)
-    return run(State, Env, MaxSteps);
+    return run(State, Env, MaxSteps, Cache);
 
   obs::Observer &Obs = *Hooks.Obs;
   RunResult R;
   while (R.Steps < MaxSteps) {
-    if (isHalted(State)) {
+    if (isHalted(State, Cache)) {
       R.Halted = true;
       break;
     }
@@ -350,7 +528,8 @@ RunResult silver::isa::run(MachineState &State, IsaEnv &Env,
       E.Entry = true;
       Obs.onFfi(E);
     }
-    StepResult S = step(State, Env, Obs, Hooks.RetireIndexBase + R.Steps);
+    ObsEmit Em{Obs, Hooks.RetireIndexBase + R.Steps};
+    StepResult S = cachedStepImpl(State, Env, Cache, Em);
     if (!S.ok()) {
       R.Fault = S.Fault;
       break;

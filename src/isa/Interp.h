@@ -93,8 +93,15 @@ struct StepResult {
   bool ok() const { return Fault == StepFault::None; }
 };
 
+class DecodeCache;
+
 /// One step of the ISA semantics: fetch the word at PC, decode, execute.
 StepResult step(MachineState &State, IsaEnv &Env);
+
+/// Predecoded step (isa/DecodeCache.h): semantically identical, but the
+/// decode comes from \p Cache and stores invalidate the slots they
+/// overwrite, so self-modifying code matches the reference semantics.
+StepResult step(MachineState &State, IsaEnv &Env, DecodeCache &Cache);
 
 /// Instrumented step: additionally emits the memory accesses and the
 /// retirement (with \p RetireIndex) of this instruction to \p Obs.  Both
@@ -102,6 +109,42 @@ StepResult step(MachineState &State, IsaEnv &Env);
 /// pays nothing for the hooks.
 StepResult step(MachineState &State, IsaEnv &Env, obs::Observer &Obs,
                 uint64_t RetireIndex);
+
+/// Instrumented predecoded step.
+StepResult step(MachineState &State, IsaEnv &Env, obs::Observer &Obs,
+                uint64_t RetireIndex, DecodeCache &Cache);
+
+/// Result of a fused halt-check-and-step (see stepUnlessHalted).
+struct HaltOrStep {
+  bool Halted = false;
+  StepResult S;
+};
+
+/// The is_halted test and the step the reference loop performs
+/// back-to-back, fused over a single cache lookup: if the instruction at
+/// PC is the halt self-jump, returns Halted without stepping; otherwise
+/// executes it.  machine::MachineSem's per-step loop is built on this.
+HaltOrStep stepUnlessHalted(MachineState &State, IsaEnv &Env,
+                            DecodeCache &Cache);
+HaltOrStep stepUnlessHalted(MachineState &State, IsaEnv &Env,
+                            obs::Observer &Obs, uint64_t RetireIndex,
+                            DecodeCache &Cache);
+
+/// Outcome of runUntilPc: exactly one of AtStopPc / Halted is set, or
+/// Fault is non-None, or the step budget ran out (none set).
+struct RunStopResult {
+  uint64_t Steps = 0;    ///< instructions executed (none at StopPc)
+  bool AtStopPc = false; ///< stopped with PC == StopPc, before executing
+  bool Halted = false;   ///< the halt self-jump was reached
+  StepFault Fault = StepFault::None;
+};
+
+/// Predecoded run that additionally stops — before executing — whenever
+/// PC equals \p StopPc.  machine::MachineSem points StopPc at the FFI
+/// trampoline so its uninstrumented run is one tight loop with a single
+/// extra compare per instruction, instead of a cross-call per step.
+RunStopResult runUntilPc(MachineState &State, IsaEnv &Env, uint64_t MaxSteps,
+                         Word StopPc, DecodeCache &Cache);
 
 /// Runs until the machine halts (reaches the self-jump fixpoint), a fault
 /// occurs, or \p MaxSteps instructions execute.
@@ -111,6 +154,12 @@ struct RunResult {
   StepFault Fault = StepFault::None;
 };
 RunResult run(MachineState &State, IsaEnv &Env, uint64_t MaxSteps);
+
+/// Predecoded run loop: one cache lookup per instruction replaces the
+/// fetch-decode pair the reference loop performs (isHalted + step), with
+/// the halt test reduced to the entry's self-jump flag.
+RunResult run(MachineState &State, IsaEnv &Env, uint64_t MaxSteps,
+              DecodeCache &Cache);
 
 /// Observation hooks for an instrumented run.  All fields are optional;
 /// a default-constructed ObsHooks makes run() behave exactly like the
@@ -138,10 +187,19 @@ struct ObsHooks {
 RunResult run(MachineState &State, IsaEnv &Env, uint64_t MaxSteps,
               ObsHooks &Hooks);
 
+/// Instrumented predecoded run: the Hooks overload above with a caller-
+/// owned cache (a session that pauses and resumes keeps its predecode
+/// work across calls).
+RunResult run(MachineState &State, IsaEnv &Env, uint64_t MaxSteps,
+              ObsHooks &Hooks, DecodeCache &Cache);
+
 /// The paper's is_halted predicate: the instruction at PC is an
 /// unconditional self-jump, so every further step leaves the ISA-visible
 /// state unchanged (after the link register stabilises).
 bool isHalted(const MachineState &State);
+
+/// Predecoded is_halted: the self-jump test is the cached flag.
+bool isHalted(const MachineState &State, DecodeCache &Cache);
 
 } // namespace isa
 } // namespace silver

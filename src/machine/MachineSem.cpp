@@ -17,7 +17,8 @@ void silver::machine::applyFfiInterfer(MachineState &State,
                                        const sys::MemoryLayout &Layout,
                                        unsigned Index,
                                        const std::vector<uint8_t> &ResultBytes,
-                                       const ffi::BasisFfi &FfiAfter) {
+                                       const ffi::BasisFfi &FfiAfter,
+                                       isa::DecodeCache *Cache) {
   Word BytesPtr = State.Regs[abi::FfiBytesReg];
   Word ConfPtr = State.Regs[abi::FfiConfReg];
   Word ConfLen = State.Regs[abi::FfiConfLenReg];
@@ -26,8 +27,12 @@ void silver::machine::applyFfiInterfer(MachineState &State,
   // memory domain md): the called-id cell, the stdin offset, and for
   // writes the output buffer.
   State.writeWord(Layout.SyscallIdAddr, Index);
+  if (Cache)
+    Cache->invalidate(Layout.SyscallIdAddr, 4);
   State.writeWord(Layout.StdinBase + 4,
                   static_cast<Word>(FfiAfter.Fs.StdinOffset));
+  if (Cache)
+    Cache->invalidate(Layout.StdinBase + 4, 4);
   if (Index == unsigned(sys::FfiIndex::Write) && !ResultBytes.empty() &&
       ResultBytes[0] == 0) {
     uint64_t Fd = ffi::bytesToU64(State.readBytes(ConfPtr, ConfLen));
@@ -40,10 +45,14 @@ void silver::machine::applyFfiInterfer(MachineState &State,
       State.writeByte(Layout.OutBufBase + 8 + I,
                       static_cast<uint8_t>(
                           Stream[Stream.size() - Count + I]));
+    if (Cache)
+      Cache->invalidate(Layout.OutBufBase, 8 + Count);
   }
 
   // The shared byte array receives the oracle's result.
   State.writeBytes(BytesPtr, ResultBytes);
+  if (Cache && !ResultBytes.empty())
+    Cache->invalidate(BytesPtr, static_cast<Word>(ResultBytes.size()));
 
   // Scratch registers are clobbered deterministically; the PC returns to
   // the caller per the calling convention.
@@ -52,40 +61,49 @@ void silver::machine::applyFfiInterfer(MachineState &State,
     State.Regs[Reg] = 0;
 }
 
+bool MachineSem::oracleStep() {
+  // An FFI call: consult the interference oracle.
+  unsigned Index = State.Regs[abi::FfiIndexReg];
+  const auto &Names = ffi::BasisFfi::callNames();
+  Word ConfPtr = State.Regs[abi::FfiConfReg];
+  Word ConfLen = State.Regs[abi::FfiConfLenReg];
+  Word BytesPtr = State.Regs[abi::FfiBytesReg];
+  Word BytesLen = State.Regs[abi::FfiBytesLenReg];
+  if (Index >= Names.size() || !State.inRange(ConfPtr, ConfLen) ||
+      !State.inRange(BytesPtr, BytesLen)) {
+    LastBehaviour.Kind = BehaviourKind::Failed;
+    return false;
+  }
+  ffi::FfiResult R = Ffi.call(Names[Index], State.readBytes(ConfPtr, ConfLen),
+                              State.readBytes(BytesPtr, BytesLen));
+  if (R.Outcome == ffi::FfiOutcome::Fail) {
+    LastBehaviour.Kind = BehaviourKind::Failed;
+    return false;
+  }
+  if (R.Outcome == ffi::FfiOutcome::Exit) {
+    State.writeWord(Layout.ExitFlagAddr, 1);
+    State.writeWord(Layout.ExitCodeAddr, R.ExitCode);
+    Cache.invalidate(Layout.ExitFlagAddr, 4);
+    Cache.invalidate(Layout.ExitCodeAddr, 4);
+    LastBehaviour.Kind = BehaviourKind::Terminated;
+    LastBehaviour.ExitCode = R.ExitCode;
+    return false;
+  }
+  applyFfiInterfer(State, Layout, Index, R.Bytes, Ffi, &Cache);
+  return true;
+}
+
 bool MachineSem::stepOnce() {
   ++LastBehaviour.Steps;
 
-  if (State.PC == Layout.SyscallCodeBase) {
-    // An FFI call: consult the interference oracle.
-    unsigned Index = State.Regs[abi::FfiIndexReg];
-    const auto &Names = ffi::BasisFfi::callNames();
-    Word ConfPtr = State.Regs[abi::FfiConfReg];
-    Word ConfLen = State.Regs[abi::FfiConfLenReg];
-    Word BytesPtr = State.Regs[abi::FfiBytesReg];
-    Word BytesLen = State.Regs[abi::FfiBytesLenReg];
-    if (Index >= Names.size() || !State.inRange(ConfPtr, ConfLen) ||
-        !State.inRange(BytesPtr, BytesLen)) {
-      LastBehaviour.Kind = BehaviourKind::Failed;
-      return false;
-    }
-    ffi::FfiResult R = Ffi.call(Names[Index], State.readBytes(ConfPtr, ConfLen),
-                                State.readBytes(BytesPtr, BytesLen));
-    if (R.Outcome == ffi::FfiOutcome::Fail) {
-      LastBehaviour.Kind = BehaviourKind::Failed;
-      return false;
-    }
-    if (R.Outcome == ffi::FfiOutcome::Exit) {
-      State.writeWord(Layout.ExitFlagAddr, 1);
-      State.writeWord(Layout.ExitCodeAddr, R.ExitCode);
-      LastBehaviour.Kind = BehaviourKind::Terminated;
-      LastBehaviour.ExitCode = R.ExitCode;
-      return false;
-    }
-    applyFfiInterfer(State, Layout, Index, R.Bytes, Ffi);
-    return true;
-  }
+  if (State.PC == Layout.SyscallCodeBase)
+    return oracleStep();
 
-  if (isa::isHalted(State)) {
+  isa::HaltOrStep R =
+      Obs ? isa::stepUnlessHalted(State, isa::nullEnv(), *Obs, RetireIndex++,
+                                  Cache)
+          : isa::stepUnlessHalted(State, isa::nullEnv(), Cache);
+  if (R.Halted) {
     // A direct halt without an exit call: report the recorded status
     // (zero when no exit happened; hand-written programs use this).
     sys::ExitStatus S = sys::readExitStatus(State, Layout);
@@ -93,13 +111,9 @@ bool MachineSem::stepOnce() {
     LastBehaviour.ExitCode = S.Exited ? S.Code : 0;
     return false;
   }
-
-  isa::StepResult S = Obs ? isa::step(State, isa::nullEnv(), *Obs,
-                                      RetireIndex++)
-                          : isa::step(State, isa::nullEnv());
-  if (!S.ok()) {
+  if (!R.S.ok()) {
     LastBehaviour.Kind = BehaviourKind::Failed;
-    LastBehaviour.Fault = S.Fault;
+    LastBehaviour.Fault = R.S.Fault;
     return false;
   }
   return true;
@@ -107,10 +121,47 @@ bool MachineSem::stepOnce() {
 
 Behaviour MachineSem::run(uint64_t MaxSteps) {
   LastBehaviour = Behaviour();
-  while (LastBehaviour.Steps < MaxSteps) {
-    if (!stepOnce())
-      return LastBehaviour;
+  if (Obs) {
+    while (LastBehaviour.Steps < MaxSteps) {
+      if (!stepOnce())
+        return LastBehaviour;
+    }
+    LastBehaviour.Kind = BehaviourKind::OutOfSteps;
+    return LastBehaviour;
   }
-  LastBehaviour.Kind = BehaviourKind::OutOfSteps;
-  return LastBehaviour;
+
+  // Uninstrumented: execute predecoded bursts that stop at the FFI entry,
+  // keeping the hot loop inside isa::runUntilPc instead of paying a
+  // cross-call per instruction.  Step accounting matches the stepOnce
+  // loop exactly: an oracle consultation, the halt-detecting step, and a
+  // faulting attempt each cost one step, and none of them runs once the
+  // budget is exhausted.
+  while (true) {
+    isa::RunStopResult R =
+        isa::runUntilPc(State, isa::nullEnv(),
+                        MaxSteps - LastBehaviour.Steps,
+                        Layout.SyscallCodeBase, Cache);
+    LastBehaviour.Steps += R.Steps;
+    if (R.AtStopPc) {
+      ++LastBehaviour.Steps;
+      if (!oracleStep())
+        return LastBehaviour;
+      continue;
+    }
+    if (R.Halted) {
+      ++LastBehaviour.Steps;
+      sys::ExitStatus S = sys::readExitStatus(State, Layout);
+      LastBehaviour.Kind = BehaviourKind::Terminated;
+      LastBehaviour.ExitCode = S.Exited ? S.Code : 0;
+      return LastBehaviour;
+    }
+    if (R.Fault != isa::StepFault::None) {
+      ++LastBehaviour.Steps;
+      LastBehaviour.Kind = BehaviourKind::Failed;
+      LastBehaviour.Fault = R.Fault;
+      return LastBehaviour;
+    }
+    LastBehaviour.Kind = BehaviourKind::OutOfSteps;
+    return LastBehaviour;
+  }
 }

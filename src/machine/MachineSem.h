@@ -26,6 +26,7 @@
 #define SILVER_MACHINE_MACHINESEM_H
 
 #include "ffi/BasisFfi.h"
+#include "isa/DecodeCache.h"
 #include "isa/Interp.h"
 #include "sys/Image.h"
 
@@ -65,11 +66,15 @@ struct Behaviour {
 /// oracle returned; \p FfiAfter is the oracle state after the call (used
 /// for the in-memory book-keeping: the stdin offset cell, the output
 /// buffer, the called-id cell).  Clobbered scratch registers are set to
-/// zero — compiled code never reads them across a call.
+/// zero — compiled code never reads them across a call.  The oracle
+/// writes memory behind the interpreter's back, so a predecode cache
+/// executing this state must drop the written ranges: pass it as
+/// \p Cache (null when execution is uncached).
 void applyFfiInterfer(isa::MachineState &State,
                       const sys::MemoryLayout &Layout, unsigned Index,
                       const std::vector<uint8_t> &ResultBytes,
-                      const ffi::BasisFfi &FfiAfter);
+                      const ffi::BasisFfi &FfiAfter,
+                      isa::DecodeCache *Cache = nullptr);
 
 /// The machine semantics: steps \p State with \p Ffi as the interference
 /// oracle for FFI calls (detected as the PC reaching the system-call
@@ -101,11 +106,19 @@ public:
   Behaviour LastBehaviour;
 
 private:
+  /// The oracle-consultation arm of stepOnce (PC at the FFI entry):
+  /// validates the call registers, runs the interference oracle, applies
+  /// ffi_interfer.  Returns false on Failed/Terminated.
+  bool oracleStep();
+
   isa::MachineState State;
   ffi::BasisFfi Ffi;
   sys::MemoryLayout Layout;
   obs::Observer *Obs = nullptr;
   uint64_t RetireIndex = 0;
+  /// Predecoded execution (isa/DecodeCache.h); stepOnce keeps it valid
+  /// across interpreter stores and oracle interference writes.
+  isa::DecodeCache Cache;
 };
 
 } // namespace machine

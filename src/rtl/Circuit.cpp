@@ -220,15 +220,24 @@ CircuitState CircuitState::init(const Circuit &C) {
   return S;
 }
 
-Result<void> silver::rtl::stepCircuit(
-    const Circuit &C, CircuitState &State,
-    const std::map<std::string, uint64_t> &Inputs,
-    std::map<std::string, uint64_t> *Outputs) {
-  // Evaluate every node in id order (a topological order by
-  // construction).  Reuse one buffer per call for speed.
-  static thread_local std::vector<uint64_t> Values;
+CircuitRunner::CircuitRunner(const Circuit &C) : C(C) {
+  InputOrdinal.assign(C.Nodes.size(), ~uint32_t(0));
+  for (NodeId I = 0; I != C.Nodes.size(); ++I) {
+    if (C.Nodes[I].Op != NodeOp::Input)
+      continue;
+    for (uint32_t K = 0; K != C.Inputs.size(); ++K)
+      if (C.Inputs[K].Name == C.Nodes[I].Name) {
+        InputOrdinal[I] = K;
+        break;
+      }
+  }
   Values.resize(C.Nodes.size());
+}
 
+Result<void> CircuitRunner::step(CircuitState &State, const uint64_t *Inputs,
+                                 uint64_t *Outputs) {
+  // Evaluate every node in id order (a topological order by
+  // construction).
   for (NodeId I = 0; I != C.Nodes.size(); ++I) {
     const Node &N = C.Nodes[I];
     uint64_t V = 0;
@@ -237,10 +246,9 @@ Result<void> silver::rtl::stepCircuit(
       V = N.Const;
       break;
     case NodeOp::Input: {
-      auto It = Inputs.find(N.Name);
-      if (It == Inputs.end())
+      if (InputOrdinal[I] == ~uint32_t(0))
         return Error("input '" + N.Name + "' not driven");
-      V = maskTo(N.Width, It->second);
+      V = maskTo(N.Width, Inputs[InputOrdinal[I]]);
       break;
     }
     case NodeOp::RegRead:
@@ -342,11 +350,9 @@ Result<void> silver::rtl::stepCircuit(
     Values[I] = V;
   }
 
-  if (Outputs) {
-    Outputs->clear();
-    for (const OutputDef &O : C.Outputs)
-      (*Outputs)[O.Name] = Values[O.Value];
-  }
+  if (Outputs)
+    for (size_t K = 0; K != C.Outputs.size(); ++K)
+      Outputs[K] = Values[C.Outputs[K].Value];
 
   // Latch registers.
   for (size_t I = 0; I != C.Regs.size(); ++I)
@@ -362,6 +368,31 @@ Result<void> silver::rtl::stepCircuit(
                      "'");
       State.Mems[M][Addr] = Values[W.Data];
     }
+  }
+  return {};
+}
+
+Result<void> silver::rtl::stepCircuit(
+    const Circuit &C, CircuitState &State,
+    const std::map<std::string, uint64_t> &Inputs,
+    std::map<std::string, uint64_t> *Outputs) {
+  CircuitRunner Runner(C);
+  std::vector<uint64_t> In(C.Inputs.size(), 0);
+  for (size_t K = 0; K != C.Inputs.size(); ++K) {
+    auto It = Inputs.find(C.Inputs[K].Name);
+    if (It == Inputs.end())
+      return Error("input '" + C.Inputs[K].Name + "' not driven");
+    In[K] = It->second;
+  }
+  std::vector<uint64_t> Out(C.Outputs.size(), 0);
+  if (Result<void> R =
+          Runner.step(State, In.data(), Outputs ? Out.data() : nullptr);
+      !R)
+    return R;
+  if (Outputs) {
+    Outputs->clear();
+    for (size_t K = 0; K != C.Outputs.size(); ++K)
+      (*Outputs)[C.Outputs[K].Name] = Out[K];
   }
   return {};
 }

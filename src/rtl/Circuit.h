@@ -184,9 +184,37 @@ struct CircuitState {
 /// One clock cycle: evaluates all nodes against the cycle-start state and
 /// \p Inputs (by input name), then latches registers and memory writes.
 /// \p Outputs (optional) receives the cycle's output values.
+/// Convenience wrapper over CircuitRunner; hot loops should hold a
+/// runner instead (this constructs one per call).
 Result<void> stepCircuit(const Circuit &C, CircuitState &State,
                          const std::map<std::string, uint64_t> &Inputs,
                          std::map<std::string, uint64_t> *Outputs);
+
+/// The circuit interpreter with its per-cycle bookkeeping hoisted out of
+/// the cycle loop: input-node ordinals are resolved once at construction
+/// and the node-value scratch buffer is reused, so step() does no name
+/// lookups and no allocation.  The circuit must outlive the runner.
+class CircuitRunner {
+public:
+  explicit CircuitRunner(const Circuit &C);
+
+  const Circuit &circuit() const { return C; }
+  size_t numInputs() const { return C.Inputs.size(); }
+  size_t numOutputs() const { return C.Outputs.size(); }
+
+  /// One clock cycle.  \p Inputs holds one value per InputDef in
+  /// declaration order; \p Outputs (may be null) receives one value per
+  /// OutputDef in declaration order.
+  Result<void> step(CircuitState &State, const uint64_t *Inputs,
+                    uint64_t *Outputs);
+
+private:
+  const Circuit &C;
+  /// Per node: ordinal into the dense input frame for Input nodes
+  /// (~0u when the node's name matches no InputDef).
+  std::vector<uint32_t> InputOrdinal;
+  std::vector<uint64_t> Values; ///< node-value scratch, reused per cycle
+};
 
 } // namespace rtl
 } // namespace silver

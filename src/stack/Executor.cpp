@@ -9,6 +9,7 @@
 
 #include "cpu/Check.h"
 #include "ffi/BasisFfi.h"
+#include "isa/DecodeCache.h"
 
 #include <algorithm>
 
@@ -83,6 +84,10 @@ struct IsaSession final : Executor::SessionBase {
   sys::BootResult Boot;
   sys::SysEnv Env;
   isa::ObsHooks Hooks;
+  /// Session-lifetime predecode cache: a paused-and-resumed run keeps
+  /// its decode work (interpreter stores invalidate the slots they
+  /// overwrite, so self-modifying code stays correct).
+  isa::DecodeCache Cache;
   uint64_t Steps = 0; ///< post-startup ISA steps
   bool Halted = false;
 
@@ -98,9 +103,12 @@ struct IsaSession final : Executor::SessionBase {
   Result<RunStatus> step(uint64_t MaxInstructions) override {
     if (Halted)
       return RunStatus::Completed;
-    isa::RunResult R = Hooks.Obs
-                           ? isa::run(Boot.State, Env, MaxInstructions, Hooks)
-                           : isa::run(Boot.State, Env, MaxInstructions);
+    // The null-observer test happens once per step() call, not per
+    // retire: the uninstrumented branch runs the predecoded NullEmit
+    // loop, which does no virtual dispatch at all.
+    isa::RunResult R =
+        Hooks.Obs ? isa::run(Boot.State, Env, MaxInstructions, Hooks, Cache)
+                  : isa::run(Boot.State, Env, MaxInstructions, Cache);
     Steps += R.Steps;
     if (R.Fault != isa::StepFault::None)
       return Error("ISA execution faulted");
@@ -325,16 +333,19 @@ Result<void> Executor::begin(Level L) {
     Result<sys::MemoryImage> Image = sys::buildImage(Prep.Image);
     if (!Image)
       return Fail(Image.error());
+    // The effective cycle budget is resolved once here into a plain
+    // integer; the per-cycle/per-step paths only ever compare counters.
+    uint64_t Cycles = cycleBudget();
     cpu::RunOptions Options;
     Options.Level =
         L == Level::Verilog ? cpu::SimLevel::Verilog : cpu::SimLevel::Circuit;
-    Options.MaxCycles = cycleBudget();
+    Options.MaxCycles = Cycles;
     Options.Obs = Obs;
     Result<std::unique_ptr<cpu::CoreRunner>> Runner =
         cpu::CoreRunner::create(*Image, Options);
     if (!Runner)
       return Fail(Runner.error());
-    Session = std::make_unique<RtlSession>(Runner.take(), cycleBudget());
+    Session = std::make_unique<RtlSession>(Runner.take(), Cycles);
     break;
   }
   case Level::Spec:

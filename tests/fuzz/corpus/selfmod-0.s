@@ -1,0 +1,20 @@
+; silver-fuzz case v1
+; seed=0x0 index=0x63 profile=mixed
+; arg=fuzz
+;
+; Self-modifying loop (hand-written, not generated): the stw patches
+; the add at L0 from "+1" to "+2", so over three iterations
+; r20 = 1 + 2 + 2 = 5.  The fuzz layout puts any page-sized program at
+; CodeBase 0xff000, making the patch address (the add at L0, four
+; single-instruction li items plus one two-instruction li in) 0xff014.
+; Exercises decode-cache invalidation at the interpreted levels against
+; the always-fresh fetch of the hardware levels.
+li r45 0x00000003
+li r20 0x00000000
+li r51 0x0050a420        ; encoding of "add r20, r20, #2" (2-instr li)
+li r50 0x000ff014
+label L0
+instr 0x0050a410        ; add r20, r20, #1
+instr 0x40019b20        ; stw r51, [r50]
+instr 0x06b56c00        ; dec r45, r45, #0
+branch nz snd #0 r45 L0

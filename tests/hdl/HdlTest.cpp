@@ -305,3 +305,67 @@ TEST(FastSimTest, MultiProcessBlockingIsolation) {
   EXPECT_EQ((*FastOr)->valueOf("r"), 0u);
   EXPECT_EQ((*FastOr)->valueOf("t"), 9u);
 }
+
+TEST(FastSimTest, DenseAndMapSteppingAgreeWithReference) {
+  // Three-way lock-step on the AB module: one simulator driven through
+  // the named-input compatibility wrapper, one through the dense frame,
+  // both against hdl::stepCycle.  AB has two processes, so this also
+  // covers the undo/commit-log path (single-process modules take the
+  // direct-blocking shortcut).
+  VModule M = makeAB();
+  Result<std::unique_ptr<FastSim>> ViaMapOr = FastSim::compile(M);
+  Result<std::unique_ptr<FastSim>> ViaDenseOr = FastSim::compile(M);
+  ASSERT_TRUE(ViaMapOr);
+  ASSERT_TRUE(ViaDenseOr);
+  FastSim &ViaMap = **ViaMapOr;
+  FastSim &ViaDense = **ViaDenseOr;
+
+  ASSERT_EQ(ViaDense.numInputs(), 1u);
+  ASSERT_EQ(ViaDense.inputName(0), "pulse");
+
+  SimState Ref = SimState::init(M);
+  Rng R(23);
+  for (int Cycle = 0; Cycle != 500; ++Cycle) {
+    bool Pulse = R.chance(1, 2);
+    ASSERT_TRUE(pulseCycle(M, Ref, Pulse));
+    ASSERT_TRUE(ViaMap.step({{"pulse", Pulse ? 1u : 0u}}));
+    uint64_t Frame[1] = {Pulse ? 1u : 0u};
+    ASSERT_TRUE(ViaDense.stepDense(Frame, 1));
+    ASSERT_TRUE(ViaMap.exportState(M) == Ref) << "cycle " << Cycle;
+    ASSERT_TRUE(ViaDense.exportState(M) == Ref) << "cycle " << Cycle;
+  }
+}
+
+TEST(FastSimTest, DenseStepRejectsWrongFrameSize) {
+  VModule M = makeAB();
+  Result<std::unique_ptr<FastSim>> FastOr = FastSim::compile(M);
+  ASSERT_TRUE(FastOr);
+  uint64_t Frame[2] = {1, 1};
+  EXPECT_FALSE((*FastOr)->stepDense(Frame, 2));
+  EXPECT_FALSE((*FastOr)->stepDense(Frame, 0));
+}
+
+TEST(FastSimTest, SlotAccessorsMatchNamedOnes) {
+  VModule M = makeAB();
+  Result<std::unique_ptr<FastSim>> FastOr = FastSim::compile(M);
+  ASSERT_TRUE(FastOr);
+  FastSim &Fast = **FastOr;
+
+  int Count = Fast.slotOf("count");
+  int Done = Fast.slotOf("done");
+  ASSERT_GE(Count, 0);
+  ASSERT_GE(Done, 0);
+  EXPECT_EQ(Fast.slotOf("no_such_var"), -1);
+  EXPECT_EQ(Fast.memSlotOf("count"), -1); // scalar, not a memory
+
+  uint64_t Frame[1] = {1};
+  for (int Cycle = 0; Cycle != 12; ++Cycle)
+    ASSERT_TRUE(Fast.stepDense(Frame, 1));
+  EXPECT_EQ(Fast.valueOf(Count), Fast.valueOf("count"));
+  EXPECT_EQ(Fast.valueOf(Done), Fast.valueOf("done"));
+  EXPECT_EQ(Fast.valueOf(Count), 12u);
+  EXPECT_EQ(Fast.valueOf(Done), 1u);
+
+  Fast.setValue(Count, 3);
+  EXPECT_EQ(Fast.valueOf("count"), 3u);
+}
