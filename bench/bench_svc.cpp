@@ -1,0 +1,247 @@
+//===- bench/bench_svc.cpp - service worker-pool scaling ----------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+// Measures svc::Service job throughput on the wc-200 workload (the same
+// interpreter-bound workload as bench_layers) across worker-pool sizes,
+// and reports the scaling ratio of the largest pool over one worker.
+// Every job submits the same source, so after the first compilation the
+// prepare cache makes this a pure execution-scaling measurement.
+//
+//   bench_svc [--jobs=N] [--workers=a,b,c] [--out=FILE]
+//             [--assert-scaling=F]
+//
+// --assert-scaling=F fails with exit 3 when the largest pool fails to
+// reach F x the single-worker throughput — but only when the machine
+// has at least as many hardware threads as workers: on a 1-CPU
+// container the workers timeshare one core and no scaling is physically
+// possible, so the JSON records "cpus" and the assertion is reported as
+// skipped rather than lying either way.  CI runs this on multi-core
+// runners where the assertion is real.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stack/Apps.h"
+#include "svc/Service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace silver;
+
+namespace {
+
+struct Row {
+  unsigned Workers = 0;
+  unsigned Jobs = 0;
+  uint64_t TotalInstructions = 0;
+  uint64_t WallNs = 0;
+  double JobsPerSec = 0;
+  double InstrPerSec = 0;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs=N] [--workers=a,b,c] [--out=FILE]\n"
+               "          [--assert-scaling=F]\n",
+               Argv0);
+  return 2;
+}
+
+Result<Row> runConfig(unsigned Workers, unsigned Jobs,
+                      const svc::JobSpec &Spec) {
+  svc::ServiceOptions Opts;
+  Opts.Workers = Workers;
+  Opts.QueueDepth = Jobs + 8;
+  svc::Service Svc(Opts);
+
+  // Warm the prepare cache so compilation is outside the timed region.
+  {
+    svc::JobInfo W = Svc.submit(Spec);
+    if (W.State == svc::JobState::Rejected)
+      return Error("warmup submit rejected: " + W.Outcome.Error);
+    std::optional<svc::JobInfo> Done = Svc.waitSettled(W.Id, 120'000);
+    if (!Done || Done->State != svc::JobState::Completed)
+      return Error("warmup job did not complete" +
+                   (Done ? std::string(": ") +
+                               svc::jobStateName(Done->State) +
+                               (Done->Outcome.Error.empty()
+                                    ? ""
+                                    : " (" + Done->Outcome.Error + ")")
+                         : std::string()));
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Jobs);
+  for (unsigned I = 0; I != Jobs; ++I) {
+    svc::JobInfo Info = Svc.submit(Spec);
+    if (Info.State == svc::JobState::Rejected)
+      return Error("submit rejected: " + Info.Outcome.Error);
+    Ids.push_back(Info.Id);
+  }
+  Row R;
+  R.Workers = Workers;
+  R.Jobs = Jobs;
+  for (uint64_t Id : Ids) {
+    std::optional<svc::JobInfo> Done = Svc.waitSettled(Id, 300'000);
+    if (!Done || Done->State != svc::JobState::Completed)
+      return Error("job " + std::to_string(Id) + " did not complete");
+    R.TotalInstructions += Done->Outcome.Behaviour.Instructions;
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  R.WallNs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count());
+  double Seconds = static_cast<double>(R.WallNs) * 1e-9;
+  if (Seconds > 0) {
+    R.JobsPerSec = static_cast<double>(R.Jobs) / Seconds;
+    R.InstrPerSec = static_cast<double>(R.TotalInstructions) / Seconds;
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Jobs = 16;
+  std::vector<unsigned> WorkerCounts = {1, 2, 4};
+  std::string OutFile = "BENCH_svc.json";
+  double AssertScaling = 0;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    try {
+      if (const char *V = Value("--jobs="))
+        Jobs = std::max(1u, static_cast<unsigned>(std::stoul(V)));
+      else if (const char *V = Value("--workers=")) {
+        WorkerCounts.clear();
+        std::string S = V;
+        size_t At = 0;
+        while (At < S.size()) {
+          size_t Comma = S.find(',', At);
+          if (Comma == std::string::npos)
+            Comma = S.size();
+          WorkerCounts.push_back(std::max(
+              1u, static_cast<unsigned>(std::stoul(S.substr(At, Comma - At)))));
+          At = Comma + 1;
+        }
+        if (WorkerCounts.empty())
+          return usage(Argv[0]);
+      } else if (const char *V = Value("--out="))
+        OutFile = V;
+      else if (const char *V = Value("--assert-scaling="))
+        AssertScaling = std::stod(V);
+      else
+        return usage(Argv[0]);
+    } catch (...) {
+      return usage(Argv[0]);
+    }
+  }
+
+  svc::JobSpec Spec;
+  Spec.Source = stack::wcSource();
+  Spec.Level = stack::Level::Isa;
+  Spec.CommandLine = {"wc"};
+  Spec.StdinData = stack::randomLines(200, 1);
+  Spec.MaxSteps = 100'000'000;
+
+  unsigned Cpus = std::thread::hardware_concurrency();
+  std::vector<Row> Rows;
+  for (unsigned W : WorkerCounts) {
+    Result<Row> R = runConfig(W, Jobs, Spec);
+    if (!R) {
+      std::fprintf(stderr, "bench_svc: %u workers: %s\n", W,
+                   R.error().str().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "bench_svc: %2u workers  %3u jobs  %10llu instr  "
+                 "%11llu ns  %7.1f jobs/s  %12.0f instr/s\n",
+                 R->Workers, R->Jobs,
+                 (unsigned long long)R->TotalInstructions,
+                 (unsigned long long)R->WallNs, R->JobsPerSec,
+                 R->InstrPerSec);
+    Rows.push_back(*R);
+  }
+
+  const Row *OneWorker = nullptr;
+  const Row *Largest = nullptr;
+  for (const Row &R : Rows) {
+    if (R.Workers == 1)
+      OneWorker = &R;
+    if (!Largest || R.Workers > Largest->Workers)
+      Largest = &R;
+  }
+  double Scaling = 0;
+  if (OneWorker && Largest && OneWorker != Largest &&
+      OneWorker->JobsPerSec > 0)
+    Scaling = Largest->JobsPerSec / OneWorker->JobsPerSec;
+  if (Scaling > 0)
+    std::fprintf(stderr, "bench_svc: scaling %uw/1w = %.2fx (%u cpus)\n",
+                 Largest->Workers, Scaling, Cpus);
+
+  if (!OutFile.empty()) {
+    std::ofstream F(OutFile, std::ios::binary);
+    if (!F) {
+      std::fprintf(stderr, "bench_svc: cannot write '%s'\n", OutFile.c_str());
+      return 1;
+    }
+    F << "{\n";
+    F << "  \"schema\": \"bench-svc-v1\",\n";
+    F << "  \"workload\": \"wc-200\",\n";
+    F << "  \"level\": \"isa\",\n";
+    F << "  \"jobs\": " << Jobs << ",\n";
+    F << "  \"cpus\": " << Cpus << ",\n";
+    F << "  \"rows\": [\n";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      F << "    {\"workers\": " << R.Workers << ", \"jobs\": " << R.Jobs
+        << ", \"total_instructions\": " << R.TotalInstructions
+        << ", \"wall_ns\": " << R.WallNs << ", \"jobs_per_sec\": "
+        << static_cast<uint64_t>(R.JobsPerSec) << ", \"instr_per_sec\": "
+        << static_cast<uint64_t>(R.InstrPerSec) << "}"
+        << (I + 1 == Rows.size() ? "\n" : ",\n");
+    }
+    F << "  ],\n";
+    F << "  \"scaling_largest_over_1w\": " << Scaling << "\n";
+    F << "}\n";
+    std::fprintf(stderr, "bench_svc: wrote %zu rows to %s\n", Rows.size(),
+                 OutFile.c_str());
+  }
+
+  if (AssertScaling > 0) {
+    if (!Largest || !OneWorker || OneWorker == Largest) {
+      std::fprintf(stderr,
+                   "bench_svc: --assert-scaling needs both a 1-worker and a "
+                   "larger config\n");
+      return 2;
+    }
+    if (Cpus < Largest->Workers) {
+      std::fprintf(stderr,
+                   "bench_svc: skipping scaling assertion: %u workers on %u "
+                   "hardware threads cannot scale\n",
+                   Largest->Workers, Cpus);
+      return 0;
+    }
+    if (Scaling < AssertScaling) {
+      std::fprintf(stderr,
+                   "bench_svc: FAIL: scaling %.2fx below the required "
+                   "%.2fx\n",
+                   Scaling, AssertScaling);
+      return 3;
+    }
+    std::fprintf(stderr, "bench_svc: scaling %.2fx meets the required %.2fx\n",
+                 Scaling, AssertScaling);
+  }
+  return 0;
+}

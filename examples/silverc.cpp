@@ -16,6 +16,8 @@
 //                                         (load in chrome://tracing)
 //   silverc --trace-jsonl=FILE prog.cml   ... as JSONL (one event per line)
 //   silverc --counters prog.cml           print performance counters
+//   silverc --json prog.cml               machine-readable outcome on stdout
+//                                         (same shape as silver-client --json)
 //
 // Reads the program from the named file, or from stdin when the file is
 // "-".  Exit code: the program's exit code (run modes), or 1 on errors.
@@ -34,6 +36,7 @@
 #include "stack/Executor.h"
 #include "stack/Stack.h"
 #include "support/StringUtils.h"
+#include "svc/Job.h"
 
 #include <cstdio>
 #include <fstream>
@@ -61,7 +64,7 @@ int usage() {
                "               [--check] [--analyze] [--emit=asm|flat|core]\n"
                "               [-O0|-O1] [--stdin-file=FILE] [--args=\"...\"]\n"
                "               [--trace=FILE] [--trace-jsonl=FILE]"
-               " [--counters] FILE\n");
+               " [--counters] [--json] FILE\n");
   return 1;
 }
 
@@ -117,6 +120,7 @@ int main(int Argc, char **Argv) {
   bool Check = false;
   bool Analyze = false;
   bool ShowCounters = false;
+  bool Json = false;
   cml::OptOptions Opt = cml::OptOptions::all();
 
   for (int I = 1; I != Argc; ++I) {
@@ -135,6 +139,8 @@ int main(int Argc, char **Argv) {
       TraceJsonlFile = A.substr(14);
     else if (A == "--counters")
       ShowCounters = true;
+    else if (A == "--json")
+      Json = true;
     else if (A == "-O0")
       Opt = cml::OptOptions::none();
     else if (A == "-O1")
@@ -232,6 +238,13 @@ int main(int Argc, char **Argv) {
     Result<stack::Observed> R = stack::runSpecLevel(Spec);
     if (!R)
       return fail(R.error().str());
+    if (Json) {
+      std::printf("%s\n",
+                  svc::outcomeJson(R->Terminated ? "completed" : "timeout",
+                                   Level, *R)
+                      .c_str());
+      return R->Terminated ? R->ExitCode : 1;
+    }
     std::fwrite(R->StdoutData.data(), 1, R->StdoutData.size(), stdout);
     std::fwrite(R->StderrData.data(), 1, R->StderrData.size(), stderr);
     std::fprintf(stderr, "silverc: [spec] %llu instructions, exit %d\n",
@@ -290,6 +303,15 @@ int main(int Argc, char **Argv) {
     return E;
   if (ShowCounters)
     std::fputs(Counters.report().c_str(), stderr);
+
+  if (Json) {
+    // The one outcome shape shared with silver-client --json, so the
+    // service smoke test parses both with the same code.
+    const char *Status =
+        Out->Status == stack::RunStatus::Completed ? "completed" : "timeout";
+    std::printf("%s\n", svc::outcomeJson(Status, Level, R).c_str());
+    return R.Terminated ? R.ExitCode : 1;
+  }
 
   if (!R.Terminated)
     return fail("program did not terminate within the step budget");

@@ -1,0 +1,127 @@
+//===- examples/silverd.cpp - the SilverStack batch execution daemon ----------===//
+//
+// Serves compile-and-run jobs over a Unix-domain socket (TCP on loopback
+// behind --tcp):
+//
+//   silverd --socket=/tmp/silverd.sock                serve until SIGTERM
+//   silverd --socket=S --workers=8 --queue-depth=128  sizing
+//   silverd --tcp --port=0                            TCP; prints the port
+//   silverd --instrument                              attach obs::Counters
+//   silverd --idle-evict-ms=60000                     paused-session sweep
+//
+// SIGTERM / SIGINT drain gracefully: admissions stop, every queued and
+// running job finishes, paused sessions are parked, then the process
+// exits 0.  Clients racing the shutdown get "service is draining"
+// rejections, never a dropped response.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Server.h"
+#include "svc/Service.h"
+#include "support/StringUtils.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+using namespace silver;
+
+namespace {
+
+volatile std::sig_atomic_t ShutdownRequested = 0;
+
+void onSignal(int) { ShutdownRequested = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: silverd --socket=PATH [--workers=N] [--queue-depth=N]\n"
+               "               [--max-steps=N] [--slice-chunk=N]\n"
+               "               [--idle-evict-ms=N] [--instrument]\n"
+               "       silverd --tcp [--port=N] ...\n");
+  return 1;
+}
+
+bool parseUnsigned(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  svc::ServiceOptions SvcOpts;
+  svc::ServerOptions SrvOpts;
+
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    uint64_t V = 0;
+    if (startsWith(A, "--socket="))
+      SrvOpts.SocketPath = A.substr(9);
+    else if (A == "--tcp")
+      SrvOpts.Tcp = true;
+    else if (startsWith(A, "--port=") && parseUnsigned(A.substr(7), V))
+      SrvOpts.TcpPort = static_cast<uint16_t>(V);
+    else if (startsWith(A, "--workers=") && parseUnsigned(A.substr(10), V))
+      SvcOpts.Workers = static_cast<unsigned>(V);
+    else if (startsWith(A, "--queue-depth=") &&
+             parseUnsigned(A.substr(14), V))
+      SvcOpts.QueueDepth = static_cast<size_t>(V);
+    else if (startsWith(A, "--max-steps=") && parseUnsigned(A.substr(12), V))
+      SvcOpts.DefaultMaxSteps = V;
+    else if (startsWith(A, "--slice-chunk=") &&
+             parseUnsigned(A.substr(14), V))
+      SvcOpts.ChunkInstructions = V;
+    else if (startsWith(A, "--idle-evict-ms=") &&
+             parseUnsigned(A.substr(16), V))
+      SvcOpts.IdleEvictMs = V;
+    else if (A == "--instrument")
+      SvcOpts.Instrument = true;
+    else
+      return usage();
+  }
+  if (!SrvOpts.Tcp && SrvOpts.SocketPath.empty())
+    return usage();
+
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN); // client hangups surface as write errors
+
+  svc::Service Svc(SvcOpts);
+  svc::Server Srv(Svc, SrvOpts);
+  if (Result<void> S = Srv.start(); !S) {
+    std::fprintf(stderr, "silverd: error: %s\n", S.error().str().c_str());
+    return 1;
+  }
+  if (SrvOpts.Tcp)
+    std::printf("silverd: listening on 127.0.0.1:%u\n", Srv.boundPort());
+  else
+    std::printf("silverd: listening on %s\n", SrvOpts.SocketPath.c_str());
+  std::printf("silverd: %u workers, queue depth %zu\n", SvcOpts.Workers,
+              SvcOpts.QueueDepth);
+  std::fflush(stdout);
+
+  // The server runs on its own threads; this loop only watches for the
+  // two shutdown signals: a POSIX signal, or a Drain request having
+  // stopped the server from within.
+  while (!ShutdownRequested && !Srv.stopped())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::fprintf(stderr, "silverd: draining...\n");
+  Svc.drain(); // in-flight jobs finish; admissions already rejected
+  Srv.stop();  // then tear down the socket
+  std::fprintf(stderr, "silverd: drained, exiting\n");
+  std::fputs(Svc.statsJson().c_str(), stderr);
+  std::fputc('\n', stderr);
+  return 0;
+}

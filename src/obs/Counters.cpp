@@ -22,6 +22,24 @@ void Counters::reset() {
   InFfi = false;
 }
 
+void Counters::mergeFrom(const Counters &Other) {
+  Retired += Other.Retired;
+  Cycles += Other.Cycles;
+  for (size_t I = 0; I != OpcodeCounts.size(); ++I)
+    OpcodeCounts[I] += Other.OpcodeCounts[I];
+  for (size_t I = 0; I != NumRegions; ++I) {
+    RegionLoads[I] += Other.RegionLoads[I];
+    RegionStores[I] += Other.RegionStores[I];
+  }
+  if (Ffi.size() < Other.Ffi.size())
+    Ffi.resize(Other.Ffi.size());
+  for (size_t I = 0; I != Other.Ffi.size(); ++I) {
+    Ffi[I].Calls += Other.Ffi[I].Calls;
+    Ffi[I].Instructions += Other.Ffi[I].Instructions;
+    Ffi[I].Cycles += Other.Ffi[I].Cycles;
+  }
+}
+
 void Counters::onRunBegin(ExecLevel L) {
   Level = L;
   InFfi = false;

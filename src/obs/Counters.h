@@ -57,6 +57,17 @@ public:
 
   void reset();
 
+  /// Folds \p Other's aggregated state into this counter: plain sums of
+  /// the retire/cycle totals, the opcode and region tables, and the FFI
+  /// cost rows (the FFI vector grows to the longer of the two).  The
+  /// operation is associative and commutative, which is what lets
+  /// per-worker counters aggregate into service-wide totals off the hot
+  /// path (svc::Service): workers update their own counter lock-free
+  /// during a run and merge in a cold section afterwards.  Only settled
+  /// state is merged — merge counters between runs, not mid-FFI-span
+  /// (the in-progress span bookkeeping stays with each counter).
+  void mergeFrom(const Counters &Other);
+
   /// Human-readable multi-line report.
   std::string report() const;
   /// Single-line JSON object with the same content.

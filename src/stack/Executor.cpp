@@ -61,6 +61,10 @@ struct Executor::SessionBase {
   virtual Observed collect() const = 0;
   /// Snapshots the architectural state (Executor::sessionState).
   virtual StateDigest digest() const = 0;
+  /// Grants more of the level-internal budget (cycles at the hardware
+  /// levels; a no-op for the interpreters) and clears a level-internal
+  /// Timeout so step() can continue (Executor::replenish).
+  virtual void addCycles(uint64_t /*ExtraCycles*/) {}
 };
 
 namespace {
@@ -214,6 +218,13 @@ struct RtlSession final : Executor::SessionBase {
   }
 
   uint64_t instructions() const override { return Runner->instructions(); }
+
+  void addCycles(uint64_t ExtraCycles) override {
+    CycleBudgetLeft = ExtraCycles > UINT64_MAX - CycleBudgetLeft
+                          ? UINT64_MAX
+                          : CycleBudgetLeft + ExtraCycles;
+    TimedOut = false;
+  }
 
   Observed collect() const override {
     cpu::CoreRunResult R = Runner->result();
@@ -382,6 +393,37 @@ Result<StateDigest> Executor::sessionState() const {
   if (!Session)
     return Error("no active execution session: call begin() first");
   return Session->digest();
+}
+
+Result<uint64_t> Executor::sessionInstructions() const {
+  if (!Session)
+    return Error("no active execution session: call begin() first");
+  return Session->instructions();
+}
+
+Result<Observed> Executor::sessionBehaviour() const {
+  if (!Session)
+    return Error("no active execution session: call begin() first");
+  return Session->collect();
+}
+
+Result<void> Executor::replenish(uint64_t ExtraInstructions,
+                                 uint64_t ExtraCycles) {
+  if (!Session)
+    return Error("no active execution session: call begin() first");
+  if (LastStatus == RunStatus::Completed)
+    return Error("session already completed; nothing to replenish");
+  InstrBudgetLeft = ExtraInstructions > UINT64_MAX - InstrBudgetLeft
+                        ? UINT64_MAX
+                        : InstrBudgetLeft + ExtraInstructions;
+  if (ExtraCycles == 0) {
+    const uint64_t Cap = UINT64_MAX / 16;
+    ExtraCycles =
+        ExtraInstructions > Cap ? UINT64_MAX : ExtraInstructions * 16;
+  }
+  Session->addCycles(ExtraCycles);
+  LastStatus = RunStatus::Paused;
+  return {};
 }
 
 Result<Outcome> Executor::finish() {

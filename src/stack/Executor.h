@@ -125,6 +125,26 @@ public:
   Result<Outcome> finish();
   bool active() const { return Session != nullptr; }
 
+  /// Grants the active session more budget so a Timeout can be resumed
+  /// (the serving layer's slice-based execution, svc::Service): adds
+  /// \p ExtraInstructions to the remaining instruction budget and, at
+  /// the hardware levels, \p ExtraCycles to the remaining cycle budget
+  /// (0 derives ExtraInstructions x 16, saturating — the same bound as
+  /// cycleBudget()).  A Timeout status becomes Paused again, so step()
+  /// continues where it stopped.  An error on a completed session.
+  Result<void> replenish(uint64_t ExtraInstructions, uint64_t ExtraCycles = 0);
+
+  /// Instructions retired so far by the active session (the same count
+  /// step() charges against the budget; excludes the ISA startup
+  /// prefix).  Valid between begin() and finish().
+  Result<uint64_t> sessionInstructions() const;
+
+  /// Snapshots the observable behaviour of the active session so far
+  /// (stdout/stderr prefix, instruction and cycle counts) without ending
+  /// it — what a paused job reports in a status query.  Valid between
+  /// begin() and finish().
+  Result<Observed> sessionBehaviour() const;
+
   /// Snapshots the architectural state of the active session — valid
   /// between begin() and finish(), typically once step() reports
   /// Completed.  The Machine/Isa levels read the interpreter state; the

@@ -40,6 +40,13 @@ std::string toHex(uint32_t Value);
 /// \xNN, quotes and backslashes are escaped).
 std::string escapeString(const std::string &Text);
 
+/// Renders \p Text as a double-quoted JSON string literal (RFC 8259
+/// escaping; non-ASCII bytes pass through untouched, control characters
+/// become \uNNNN).  Shared by every JSON emitter in the tree so the
+/// outcome JSON of silverc --json, silver-client and the service stats
+/// agree byte-for-byte on escaping.
+std::string jsonQuote(const std::string &Text);
+
 } // namespace silver
 
 #endif // SILVER_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,76 @@
+//===- svc/Client.h - silverd client library --------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the silverd wire protocol: a connected blocking
+/// socket plus one method per request kind.  Used by the silver-client
+/// CLI, the service loopback tests, and silverd's own SIGTERM path
+/// (which drains itself through a local connection).
+///
+///   Client C;
+///   C.connectUnix("/tmp/silverd.sock").take();
+///   JobSpec Spec;
+///   Spec.Source = ...;
+///   Response R = C.submit(Spec, /*WaitMs=*/60'000).take();
+///
+/// A Client is a single connection and is not thread-safe: the protocol
+/// is strictly request/response, so concurrent callers must use one
+/// Client each (connections are cheap; silverd serves each on its own
+/// thread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SVC_CLIENT_H
+#define SILVER_SVC_CLIENT_H
+
+#include "svc/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace silver {
+namespace svc {
+
+class Client {
+public:
+  Client() = default;
+  ~Client(); ///< closes the connection
+
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  Result<void> connectUnix(const std::string &SocketPath);
+  Result<void> connectTcp(const std::string &Host, uint16_t Port);
+  bool connected() const { return Fd != -1; }
+  void close();
+
+  /// Submits \p Spec; with \p WaitMs nonzero the server holds the
+  /// response until the job settles (or the wait expires — the job
+  /// keeps running and the returned state says so).
+  Result<Response> submit(const JobSpec &Spec, uint64_t WaitMs = 0);
+  Result<Response> status(uint64_t JobId, uint64_t WaitMs = 0);
+  Result<Response> resume(uint64_t JobId, uint64_t SliceInstructions = 0,
+                          uint64_t WaitMs = 0);
+  Result<Response> cancel(uint64_t JobId);
+  Result<Response> stats();
+  /// Asks the server to drain and shut down; the response carries the
+  /// final stats snapshot.
+  Result<Response> drain();
+
+  /// Sends an arbitrary request (the CLI's escape hatch).
+  Result<Response> roundTrip(const Request &R);
+
+private:
+  int Fd = -1;
+};
+
+} // namespace svc
+} // namespace silver
+
+#endif // SILVER_SVC_CLIENT_H

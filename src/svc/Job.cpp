@@ -1,0 +1,69 @@
+//===- svc/Job.cpp - Batch-execution service job model -----------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Job.h"
+
+#include "support/StringUtils.h"
+
+using namespace silver;
+using namespace silver::svc;
+
+const char *silver::svc::jobStateName(JobState S) {
+  switch (S) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Paused:
+    return "paused";
+  case JobState::Completed:
+    return "completed";
+  case JobState::TimedOut:
+    return "timeout";
+  case JobState::Cancelled:
+    return "cancelled";
+  case JobState::Failed:
+    return "failed";
+  case JobState::Evicted:
+    return "evicted";
+  case JobState::Rejected:
+    return "rejected";
+  }
+  return "?";
+}
+
+bool silver::svc::isTerminal(JobState S) {
+  switch (S) {
+  case JobState::Queued:
+  case JobState::Running:
+  case JobState::Paused:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool silver::svc::isSettled(JobState S) {
+  return S != JobState::Queued && S != JobState::Running;
+}
+
+std::string silver::svc::outcomeJson(const std::string &Status,
+                                     const std::string &Level,
+                                     const stack::Observed &B) {
+  std::string Out = "{";
+  Out += "\"status\":" + jsonQuote(Status);
+  Out += ",\"level\":" + jsonQuote(Level);
+  Out += ",\"exit_code\":" + std::to_string(B.ExitCode);
+  Out += ",\"instructions\":" + std::to_string(B.Instructions);
+  Out += ",\"cycles\":" + std::to_string(B.Cycles);
+  Out += ",\"stdout_bytes\":" + std::to_string(B.StdoutData.size());
+  Out += ",\"stderr_bytes\":" + std::to_string(B.StderrData.size());
+  Out += ",\"stdout\":" + jsonQuote(B.StdoutData);
+  Out += ",\"stderr\":" + jsonQuote(B.StderrData);
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,65 @@
+//===- svc/JobQueue.cpp - Bounded priority job queue --------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/JobQueue.h"
+
+#include <algorithm>
+
+using namespace silver;
+using namespace silver::svc;
+
+JobQueue::PushResult JobQueue::push(uint64_t JobId, uint8_t Priority) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Closed)
+    return PushResult::Closed;
+  if (Size >= MaxDepth)
+    return PushResult::Full;
+  unsigned Lane = std::min<unsigned>(Priority, NumPriorities - 1);
+  Lanes[Lane].push_back(JobId);
+  ++Size;
+  Cv.notify_one();
+  return PushResult::Ok;
+}
+
+std::optional<uint64_t> JobQueue::popLocked() {
+  for (std::deque<uint64_t> &Lane : Lanes) {
+    if (!Lane.empty()) {
+      uint64_t Id = Lane.front();
+      Lane.pop_front();
+      --Size;
+      return Id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> JobQueue::pop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Cv.wait(Lock, [this] { return Size != 0 || Closed; });
+  return popLocked();
+}
+
+std::optional<uint64_t> JobQueue::tryPop() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return popLocked();
+}
+
+void JobQueue::close() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Closed = true;
+  Cv.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Closed;
+}
+
+size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Size;
+}

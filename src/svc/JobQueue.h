@@ -1,0 +1,72 @@
+//===- svc/JobQueue.h - Bounded priority job queue --------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission queue between the service front door and the worker
+/// pool: NumPriorities FIFO lanes, a bound on total depth, and explicit
+/// backpressure — a push against a full queue is *rejected with a
+/// status*, never blocked and never silently dropped, so the caller can
+/// turn it into a Rejected response and the client can back off.
+///
+/// pop() serves the lowest-numbered non-empty lane (priority 0 first)
+/// and blocks until an item arrives or the queue is closed; after
+/// close() the remaining items still drain, then pop() returns nullopt
+/// and the workers exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SVC_JOBQUEUE_H
+#define SILVER_SVC_JOBQUEUE_H
+
+#include "svc/Job.h"
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace silver {
+namespace svc {
+
+class JobQueue {
+public:
+  explicit JobQueue(size_t MaxDepth) : MaxDepth(MaxDepth ? MaxDepth : 1) {}
+
+  enum class PushResult : uint8_t { Ok, Full, Closed };
+
+  /// Enqueues \p JobId on lane \p Priority (clamped to NumPriorities-1).
+  PushResult push(uint64_t JobId, uint8_t Priority);
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained; nullopt means shut down.
+  std::optional<uint64_t> pop();
+
+  /// Non-blocking pop (tests and drain accounting).
+  std::optional<uint64_t> tryPop();
+
+  /// No further pushes; wakes every blocked pop once the lanes drain.
+  void close();
+
+  bool closed() const;
+  size_t depth() const;
+
+private:
+  std::optional<uint64_t> popLocked();
+
+  const size_t MaxDepth;
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::array<std::deque<uint64_t>, NumPriorities> Lanes;
+  size_t Size = 0;
+  bool Closed = false;
+};
+
+} // namespace svc
+} // namespace silver
+
+#endif // SILVER_SVC_JOBQUEUE_H

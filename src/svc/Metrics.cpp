@@ -1,0 +1,47 @@
+//===- svc/Metrics.cpp - Service-wide metrics ---------------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Metrics.h"
+
+#include <bit>
+#include <cmath>
+
+using namespace silver;
+using namespace silver::svc;
+
+void LatencyHistogram::record(uint64_t Ns) {
+  unsigned B = Ns == 0 ? 0 : std::bit_width(Ns) - 1;
+  ++Buckets[B];
+  ++Count;
+}
+
+uint64_t LatencyHistogram::quantileNs(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Rank of the requested quantile, 1-based.
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count - 1)) + 1;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != Buckets.size(); ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Rank) {
+      // Geometric midpoint of [2^B, 2^(B+1)).
+      double Lo = std::ldexp(1.0, static_cast<int>(B));
+      return static_cast<uint64_t>(Lo * std::sqrt(2.0));
+    }
+  }
+  return 0;
+}
+
+void LatencyHistogram::mergeFrom(const LatencyHistogram &Other) {
+  for (size_t B = 0; B != Buckets.size(); ++B)
+    Buckets[B] += Other.Buckets[B];
+  Count += Other.Count;
+}

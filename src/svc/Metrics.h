@@ -1,0 +1,53 @@
+//===- svc/Metrics.h - Service-wide metrics ---------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The numbers the `stats` request dumps: lifecycle counts, per-level
+/// work totals, a bounded log2 latency histogram (p50/p99 without
+/// storing samples — the service must survive millions of jobs), and
+/// the merged obs::Counters of every worker when instrumentation is on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SVC_METRICS_H
+#define SILVER_SVC_METRICS_H
+
+#include <array>
+#include <cstdint>
+
+namespace silver {
+namespace svc {
+
+/// Power-of-two-bucketed latency histogram.  record() is O(1) and
+/// allocation-free; quantiles come back as the geometric midpoint of
+/// the bucket holding the requested rank, so they are exact to within
+/// a factor of sqrt(2) at any job count.
+class LatencyHistogram {
+public:
+  void record(uint64_t Ns);
+  uint64_t count() const { return Count; }
+  /// Approximate quantile, \p Q in [0, 1]; 0 when empty.
+  uint64_t quantileNs(double Q) const;
+  void mergeFrom(const LatencyHistogram &Other);
+
+private:
+  std::array<uint64_t, 64> Buckets{}; ///< bucket B holds ns in [2^B, 2^(B+1))
+  uint64_t Count = 0;
+};
+
+/// Work done at one execution level (stack::Level).
+struct LevelStats {
+  uint64_t Jobs = 0; ///< jobs that reached a terminal state at this level
+  uint64_t Slices = 0;
+  uint64_t Instructions = 0;
+  uint64_t Cycles = 0;
+};
+
+} // namespace svc
+} // namespace silver
+
+#endif // SILVER_SVC_METRICS_H

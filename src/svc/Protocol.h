@@ -1,0 +1,90 @@
+//===- svc/Protocol.h - silverd wire protocol -------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed binary protocol between silver-client and silverd
+/// (served over a Unix-domain socket; TCP on loopback behind a flag).
+///
+/// Framing (all integers little-endian):
+///
+///   +--------+--------+-----------------+
+///   | magic  | length | payload         |
+///   | "SVC1" | u32    | length bytes    |
+///   +--------+--------+-----------------+
+///
+/// The payload is one encoded Request (client->server) or Response
+/// (server->client); every request gets exactly one response, in order,
+/// on the same connection.  Payload primitives: u8, u32, u64
+/// little-endian; strings are u32 length + raw bytes; string lists are
+/// u32 count + strings.  Every field of a message is always encoded, in
+/// declaration order — there is no optional-field compression, which
+/// keeps the decoder a straight-line read and makes truncation at any
+/// point a deterministic decode error rather than a misparse.
+///
+/// A frame whose magic is wrong or whose length exceeds MaxFramePayload
+/// is a protocol error; the server drops the connection (a length-first
+/// protocol cannot resynchronise after framing damage).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SVC_PROTOCOL_H
+#define SILVER_SVC_PROTOCOL_H
+
+#include "support/Result.h"
+#include "svc/Job.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace silver {
+namespace svc {
+
+constexpr uint8_t FrameMagic[4] = {'S', 'V', 'C', '1'};
+/// Generous: source + stdin + stdout all ride in one frame.
+constexpr uint32_t MaxFramePayload = 64u << 20;
+
+enum class RequestKind : uint8_t {
+  Submit = 1, ///< enqueue Job; optionally wait for it to settle
+  Status = 2, ///< query JobId; optionally wait for it to settle
+  Resume = 3, ///< re-enqueue a Paused JobId with a fresh slice
+  Cancel = 4, ///< cancel JobId (queued, paused, or mid-run)
+  Stats = 5,  ///< service-wide metrics as JSON
+  Drain = 6,  ///< stop admissions, finish in-flight work, then respond
+};
+const char *requestKindName(RequestKind K);
+
+struct Request {
+  RequestKind Kind = RequestKind::Status;
+  uint64_t JobId = 0;  ///< Status / Resume / Cancel
+  uint64_t WaitMs = 0; ///< Submit/Status/Resume: block until settled
+  uint64_t SliceInstructions = 0; ///< Resume: the new slice grant
+  JobSpec Job;                    ///< Submit
+};
+
+struct Response {
+  bool Ok = false;
+  std::string Error;     ///< set when !Ok
+  JobInfo Info;          ///< Submit / Status / Resume / Cancel
+  std::string StatsJson; ///< Stats / Drain
+};
+
+std::vector<uint8_t> encodeRequest(const Request &R);
+std::vector<uint8_t> encodeResponse(const Response &R);
+Result<Request> decodeRequest(const std::vector<uint8_t> &Payload);
+Result<Response> decodeResponse(const std::vector<uint8_t> &Payload);
+
+/// Blocking framed IO over a connected stream socket.  writeFrame
+/// prepends magic+length; readFrame validates them and returns false on
+/// a clean end-of-stream before any header byte (the peer hung up
+/// between messages — not an error).
+Result<void> writeFrame(int Fd, const std::vector<uint8_t> &Payload);
+Result<bool> readFrame(int Fd, std::vector<uint8_t> &Payload);
+
+} // namespace svc
+} // namespace silver
+
+#endif // SILVER_SVC_PROTOCOL_H

@@ -1,0 +1,254 @@
+//===- svc/Server.cpp - silverd socket front-end ------------------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace silver;
+using namespace silver::svc;
+
+Server::Server(Service &Svc, ServerOptions OptsIn)
+    : Svc(Svc), Opts(std::move(OptsIn)) {}
+
+Server::~Server() { stop(); }
+
+static Error errnoError(const std::string &What) {
+  return Error(What + ": " + std::strerror(errno));
+}
+
+Result<void> Server::start() {
+  if (ListenFd != -1)
+    return Error("server already started");
+
+  if (Opts.Tcp) {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return errnoError("socket");
+    int One = 1;
+    ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(Opts.TcpPort);
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      Error E = errnoError("bind 127.0.0.1:" + std::to_string(Opts.TcpPort));
+      ::close(ListenFd);
+      ListenFd = -1;
+      return E;
+    }
+    socklen_t Len = sizeof(Addr);
+    if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) ==
+        0)
+      BoundPort = ntohs(Addr.sin_port);
+  } else {
+    if (Opts.SocketPath.empty())
+      return Error("no socket path configured");
+    sockaddr_un Addr{};
+    if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+      return Error("socket path too long: " + Opts.SocketPath);
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0)
+      return errnoError("socket");
+    // A previous server that died without cleanup leaves the file
+    // behind; bind would fail with EADDRINUSE even though nobody
+    // listens.
+    ::unlink(Opts.SocketPath.c_str());
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+                 sizeof(Addr.sun_path) - 1);
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      Error E = errnoError("bind " + Opts.SocketPath);
+      ::close(ListenFd);
+      ListenFd = -1;
+      return E;
+    }
+  }
+
+  if (::listen(ListenFd, 64) < 0) {
+    Error E = errnoError("listen");
+    ::close(ListenFd);
+    ListenFd = -1;
+    return E;
+  }
+
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return {};
+}
+
+void Server::stop() {
+  bool Expected = false;
+  if (!StopFlag.compare_exchange_strong(Expected, true,
+                                        std::memory_order_acq_rel)) {
+    // Second caller: still wait for the threads if the first pass is
+    // racing us (the destructor path).
+  }
+
+  // Unblock any connection thread stuck in readFrame.  The listener's
+  // poll() timeout picks up StopFlag by itself.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (int Fd : LiveConns)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    ToJoin.swap(ConnThreads);
+  }
+  for (std::thread &T : ToJoin)
+    T.join();
+
+  if (ListenFd != -1) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    if (!Opts.Tcp && !Opts.SocketPath.empty())
+      ::unlink(Opts.SocketPath.c_str());
+  }
+}
+
+void Server::acceptLoop() {
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int N = ::poll(&P, 1, 200 /*ms: the stop-flag poll interval*/);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (N == 0 || !(P.revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    Accepted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    if (StopFlag.load(std::memory_order_acquire)) {
+      ::close(Fd);
+      return;
+    }
+    LiveConns.insert(Fd);
+    ConnThreads.emplace_back([this, Fd] { serveConnection(Fd); });
+  }
+}
+
+void Server::serveConnection(int Fd) {
+  std::vector<uint8_t> Payload;
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    Result<bool> Got = readFrame(Fd, Payload);
+    if (!Got || !*Got)
+      break; // protocol error or clean hangup: drop the connection
+    Result<Request> Req = decodeRequest(Payload);
+    Response Resp;
+    if (!Req) {
+      Resp.Ok = false;
+      Resp.Error = "bad request: " + Req.error().str();
+    } else {
+      Resp = dispatch(*Req);
+    }
+    if (!writeFrame(Fd, encodeResponse(Resp)))
+      break;
+    // A Drain request stops the server once its response is on the
+    // wire: the client sees final stats, then the socket goes away.
+    if (Req && Req->Kind == RequestKind::Drain) {
+      StopFlag.store(true, std::memory_order_release);
+      break;
+    }
+  }
+  ::close(Fd);
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  LiveConns.erase(Fd);
+}
+
+Response Server::dispatch(const Request &R) {
+  Response Resp;
+  switch (R.Kind) {
+  case RequestKind::Submit: {
+    JobInfo Info = Svc.submit(R.Job);
+    if (Info.State == JobState::Rejected) {
+      Resp.Ok = false;
+      Resp.Error = Info.Outcome.Error;
+      Resp.Info = Info;
+      return Resp;
+    }
+    if (R.WaitMs) {
+      if (std::optional<JobInfo> Settled = Svc.waitSettled(Info.Id, R.WaitMs))
+        Info = *Settled;
+    }
+    Resp.Ok = true;
+    Resp.Info = Info;
+    return Resp;
+  }
+  case RequestKind::Status: {
+    std::optional<JobInfo> Info = R.WaitMs
+                                      ? Svc.waitSettled(R.JobId, R.WaitMs)
+                                      : Svc.status(R.JobId);
+    if (!Info) {
+      Resp.Ok = false;
+      Resp.Error = "unknown job " + std::to_string(R.JobId);
+      return Resp;
+    }
+    Resp.Ok = true;
+    Resp.Info = *Info;
+    return Resp;
+  }
+  case RequestKind::Resume: {
+    Result<JobInfo> Info = Svc.resume(R.JobId, R.SliceInstructions);
+    if (!Info) {
+      Resp.Ok = false;
+      Resp.Error = Info.error().str();
+      return Resp;
+    }
+    Resp.Ok = true;
+    Resp.Info = *Info;
+    if (R.WaitMs) {
+      if (std::optional<JobInfo> Settled = Svc.waitSettled(R.JobId, R.WaitMs))
+        Resp.Info = *Settled;
+    }
+    return Resp;
+  }
+  case RequestKind::Cancel: {
+    Result<JobInfo> Info = Svc.cancel(R.JobId);
+    if (!Info) {
+      Resp.Ok = false;
+      Resp.Error = Info.error().str();
+      return Resp;
+    }
+    Resp.Ok = true;
+    Resp.Info = *Info;
+    return Resp;
+  }
+  case RequestKind::Stats: {
+    Resp.Ok = true;
+    Resp.StatsJson = Svc.statsJson();
+    return Resp;
+  }
+  case RequestKind::Drain: {
+    Svc.drain();
+    Resp.Ok = true;
+    Resp.StatsJson = Svc.statsJson();
+    return Resp;
+  }
+  }
+  Resp.Ok = false;
+  Resp.Error = "unhandled request kind";
+  return Resp;
+}

@@ -1,0 +1,100 @@
+//===- svc/Server.h - silverd socket front-end ------------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket front-end of silverd: accepts connections on a Unix-domain
+/// socket (or TCP on loopback behind ServerOptions::Tcp), reads framed
+/// Requests, dispatches them to an svc::Service, and writes framed
+/// Responses — one connection-handling thread per client, matching the
+/// blocking protocol (every request gets exactly one in-order response).
+///
+/// Shutdown paths:
+///   - stop():  closes the listener and shuts down live connections;
+///     in-flight service jobs are untouched (the silverd process decides
+///     whether to drain).
+///   - a Drain request: the handling thread calls Service::drain()
+///     (finishing all in-flight work), responds with final stats, then
+///     requests server stop — the silverd SIGTERM path sends this to
+///     itself via the client library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SVC_SERVER_H
+#define SILVER_SVC_SERVER_H
+
+#include "svc/Protocol.h"
+#include "svc/Service.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace silver {
+namespace svc {
+
+struct ServerOptions {
+  /// Unix-domain socket path (the default transport).  A stale socket
+  /// file from a dead server is unlinked before binding.
+  std::string SocketPath;
+  /// When true, listen on 127.0.0.1:TcpPort instead of the Unix socket.
+  bool Tcp = false;
+  uint16_t TcpPort = 0; ///< 0 = kernel-assigned; see boundPort()
+};
+
+class Server {
+public:
+  /// \p Svc must outlive the server.
+  Server(Service &Svc, ServerOptions Opts);
+  ~Server(); ///< stop() + join
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and starts the accept loop (on its own thread).
+  Result<void> start();
+
+  /// Closes the listener, shuts down live connections, joins every
+  /// connection thread.  Idempotent.
+  void stop();
+
+  /// True once stop() has been called (by anyone, including a Drain
+  /// request handler).
+  bool stopped() const { return StopFlag.load(std::memory_order_acquire); }
+
+  /// The TCP port actually bound (after start(), Tcp mode only).
+  uint16_t boundPort() const { return BoundPort; }
+
+  /// Connections accepted since start (for tests/metrics).
+  uint64_t connectionsAccepted() const {
+    return Accepted.load(std::memory_order_relaxed);
+  }
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+  Response dispatch(const Request &R);
+
+  Service &Svc;
+  ServerOptions Opts;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<uint64_t> Accepted{0};
+
+  std::thread AcceptThread;
+  std::mutex ConnMu;
+  std::set<int> LiveConns; ///< fds being served; shut down on stop()
+  std::vector<std::thread> ConnThreads;
+};
+
+} // namespace svc
+} // namespace silver
+
+#endif // SILVER_SVC_SERVER_H

@@ -1,0 +1,523 @@
+//===- svc/Service.cpp - Concurrent batch-execution engine --------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Service.h"
+
+#include "stack/Stack.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace silver;
+using namespace silver::svc;
+
+using Clock = std::chrono::steady_clock;
+
+//===----------------------------------------------------------------------===//
+// Internal records
+//===----------------------------------------------------------------------===//
+
+struct Service::Job {
+  JobSpec Spec;
+  JobInfo Info;
+  /// The parked session while Paused; moved out to the worker while
+  /// Running; null otherwise.
+  std::unique_ptr<stack::Executor> Exec;
+  std::atomic<bool> CancelRequested{false};
+  Clock::time_point SubmitAt;
+  Clock::time_point LastTouch;
+  uint64_t SliceGrant = 0; ///< instructions for the next slice; 0 = all
+  /// Instructions/cycles already folded into the level stats (the
+  /// Observed counts are cumulative across slices).
+  uint64_t AccountedInstructions = 0;
+  uint64_t AccountedCycles = 0;
+};
+
+struct Service::Worker {
+  /// Hot path: attached to the Executor while stepping; no locks.
+  obs::Counters SliceCounters;
+  /// Cold path: SliceCounters folds in here between slices; statsJson
+  /// merges these under the per-worker mutex.
+  std::mutex TotalsMu;
+  obs::Counters Totals;
+};
+
+struct Service::SliceResult {
+  JobState State = JobState::Failed;
+  JobOutcome Outcome;
+  std::unique_ptr<stack::Executor> Exec; ///< non-null when Paused
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Service::Service(ServiceOptions OptsIn)
+    : Opts(OptsIn), Cache(Opts.PrepareCacheCapacity),
+      Queue(Opts.QueueDepth), StartedAt(Clock::now()) {
+  Opts.ChunkInstructions = std::max<uint64_t>(1, Opts.ChunkInstructions);
+  WorkerState.reserve(Opts.Workers);
+  Threads.reserve(Opts.Workers);
+  for (unsigned I = 0; I != Opts.Workers; ++I)
+    WorkerState.push_back(std::make_unique<Worker>());
+  for (unsigned I = 0; I != Opts.Workers; ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+Service::~Service() {
+  Queue.close();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Front door
+//===----------------------------------------------------------------------===//
+
+JobInfo Service::submit(const JobSpec &Spec) {
+  JobInfo Info;
+  Info.Level = Spec.Level;
+  Info.Priority =
+      std::min<uint8_t>(Spec.Priority, NumPriorities - 1);
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Draining) {
+    Info.State = JobState::Rejected;
+    Info.Outcome.Error = "service is draining";
+    ++Count.Rejected;
+    return Info;
+  }
+  uint64_t Id = NextId;
+  JobQueue::PushResult P = Queue.push(Id, Info.Priority);
+  if (P != JobQueue::PushResult::Ok) {
+    Info.State = JobState::Rejected;
+    Info.Outcome.Error = P == JobQueue::PushResult::Full
+                             ? "queue full"
+                             : "service is shutting down";
+    ++Count.Rejected;
+    return Info;
+  }
+  ++NextId;
+  Info.Id = Id;
+  Info.State = JobState::Queued;
+
+  auto J = std::make_unique<Job>();
+  J->Spec = Spec;
+  J->Info = Info;
+  J->SubmitAt = J->LastTouch = Clock::now();
+  J->SliceGrant = Spec.SliceInstructions;
+  Jobs[Id] = std::move(J);
+  ++Count.Submitted;
+  ++ActiveCount;
+  return Info;
+}
+
+std::optional<JobInfo> Service::status(uint64_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return std::nullopt;
+  return It->second->Info;
+}
+
+std::optional<JobInfo> Service::waitSettled(uint64_t Id,
+                                            uint64_t TimeoutMs) const {
+  std::unique_lock<std::mutex> Lock(Mu);
+  auto Settled = [&] {
+    auto It = Jobs.find(Id);
+    return It == Jobs.end() || isSettled(It->second->Info.State);
+  };
+  Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs), Settled);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return std::nullopt;
+  return It->second->Info;
+}
+
+Result<JobInfo> Service::resume(uint64_t Id, uint64_t SliceInstructions) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Draining)
+    return Error("service is draining");
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return Error("unknown job " + std::to_string(Id));
+  Job &J = *It->second;
+  if (J.Info.State != JobState::Paused)
+    return Error(std::string("job is ") + jobStateName(J.Info.State) +
+                 ", not paused");
+  JobQueue::PushResult P = Queue.push(Id, J.Info.Priority);
+  if (P != JobQueue::PushResult::Ok)
+    return Error(P == JobQueue::PushResult::Full
+                     ? "queue full"
+                     : "service is shutting down");
+  J.Info.State = JobState::Queued;
+  J.SliceGrant =
+      SliceInstructions ? SliceInstructions : J.Spec.SliceInstructions;
+  J.LastTouch = Clock::now();
+  --PausedCount;
+  ++ActiveCount;
+  return J.Info;
+}
+
+Result<JobInfo> Service::cancel(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return Error("unknown job " + std::to_string(Id));
+  Job &J = *It->second;
+  switch (J.Info.State) {
+  case JobState::Queued:
+    // Settle now; the worker skips it when it surfaces from the queue.
+    J.CancelRequested.store(true, std::memory_order_relaxed);
+    --ActiveCount;
+    settleLocked(J, JobState::Cancelled);
+    break;
+  case JobState::Running:
+    // The worker converts this at its next chunk boundary.
+    J.CancelRequested.store(true, std::memory_order_relaxed);
+    break;
+  case JobState::Paused:
+    J.Exec.reset();
+    --PausedCount;
+    settleLocked(J, JobState::Cancelled);
+    break;
+  default:
+    break; // already settled: idempotent
+  }
+  return J.Info;
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Draining = true;
+  Cv.wait(Lock, [this] { return ActiveCount == 0; });
+}
+
+bool Service::draining() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Draining;
+}
+
+unsigned Service::evictIdleSessions() {
+  if (Opts.IdleEvictMs == 0)
+    return 0;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Clock::time_point Now = Clock::now();
+  unsigned Evicted = 0;
+  for (auto &Entry : Jobs) {
+    Job &J = *Entry.second;
+    if (J.Info.State != JobState::Paused)
+      continue;
+    auto IdleMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Now - J.LastTouch)
+                      .count();
+    if (static_cast<uint64_t>(IdleMs) < Opts.IdleEvictMs)
+      continue;
+    J.Exec.reset();
+    --PausedCount;
+    settleLocked(J, JobState::Evicted);
+    ++Evicted;
+  }
+  return Evicted;
+}
+
+//===----------------------------------------------------------------------===//
+// Settling (always under Mu)
+//===----------------------------------------------------------------------===//
+
+void Service::settleLocked(Job &J, JobState S) {
+  J.Info.State = S;
+  switch (S) {
+  case JobState::Completed:
+    ++Count.Completed;
+    break;
+  case JobState::TimedOut:
+    ++Count.TimedOut;
+    break;
+  case JobState::Cancelled:
+    ++Count.Cancelled;
+    break;
+  case JobState::Failed:
+    ++Count.Failed;
+    break;
+  case JobState::Evicted:
+    ++Count.Evicted;
+    break;
+  default:
+    break;
+  }
+  size_t L = static_cast<size_t>(J.Info.Level);
+  ++Levels[L].Jobs;
+  Latency.record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           J.SubmitAt)
+          .count()));
+  FinishedOrder.push_back(J.Info.Id);
+  while (FinishedOrder.size() > Opts.FinishedHistoryCap) {
+    Jobs.erase(FinishedOrder.front());
+    FinishedOrder.pop_front();
+  }
+  Cv.notify_all();
+}
+
+void Service::accountLocked(Job &J, const stack::Observed &B) {
+  size_t L = static_cast<size_t>(J.Info.Level);
+  ++Levels[L].Slices;
+  Levels[L].Instructions += B.Instructions - J.AccountedInstructions;
+  Levels[L].Cycles += B.Cycles - J.AccountedCycles;
+  J.AccountedInstructions = B.Instructions;
+  J.AccountedCycles = B.Cycles;
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void Service::workerMain(unsigned Index) {
+  Worker &W = *WorkerState[Index];
+  while (std::optional<uint64_t> IdOpt = Queue.pop()) {
+    Job *J = nullptr;
+    std::unique_ptr<stack::Executor> Exec;
+    JobSpec Spec;
+    uint64_t SliceGrant = 0;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Jobs.find(*IdOpt);
+      if (It == Jobs.end())
+        continue; // pruned
+      J = It->second.get();
+      if (J->Info.State != JobState::Queued)
+        continue; // cancelled while queued; already settled
+      J->Info.State = JobState::Running;
+      Exec = std::move(J->Exec);
+      Spec = J->Spec;
+      SliceGrant = J->SliceGrant;
+    }
+
+    SliceResult R = executeSlice(*J, Spec, std::move(Exec), SliceGrant,
+                                 Opts.Instrument ? &W : nullptr);
+
+    if (Opts.Instrument) {
+      std::lock_guard<std::mutex> Lock(W.TotalsMu);
+      W.Totals.mergeFrom(W.SliceCounters);
+      W.SliceCounters.reset();
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++J->Info.SlicesRun;
+      J->Info.Outcome = std::move(R.Outcome);
+      accountLocked(*J, J->Info.Outcome.Behaviour);
+      --ActiveCount;
+      if (R.State == JobState::Paused) {
+        J->Exec = std::move(R.Exec);
+        J->Info.State = JobState::Paused;
+        J->LastTouch = Clock::now();
+        ++PausedCount;
+        Cv.notify_all();
+      } else {
+        settleLocked(*J, R.State);
+      }
+    }
+
+    evictIdleSessions();
+  }
+}
+
+Service::SliceResult
+Service::executeSlice(Job &J, const JobSpec &Spec,
+                      std::unique_ptr<stack::Executor> Exec,
+                      uint64_t SliceGrant, Worker *W) {
+  SliceResult R;
+
+  // First slice: compile (through the cache) and open the session.
+  if (!Exec) {
+    stack::RunSpec Run;
+    Run.Source = Spec.Source;
+    Run.CommandLine = Spec.CommandLine;
+    Run.StdinData = Spec.StdinData;
+    Run.MaxSteps = Spec.MaxSteps ? Spec.MaxSteps : Opts.DefaultMaxSteps;
+    Run.MaxCycles = Spec.MaxCycles;
+
+    Result<stack::Prepared> P = Cache.prepare(Run);
+    if (!P) {
+      R.State = JobState::Failed;
+      R.Outcome.Error = "prepare: " + P.error().str();
+      return R;
+    }
+    Exec = std::make_unique<stack::Executor>(
+        stack::Executor::fromPrepared(std::move(Run), P.take()));
+    if (W)
+      Exec->attach(&W->SliceCounters);
+
+    // The Spec level has no machine steps: one-shot, no session.
+    if (Spec.Level == stack::Level::Spec) {
+      Result<stack::Outcome> Out = Exec->run(stack::Level::Spec);
+      if (!Out) {
+        R.State = JobState::Failed;
+        R.Outcome.Error = Out.error().str();
+        return R;
+      }
+      R.State = JobState::Completed;
+      R.Outcome.Behaviour = Out->Behaviour;
+      return R;
+    }
+
+    if (Result<void> B = Exec->begin(Spec.Level); !B) {
+      R.State = JobState::Failed;
+      R.Outcome.Error = B.error().str();
+      return R;
+    }
+  } else if (W) {
+    // A resumed session keeps emitting into the current worker's
+    // counters (a job may migrate between workers; merge makes the
+    // split attribution sum correctly).
+    Exec->attach(&W->SliceCounters);
+  }
+
+  Clock::time_point Deadline =
+      Spec.WallMsBudget
+          ? Clock::now() + std::chrono::milliseconds(Spec.WallMsBudget)
+          : Clock::time_point::max();
+  uint64_t SliceLeft = SliceGrant ? SliceGrant : UINT64_MAX;
+
+  auto Park = [&](JobState S) {
+    if (Result<stack::StateDigest> D = Exec->sessionState()) {
+      R.Outcome.Digest = *D;
+      R.Outcome.HasDigest = true;
+    }
+    if (S == JobState::Paused) {
+      if (Result<stack::Observed> B = Exec->sessionBehaviour())
+        R.Outcome.Behaviour = *B;
+      R.Exec = std::move(Exec);
+    } else {
+      Result<stack::Outcome> Out = Exec->finish();
+      if (Out)
+        R.Outcome.Behaviour = Out->Behaviour;
+    }
+    R.State = S;
+  };
+
+  while (true) {
+    if (J.CancelRequested.load(std::memory_order_relaxed)) {
+      Park(JobState::Cancelled);
+      return R;
+    }
+    Result<uint64_t> Before = Exec->sessionInstructions();
+    if (!Before) {
+      R.State = JobState::Failed;
+      R.Outcome.Error = Before.error().str();
+      return R;
+    }
+    uint64_t Chunk = std::min(SliceLeft, Opts.ChunkInstructions);
+    Result<stack::RunStatus> S = Exec->step(Chunk);
+    if (!S) {
+      // step() tears the session down on faults; nothing to park.
+      R.State = JobState::Failed;
+      R.Outcome.Error = S.error().str();
+      return R;
+    }
+    if (Result<uint64_t> After = Exec->sessionInstructions())
+      SliceLeft -= std::min(*After - *Before, SliceLeft);
+
+    switch (*S) {
+    case stack::RunStatus::Completed:
+      Park(JobState::Completed);
+      return R;
+    case stack::RunStatus::Timeout:
+      Park(JobState::TimedOut);
+      return R;
+    case stack::RunStatus::Paused:
+      if (SliceLeft == 0 || Clock::now() >= Deadline) {
+        Park(JobState::Paused);
+        return R;
+      }
+      break; // next chunk
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
+
+obs::Counters Service::mergedCounters() const {
+  obs::Counters Merged;
+  for (const std::unique_ptr<Worker> &W : WorkerState) {
+    std::lock_guard<std::mutex> Lock(W->TotalsMu);
+    Merged.mergeFrom(W->Totals);
+  }
+  return Merged;
+}
+
+std::string Service::statsJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto UptimeNs = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - StartedAt)
+                      .count();
+  double UptimeSec = static_cast<double>(UptimeNs) * 1e-9;
+
+  std::string Out = "{";
+  Out += "\"schema\":\"silverd-stats-v1\"";
+  Out += ",\"uptime_ms\":" + std::to_string(UptimeNs / 1'000'000);
+  Out += ",\"workers\":" + std::to_string(Opts.Workers);
+  Out += ",\"queue_depth\":" + std::to_string(Queue.depth());
+  Out += ",\"draining\":" + std::string(Draining ? "true" : "false");
+
+  Out += ",\"jobs\":{";
+  Out += "\"submitted\":" + std::to_string(Count.Submitted);
+  Out += ",\"completed\":" + std::to_string(Count.Completed);
+  Out += ",\"timed_out\":" + std::to_string(Count.TimedOut);
+  Out += ",\"cancelled\":" + std::to_string(Count.Cancelled);
+  Out += ",\"failed\":" + std::to_string(Count.Failed);
+  Out += ",\"evicted\":" + std::to_string(Count.Evicted);
+  Out += ",\"rejected\":" + std::to_string(Count.Rejected);
+  Out += ",\"active\":" + std::to_string(ActiveCount);
+  Out += ",\"paused\":" + std::to_string(PausedCount);
+  Out += "}";
+
+  stack::PrepareCache::CacheStats CS = Cache.stats();
+  Out += ",\"prepare_cache\":{";
+  Out += "\"hits\":" + std::to_string(CS.Hits);
+  Out += ",\"misses\":" + std::to_string(CS.Misses);
+  Out += ",\"evictions\":" + std::to_string(CS.Evictions);
+  Out += ",\"entries\":" + std::to_string(CS.Entries);
+  Out += "}";
+
+  Out += ",\"latency\":{";
+  Out += "\"count\":" + std::to_string(Latency.count());
+  Out += ",\"p50_ns\":" + std::to_string(Latency.quantileNs(0.50));
+  Out += ",\"p99_ns\":" + std::to_string(Latency.quantileNs(0.99));
+  Out += "}";
+
+  Out += ",\"levels\":{";
+  bool First = true;
+  for (size_t L = 0; L != Levels.size(); ++L) {
+    const LevelStats &S = Levels[L];
+    if (S.Slices == 0 && S.Jobs == 0)
+      continue;
+    if (!First)
+      Out += ",";
+    First = false;
+    double InstrPerSec =
+        UptimeSec > 0 ? static_cast<double>(S.Instructions) / UptimeSec : 0;
+    Out += jsonQuote(stack::levelName(static_cast<stack::Level>(L)));
+    Out += ":{\"jobs\":" + std::to_string(S.Jobs);
+    Out += ",\"slices\":" + std::to_string(S.Slices);
+    Out += ",\"instructions\":" + std::to_string(S.Instructions);
+    Out += ",\"cycles\":" + std::to_string(S.Cycles);
+    Out += ",\"instr_per_sec\":" +
+           std::to_string(static_cast<uint64_t>(InstrPerSec));
+    Out += "}";
+  }
+  Out += "}";
+
+  if (Opts.Instrument)
+    Out += ",\"counters\":" + mergedCounters().toJson();
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,181 @@
+//===- svc/Service.h - Concurrent batch-execution engine --------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-process serving engine behind silverd: a bounded priority
+/// JobQueue in front of a pool of worker threads, each stepping
+/// stack::Executor sessions in budgeted slices.
+///
+///   - submit() admits a JobSpec (or rejects it with backpressure when
+///     the queue is full / the service is draining) and returns a job id
+///     the client polls or blocks on.
+///   - Compilation is memoized in a shared stack::PrepareCache, so
+///     repeated submissions of the same program skip the compiler.
+///   - A job whose slice or wall-clock budget runs out parks as Paused:
+///     its Executor (the live session) stays in the job record, tagged
+///     with its StateDigest, until resume() re-enqueues it, cancel()
+///     kills it, or the idle sweep evicts it.
+///   - drain() stops admissions and blocks until every queued and
+///     running job has settled — in-flight work is finished, never
+///     killed (the silverd SIGTERM path).
+///   - statsJson() dumps lifecycle counts, per-level work totals,
+///     p50/p99 service latency, prepare-cache hit rates, and (with
+///     ServiceOptions::Instrument) the obs::Counters of all workers
+///     merged via Counters::mergeFrom.
+///
+/// Threading: one mutex guards the job table and metrics; workers hold
+/// it only to claim and settle a slice, never while stepping.  Each
+/// worker owns a private obs::Counters on the hot path and folds it
+/// into its lock-protected total between slices, so instrumentation
+/// never contends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SVC_SERVICE_H
+#define SILVER_SVC_SERVICE_H
+
+#include "obs/Counters.h"
+#include "stack/PrepareCache.h"
+#include "svc/Job.h"
+#include "svc/JobQueue.h"
+#include "svc/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+namespace silver {
+namespace svc {
+
+struct ServiceOptions {
+  /// Worker threads.  0 is valid and means nothing executes — jobs sit
+  /// in the queue — which is what the backpressure tests use.
+  unsigned Workers = 4;
+  size_t QueueDepth = 64;
+  /// Instruction budget for jobs that do not set one.
+  uint64_t DefaultMaxSteps = 2'000'000'000ull;
+  /// Granularity of cancel/wall-clock checks while stepping: a worker
+  /// steps at most this many instructions between checks.
+  uint64_t ChunkInstructions = 1'000'000;
+  /// Paused sessions idle longer than this are evicted by the sweep
+  /// (run opportunistically on worker and service activity).  0
+  /// disables eviction.
+  uint64_t IdleEvictMs = 5u * 60u * 1000u;
+  /// Settled jobs kept for status queries; older terminal records are
+  /// pruned so the job table stays bounded under sustained traffic.
+  size_t FinishedHistoryCap = 4096;
+  size_t PrepareCacheCapacity = 32;
+  /// Attach per-worker obs::Counters to every run (costs the observer
+  /// dispatch on the hot path; off by default).
+  bool Instrument = false;
+};
+
+class Service {
+public:
+  explicit Service(ServiceOptions Opts = {});
+  ~Service(); ///< closes the queue and joins the workers
+
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Admits a job.  The returned info is either Queued (with the new
+  /// job id) or Rejected (queue full / draining; Outcome.Error says
+  /// which) — submission never blocks.
+  JobInfo submit(const JobSpec &Spec);
+
+  /// Latest snapshot of a job; nullopt for ids never issued or pruned.
+  std::optional<JobInfo> status(uint64_t Id) const;
+
+  /// Blocks until the job settles (terminal or Paused) or \p TimeoutMs
+  /// elapses; returns the latest snapshot either way.
+  std::optional<JobInfo> waitSettled(uint64_t Id, uint64_t TimeoutMs) const;
+
+  /// Re-enqueues a Paused job with a fresh slice grant
+  /// (0 = the grant from the original spec).  Errors when the job is
+  /// not paused, the queue is full, or the service is draining — the
+  /// session stays parked in those cases.
+  Result<JobInfo> resume(uint64_t Id, uint64_t SliceInstructions = 0);
+
+  /// Cancels a queued, paused or running job (a running job settles at
+  /// its next chunk boundary).  Cancelling an already-settled job is a
+  /// no-op returning its info.
+  Result<JobInfo> cancel(uint64_t Id);
+
+  /// Service-wide metrics as a single-line JSON object.
+  std::string statsJson() const;
+
+  /// Stops admissions and blocks until no job is queued or running.
+  /// Paused sessions are left parked (they are not in flight).
+  void drain();
+  bool draining() const;
+
+  size_t queueDepth() const { return Queue.depth(); }
+
+  /// Evicts paused sessions idle for ServiceOptions::IdleEvictMs;
+  /// returns how many.  Runs opportunistically, but is public so
+  /// callers (and tests) can force a sweep.
+  unsigned evictIdleSessions();
+
+  const ServiceOptions &options() const { return Opts; }
+  stack::PrepareCache::CacheStats prepareCacheStats() const {
+    return Cache.stats();
+  }
+  /// The merged per-worker counters (empty unless Instrument).
+  obs::Counters mergedCounters() const;
+
+private:
+  struct Job;
+  struct Worker;
+  struct SliceResult;
+
+  void workerMain(unsigned Index);
+  SliceResult executeSlice(Job &J, const JobSpec &Spec,
+                           std::unique_ptr<stack::Executor> Exec,
+                           uint64_t SliceGrant, Worker *W);
+  void settleLocked(Job &J, JobState S);
+  void accountLocked(Job &J, const stack::Observed &B);
+
+  ServiceOptions Opts;
+  stack::PrepareCache Cache;
+  JobQueue Queue;
+
+  mutable std::mutex Mu;
+  mutable std::condition_variable Cv;
+  std::unordered_map<uint64_t, std::unique_ptr<Job>> Jobs;
+  std::deque<uint64_t> FinishedOrder; ///< terminal jobs, oldest first
+  uint64_t NextId = 1;
+  bool Draining = false;
+  unsigned ActiveCount = 0; ///< jobs currently Queued or Running
+  unsigned PausedCount = 0;
+
+  struct Counts {
+    uint64_t Submitted = 0;
+    uint64_t Completed = 0;
+    uint64_t TimedOut = 0;
+    uint64_t Cancelled = 0;
+    uint64_t Failed = 0;
+    uint64_t Evicted = 0;
+    uint64_t Rejected = 0;
+  } Count;
+  std::array<LevelStats, 5> Levels; ///< by stack::Level
+  LatencyHistogram Latency;
+  std::chrono::steady_clock::time_point StartedAt;
+
+  std::vector<std::unique_ptr<Worker>> WorkerState;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace svc
+} // namespace silver
+
+#endif // SILVER_SVC_SERVICE_H

@@ -124,6 +124,84 @@ TEST(Counters, DeterministicAcrossIdenticalRuns) {
   EXPECT_EQ(A.report(), Fresh.report());
 }
 
+TEST(Counters, MergeFromSumsEveryTable) {
+  Counters A(figureTwoMap(), {"read_stdin", "write_stdout", "get_arg"});
+  Counters B(figureTwoMap(), {"read_stdin", "write_stdout", "get_arg"});
+  replayStream(A);
+  replayStream(B);
+  Counters Twice(figureTwoMap(), {"read_stdin", "write_stdout", "get_arg"});
+  replayStream(Twice);
+  replayStream(Twice);
+  A.mergeFrom(B);
+  // Merging two single-stream counters equals one counter that saw the
+  // stream twice.
+  EXPECT_EQ(A.report(), Twice.report());
+  EXPECT_EQ(A.toJson(), Twice.toJson());
+  EXPECT_EQ(A.Retired, 18u);
+  EXPECT_EQ(A.Cycles, 34u);
+}
+
+TEST(Counters, MergeFromGrowsTheFfiTable) {
+  Counters A, B;
+  A.Ffi.resize(1);
+  A.Ffi[0].Calls = 2;
+  B.Ffi.resize(3);
+  B.Ffi[0].Calls = 1;
+  B.Ffi[2].Calls = 7;
+  A.mergeFrom(B);
+  ASSERT_EQ(A.Ffi.size(), 3u);
+  EXPECT_EQ(A.Ffi[0].Calls, 3u);
+  EXPECT_EQ(A.Ffi[1].Calls, 0u);
+  EXPECT_EQ(A.Ffi[2].Calls, 7u);
+}
+
+TEST(Counters, MergeIsAssociativeAndCommutative) {
+  // Three counters with deliberately different shapes (distinct totals
+  // and different FFI table lengths), merged in both groupings and both
+  // orders — the service's per-worker aggregation must not depend on
+  // which worker merges first.
+  auto Make = [](uint64_t Seed) {
+    Counters C;
+    C.Retired = Seed * 11;
+    C.Cycles = Seed * 7;
+    for (size_t I = 0; I != C.OpcodeCounts.size(); ++I)
+      C.OpcodeCounts[I] = Seed * 100 + I;
+    for (size_t I = 0; I != NumRegions; ++I) {
+      C.RegionLoads[I] = Seed + I;
+      C.RegionStores[I] = 2 * Seed + I;
+    }
+    C.Ffi.resize(1 + Seed % 3);
+    for (size_t I = 0; I != C.Ffi.size(); ++I) {
+      C.Ffi[I].Calls = Seed + I;
+      C.Ffi[I].Instructions = Seed * 3 + I;
+      C.Ffi[I].Cycles = Seed * 5 + I;
+    }
+    return C;
+  };
+
+  // (A + B) + C
+  Counters Left = Make(1);
+  Left.mergeFrom(Make(2));
+  Left.mergeFrom(Make(3));
+  // A + (B + C)
+  Counters Right = Make(2);
+  Right.mergeFrom(Make(3));
+  Counters RightOuter = Make(1);
+  RightOuter.mergeFrom(Right);
+  EXPECT_EQ(Left.toJson(), RightOuter.toJson());
+
+  // C + B + A (commuted)
+  Counters Commuted = Make(3);
+  Commuted.mergeFrom(Make(2));
+  Commuted.mergeFrom(Make(1));
+  EXPECT_EQ(Left.toJson(), Commuted.toJson());
+
+  // Zero is the identity.
+  Counters WithZero = Make(1);
+  WithZero.mergeFrom(Counters());
+  EXPECT_EQ(WithZero.toJson(), Make(1).toJson());
+}
+
 TEST(Counters, CpiDegenerateCases) {
   Counters C;
   EXPECT_DOUBLE_EQ(C.cpi(), 0.0); // nothing retired

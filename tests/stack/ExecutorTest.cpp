@@ -291,6 +291,115 @@ TEST(Executor, SpecLevelRunsButIsNotResumable) {
   EXPECT_FALSE(ExecOr->begin(Level::Spec));
 }
 
+// Exhausts a deliberately small budget at \p L, replenishes through the
+// Timeout until the program completes, and requires the final
+// StateDigest and Observed to be identical to an unbudgeted run: a
+// resumed session must land on the same architectural state, bit for
+// bit, no matter how many times the budget interrupted it (the serving
+// layer's pause/resume correctness claim).
+void expectReplenishedRunMatchesUnbudgeted(Level L) {
+  // Reference: one run with budget to spare.
+  Result<Executor> RefOr = Executor::create(helloSpec());
+  ASSERT_TRUE(RefOr) << RefOr.error().str();
+  Executor Ref = RefOr.take();
+  ASSERT_TRUE(Ref.begin(L));
+  Result<RunStatus> RefS = Ref.step(UINT64_MAX);
+  ASSERT_TRUE(RefS) << RefS.error().str();
+  ASSERT_EQ(*RefS, RunStatus::Completed);
+  Result<StateDigest> RefDigest = Ref.sessionState();
+  ASSERT_TRUE(RefDigest) << RefDigest.error().str();
+  Result<Outcome> RefOut = Ref.finish();
+  ASSERT_TRUE(RefOut) << RefOut.error().str();
+
+  // The same program under a starvation budget, revived via replenish
+  // every time it times out.
+  RunSpec Starved = helloSpec();
+  Starved.MaxSteps = 200;
+  Result<Executor> ExecOr = Executor::create(Starved);
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+  ASSERT_TRUE(Exec.begin(L));
+  unsigned Timeouts = 0;
+  for (;;) {
+    Result<RunStatus> S = Exec.step(UINT64_MAX);
+    ASSERT_TRUE(S) << S.error().str();
+    if (*S == RunStatus::Completed)
+      break;
+    ASSERT_EQ(*S, RunStatus::Timeout);
+    ASSERT_LT(++Timeouts, 10'000u) << "never completed";
+    ASSERT_TRUE(Exec.replenish(200));
+  }
+  EXPECT_GT(Timeouts, 0u) << "budget was never exhausted; test is vacuous";
+  Result<StateDigest> Digest = Exec.sessionState();
+  ASSERT_TRUE(Digest) << Digest.error().str();
+  Result<Outcome> Out = Exec.finish();
+  ASSERT_TRUE(Out) << Out.error().str();
+
+  expectSameObserved(RefOut->Behaviour, Out->Behaviour);
+  EXPECT_EQ(RefDigest->Pc, Digest->Pc);
+  EXPECT_EQ(RefDigest->Carry, Digest->Carry);
+  EXPECT_EQ(RefDigest->Overflow, Digest->Overflow);
+  EXPECT_EQ(RefDigest->Regs, Digest->Regs);
+  EXPECT_EQ(RefDigest->MemoryHash, Digest->MemoryHash);
+  EXPECT_EQ(RefDigest->MemoryBytes, Digest->MemoryBytes);
+}
+
+TEST(Executor, ReplenishedTimeoutMatchesUnbudgetedAtMachine) {
+  expectReplenishedRunMatchesUnbudgeted(Level::Machine);
+}
+
+TEST(Executor, ReplenishedTimeoutMatchesUnbudgetedAtIsa) {
+  expectReplenishedRunMatchesUnbudgeted(Level::Isa);
+}
+
+TEST(Executor, ReplenishedTimeoutMatchesUnbudgetedAtRtl) {
+  expectReplenishedRunMatchesUnbudgeted(Level::Rtl);
+}
+
+TEST(Executor, ReplenishedTimeoutMatchesUnbudgetedAtVerilog) {
+  expectReplenishedRunMatchesUnbudgeted(Level::Verilog);
+}
+
+TEST(Executor, ReplenishErrorsOutsideALiveSession) {
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+  EXPECT_FALSE(Exec.replenish(100)) << "no session yet";
+  ASSERT_TRUE(Exec.begin(Level::Isa));
+  Result<RunStatus> S = Exec.step(UINT64_MAX);
+  ASSERT_TRUE(S);
+  ASSERT_EQ(*S, RunStatus::Completed);
+  EXPECT_FALSE(Exec.replenish(100)) << "completed sessions cannot revive";
+  ASSERT_TRUE(Exec.finish());
+}
+
+TEST(Executor, SessionBehaviourSnapshotsTheRunningPrefix) {
+  Result<Executor> ExecOr = Executor::create(helloSpec());
+  ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+  Executor Exec = ExecOr.take();
+  ASSERT_TRUE(Exec.begin(Level::Isa));
+  Result<RunStatus> S = Exec.step(300);
+  ASSERT_TRUE(S);
+  ASSERT_EQ(*S, RunStatus::Paused);
+  Result<Observed> Mid = Exec.sessionBehaviour();
+  ASSERT_TRUE(Mid) << Mid.error().str();
+  // The quota is enforced at the interpreter's chunk granularity, so the
+  // session may run slightly past it — but never far, and never to
+  // completion.
+  EXPECT_GE(Mid->Instructions, 300u);
+  EXPECT_LT(Mid->Instructions, 400u);
+  EXPECT_FALSE(Mid->Terminated);
+  // sessionInstructions() is the budget-charged count (excludes the ISA
+  // startup prefix); the behaviour snapshot counts every retire, so it
+  // runs a few instructions ahead.
+  Result<uint64_t> N = Exec.sessionInstructions();
+  ASSERT_TRUE(N);
+  EXPECT_LE(*N, Mid->Instructions);
+  EXPECT_GE(*N, 300u);
+  Result<Outcome> Out = Exec.finish();
+  ASSERT_TRUE(Out);
+}
+
 TEST(Executor, DeprecatedWrappersStillAgree) {
   // The old one-shot API is now a thin wrapper; its Observed must be
   // unchanged.

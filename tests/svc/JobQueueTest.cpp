@@ -1,0 +1,121 @@
+//===- tests/svc/JobQueueTest.cpp - bounded priority queue --------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/JobQueue.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace silver::svc;
+
+namespace {
+
+TEST(JobQueue, FifoWithinOnePriority) {
+  JobQueue Q(8);
+  for (uint64_t Id = 1; Id <= 4; ++Id)
+    EXPECT_EQ(Q.push(Id, 1), JobQueue::PushResult::Ok);
+  for (uint64_t Id = 1; Id <= 4; ++Id) {
+    std::optional<uint64_t> Got = Q.tryPop();
+    ASSERT_TRUE(Got.has_value());
+    EXPECT_EQ(*Got, Id);
+  }
+  EXPECT_FALSE(Q.tryPop().has_value());
+}
+
+TEST(JobQueue, UrgentLaneServedFirst) {
+  JobQueue Q(8);
+  ASSERT_EQ(Q.push(10, 3), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(11, 1), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(12, 0), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(13, 0), JobQueue::PushResult::Ok);
+  std::vector<uint64_t> Order;
+  while (std::optional<uint64_t> Got = Q.tryPop())
+    Order.push_back(*Got);
+  EXPECT_EQ(Order, (std::vector<uint64_t>{12, 13, 11, 10}));
+}
+
+TEST(JobQueue, OutOfRangePriorityClampsToLowestLane) {
+  JobQueue Q(8);
+  ASSERT_EQ(Q.push(1, 200), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(2, NumPriorities - 1), JobQueue::PushResult::Ok);
+  // Both land in the batch lane, FIFO order preserved.
+  EXPECT_EQ(*Q.tryPop(), 1u);
+  EXPECT_EQ(*Q.tryPop(), 2u);
+}
+
+TEST(JobQueue, BoundedDepthRejectsWithFull) {
+  JobQueue Q(2);
+  EXPECT_EQ(Q.push(1, 0), JobQueue::PushResult::Ok);
+  EXPECT_EQ(Q.push(2, 3), JobQueue::PushResult::Ok);
+  // The bound covers all lanes together.
+  EXPECT_EQ(Q.push(3, 0), JobQueue::PushResult::Full);
+  EXPECT_EQ(Q.depth(), 2u);
+  Q.tryPop();
+  EXPECT_EQ(Q.push(3, 0), JobQueue::PushResult::Ok);
+}
+
+TEST(JobQueue, CloseUnblocksAndDrains) {
+  JobQueue Q(8);
+  ASSERT_EQ(Q.push(1, 0), JobQueue::PushResult::Ok);
+  Q.close();
+  EXPECT_EQ(Q.push(2, 0), JobQueue::PushResult::Closed);
+  // Items already queued still drain after close...
+  std::optional<uint64_t> Got = Q.pop();
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, 1u);
+  // ...then pop reports end-of-queue instead of blocking.
+  EXPECT_FALSE(Q.pop().has_value());
+}
+
+TEST(JobQueue, BlockingPopWakesOnPush) {
+  JobQueue Q(8);
+  std::atomic<uint64_t> Got{0};
+  std::thread T([&] {
+    if (std::optional<uint64_t> Id = Q.pop())
+      Got.store(*Id);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(Q.push(42, 1), JobQueue::PushResult::Ok);
+  T.join();
+  EXPECT_EQ(Got.load(), 42u);
+}
+
+TEST(JobQueue, ConcurrentProducersConsumersLoseNothing) {
+  JobQueue Q(1024);
+  constexpr unsigned PerProducer = 100;
+  constexpr unsigned Producers = 4;
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<unsigned> Popped{0};
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P != Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (unsigned I = 0; I != PerProducer; ++I)
+        ASSERT_EQ(Q.push(P * PerProducer + I + 1, I % NumPriorities),
+                  JobQueue::PushResult::Ok);
+    });
+  for (unsigned C = 0; C != 2; ++C)
+    Threads.emplace_back([&] {
+      while (Popped.load() < Producers * PerProducer) {
+        if (std::optional<uint64_t> Id = Q.tryPop()) {
+          Sum.fetch_add(*Id);
+          Popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Every id 1..400 popped exactly once.
+  uint64_t N = Producers * PerProducer;
+  EXPECT_EQ(Sum.load(), N * (N + 1) / 2);
+}
+
+} // namespace

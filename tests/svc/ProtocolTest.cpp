@@ -1,0 +1,147 @@
+//===- tests/svc/ProtocolTest.cpp - wire protocol round trips -----------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Protocol.h"
+
+#include "gtest/gtest.h"
+
+using namespace silver;
+using namespace silver::svc;
+
+namespace {
+
+JobSpec sampleSpec() {
+  JobSpec S;
+  S.Source = "val _ = print \"hi\\n\"";
+  S.Level = stack::Level::Rtl;
+  S.CommandLine = {"prog", "a", "b"};
+  S.StdinData = std::string("line1\nline2\n\0binary", 19);
+  S.MaxSteps = 123456789;
+  S.MaxCycles = 42;
+  S.SliceInstructions = 1000;
+  S.WallMsBudget = 250;
+  S.Priority = 3;
+  return S;
+}
+
+TEST(Protocol, SubmitRoundTrip) {
+  Request R;
+  R.Kind = RequestKind::Submit;
+  R.WaitMs = 60'000;
+  R.Job = sampleSpec();
+
+  Result<Request> D = decodeRequest(encodeRequest(R));
+  ASSERT_TRUE(bool(D)) << D.error().str();
+  EXPECT_EQ(D->Kind, RequestKind::Submit);
+  EXPECT_EQ(D->WaitMs, 60'000u);
+  EXPECT_EQ(D->Job.Source, R.Job.Source);
+  EXPECT_EQ(D->Job.Level, stack::Level::Rtl);
+  EXPECT_EQ(D->Job.CommandLine, R.Job.CommandLine);
+  EXPECT_EQ(D->Job.StdinData, R.Job.StdinData);
+  EXPECT_EQ(D->Job.MaxSteps, R.Job.MaxSteps);
+  EXPECT_EQ(D->Job.MaxCycles, R.Job.MaxCycles);
+  EXPECT_EQ(D->Job.SliceInstructions, R.Job.SliceInstructions);
+  EXPECT_EQ(D->Job.WallMsBudget, R.Job.WallMsBudget);
+  EXPECT_EQ(D->Job.Priority, R.Job.Priority);
+}
+
+TEST(Protocol, EveryRequestKindRoundTrips) {
+  for (RequestKind K :
+       {RequestKind::Submit, RequestKind::Status, RequestKind::Resume,
+        RequestKind::Cancel, RequestKind::Stats, RequestKind::Drain}) {
+    Request R;
+    R.Kind = K;
+    R.JobId = 7;
+    R.SliceInstructions = 11;
+    Result<Request> D = decodeRequest(encodeRequest(R));
+    ASSERT_TRUE(bool(D)) << requestKindName(K) << ": " << D.error().str();
+    EXPECT_EQ(D->Kind, K);
+    EXPECT_EQ(D->JobId, 7u);
+    EXPECT_EQ(D->SliceInstructions, 11u);
+  }
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response R;
+  R.Ok = true;
+  R.Info.Id = 99;
+  R.Info.State = JobState::Paused;
+  R.Info.Level = stack::Level::Verilog;
+  R.Info.Priority = 2;
+  R.Info.SlicesRun = 5;
+  R.Info.Outcome.Behaviour.StdoutData = "partial out";
+  R.Info.Outcome.Behaviour.Instructions = 5000;
+  R.Info.Outcome.Behaviour.Cycles = 80000;
+  R.Info.Outcome.HasDigest = true;
+  R.Info.Outcome.Digest.Pc = 0x1234;
+  R.Info.Outcome.Digest.Carry = true;
+  R.Info.Outcome.Digest.Regs[0] = 1;
+  R.Info.Outcome.Digest.Regs[63] = 0xdeadbeef;
+  R.Info.Outcome.Digest.MemoryHash = 0x0123456789abcdefull;
+  R.Info.Outcome.Digest.MemoryBytes = 1 << 20;
+  R.StatsJson = "{\"x\":1}";
+
+  Result<Response> D = decodeResponse(encodeResponse(R));
+  ASSERT_TRUE(bool(D)) << D.error().str();
+  EXPECT_TRUE(D->Ok);
+  EXPECT_EQ(D->Info.Id, 99u);
+  EXPECT_EQ(D->Info.State, JobState::Paused);
+  EXPECT_EQ(D->Info.Level, stack::Level::Verilog);
+  EXPECT_EQ(D->Info.SlicesRun, 5u);
+  EXPECT_EQ(D->Info.Outcome.Behaviour.StdoutData, "partial out");
+  EXPECT_TRUE(D->Info.Outcome.HasDigest);
+  EXPECT_EQ(D->Info.Outcome.Digest.Pc, 0x1234u);
+  EXPECT_TRUE(D->Info.Outcome.Digest.Carry);
+  EXPECT_FALSE(D->Info.Outcome.Digest.Overflow);
+  EXPECT_EQ(D->Info.Outcome.Digest.Regs[63], 0xdeadbeefu);
+  EXPECT_EQ(D->Info.Outcome.Digest.MemoryHash, 0x0123456789abcdefull);
+  EXPECT_EQ(D->Info.Outcome.Digest.MemoryBytes, 1u << 20);
+  EXPECT_EQ(D->StatsJson, "{\"x\":1}");
+}
+
+TEST(Protocol, ErrorResponseRoundTrip) {
+  Response R;
+  R.Ok = false;
+  R.Error = "queue full";
+  Result<Response> D = decodeResponse(encodeResponse(R));
+  ASSERT_TRUE(bool(D)) << D.error().str();
+  EXPECT_FALSE(D->Ok);
+  EXPECT_EQ(D->Error, "queue full");
+}
+
+TEST(Protocol, TruncationIsAnErrorAtEveryLength) {
+  Request R;
+  R.Kind = RequestKind::Submit;
+  R.Job = sampleSpec();
+  std::vector<uint8_t> Full = encodeRequest(R);
+  // Chopping the payload anywhere must decode to an error, never to a
+  // misparsed request.
+  for (size_t Len = 0; Len != Full.size(); ++Len) {
+    std::vector<uint8_t> Cut(Full.begin(), Full.begin() + Len);
+    EXPECT_FALSE(bool(decodeRequest(Cut))) << "length " << Len;
+  }
+}
+
+TEST(Protocol, TrailingGarbageIsAnError) {
+  Request R;
+  R.Kind = RequestKind::Stats;
+  std::vector<uint8_t> Full = encodeRequest(R);
+  Full.push_back(0);
+  EXPECT_FALSE(bool(decodeRequest(Full)));
+}
+
+TEST(Protocol, BadKindAndBadLevelRejected) {
+  Request R;
+  R.Kind = RequestKind::Stats;
+  std::vector<uint8_t> Full = encodeRequest(R);
+  Full[0] = 0; // kind byte below the valid range
+  EXPECT_FALSE(bool(decodeRequest(Full)));
+  Full[0] = 200; // above
+  EXPECT_FALSE(bool(decodeRequest(Full)));
+}
+
+} // namespace

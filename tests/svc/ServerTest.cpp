@@ -1,0 +1,200 @@
+//===- tests/svc/ServerTest.cpp - loopback socket serving ---------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+// Drives a real Server+Service over its socket transports: concurrent
+// clients with mixed workloads, every response accounted for, and the
+// drain request finishing in-flight work.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Client.h"
+#include "svc/Server.h"
+#include "svc/Service.h"
+
+#include "stack/Apps.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <thread>
+#include <unistd.h>
+
+using namespace silver;
+using namespace silver::svc;
+
+namespace {
+
+std::string uniqueSocketPath(const char *Tag) {
+  return "/tmp/silver_svc_" + std::string(Tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+JobSpec helloJob() {
+  JobSpec S;
+  S.Source = stack::helloSource();
+  S.CommandLine = {"hello"};
+  return S;
+}
+
+JobSpec wcJob() {
+  JobSpec S;
+  S.Source = stack::wcSource();
+  S.CommandLine = {"wc"};
+  S.StdinData = stack::randomLines(20, 1);
+  return S;
+}
+
+TEST(Server, UnixSocketRoundTrip) {
+  Service Svc({.Workers = 2});
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath("rt");
+  Server Srv(Svc, Opts);
+  ASSERT_TRUE(bool(Srv.start()));
+
+  Client C;
+  ASSERT_TRUE(bool(C.connectUnix(Opts.SocketPath)));
+  Result<Response> R = C.submit(helloJob(), /*WaitMs=*/60'000);
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  ASSERT_TRUE(R->Ok) << R->Error;
+  EXPECT_EQ(R->Info.State, JobState::Completed);
+  EXPECT_EQ(R->Info.Outcome.Behaviour.StdoutData, "Hello, world!\n");
+
+  // Several requests ride the same connection.
+  Result<Response> S = C.status(R->Info.Id);
+  ASSERT_TRUE(bool(S));
+  ASSERT_TRUE(S->Ok) << S->Error;
+  EXPECT_EQ(S->Info.State, JobState::Completed);
+  Result<Response> Stats = C.stats();
+  ASSERT_TRUE(bool(Stats));
+  ASSERT_TRUE(Stats->Ok);
+  EXPECT_NE(Stats->StatsJson.find("silverd-stats-v1"), std::string::npos);
+
+  Srv.stop();
+}
+
+TEST(Server, TcpLoopbackRoundTrip) {
+  Service Svc({.Workers = 1});
+  ServerOptions Opts;
+  Opts.Tcp = true;
+  Opts.TcpPort = 0; // kernel-assigned
+  Server Srv(Svc, Opts);
+  ASSERT_TRUE(bool(Srv.start()));
+  ASSERT_NE(Srv.boundPort(), 0);
+
+  Client C;
+  ASSERT_TRUE(bool(C.connectTcp("127.0.0.1", Srv.boundPort())));
+  Result<Response> R = C.submit(helloJob(), 60'000);
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  ASSERT_TRUE(R->Ok) << R->Error;
+  EXPECT_EQ(R->Info.State, JobState::Completed);
+  Srv.stop();
+}
+
+TEST(Server, UnknownJobIdGetsAnErrorResponse) {
+  Service Svc({.Workers = 1});
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath("err");
+  Server Srv(Svc, Opts);
+  ASSERT_TRUE(bool(Srv.start()));
+  Client C;
+  ASSERT_TRUE(bool(C.connectUnix(Opts.SocketPath)));
+  Result<Response> R = C.status(424242);
+  ASSERT_TRUE(bool(R));
+  EXPECT_FALSE(R->Ok);
+  EXPECT_FALSE(R->Error.empty());
+  // The connection survives an error response.
+  Result<Response> Stats = C.stats();
+  ASSERT_TRUE(bool(Stats));
+  EXPECT_TRUE(Stats->Ok);
+  Srv.stop();
+}
+
+TEST(Server, EightConcurrentClientsMixedLevelsNothingLost) {
+  Service Svc({.Workers = 4, .QueueDepth = 64});
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath("conc");
+  Server Srv(Svc, Opts);
+  ASSERT_TRUE(bool(Srv.start()));
+
+  constexpr unsigned Clients = 8;
+  constexpr unsigned JobsPerClient = 3;
+  std::string WcExpected = stack::wcSpec(stack::randomLines(20, 1));
+  std::atomic<unsigned> Completed{0};
+  std::vector<std::string> Failures(Clients);
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != Clients; ++I)
+    Threads.emplace_back([&, I] {
+      Client C;
+      if (Result<void> R = C.connectUnix(Opts.SocketPath); !R) {
+        Failures[I] = R.error().str();
+        return;
+      }
+      for (unsigned J = 0; J != JobsPerClient; ++J) {
+        bool Wc = (I + J) % 2 == 0;
+        Result<Response> R = C.submit(Wc ? wcJob() : helloJob(), 120'000);
+        if (!R) {
+          Failures[I] = R.error().str();
+          return;
+        }
+        if (!R->Ok || R->Info.State != JobState::Completed) {
+          Failures[I] = R->Ok ? std::string("state ") +
+                                    jobStateName(R->Info.State)
+                              : R->Error;
+          return;
+        }
+        const std::string &Out = R->Info.Outcome.Behaviour.StdoutData;
+        if (Out != (Wc ? WcExpected : "Hello, world!\n")) {
+          Failures[I] = "wrong stdout: " + Out;
+          return;
+        }
+        Completed.fetch_add(1);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned I = 0; I != Clients; ++I)
+    EXPECT_EQ(Failures[I], "") << "client " << I;
+  EXPECT_EQ(Completed.load(), Clients * JobsPerClient);
+  Srv.stop();
+}
+
+TEST(Server, DrainRequestFinishesInFlightWorkAndStopsTheServer) {
+  Service Svc({.Workers = 2});
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath("drain");
+  Server Srv(Svc, Opts);
+  ASSERT_TRUE(bool(Srv.start()));
+
+  // Async submissions that will still be queued when drain arrives.
+  Client Submitter;
+  ASSERT_TRUE(bool(Submitter.connectUnix(Opts.SocketPath)));
+  std::vector<uint64_t> Ids;
+  for (int I = 0; I != 6; ++I) {
+    Result<Response> R = Submitter.submit(wcJob(), /*WaitMs=*/0);
+    ASSERT_TRUE(bool(R));
+    ASSERT_TRUE(R->Ok) << R->Error;
+    Ids.push_back(R->Info.Id);
+  }
+
+  Client Drainer;
+  ASSERT_TRUE(bool(Drainer.connectUnix(Opts.SocketPath)));
+  Result<Response> D = Drainer.drain();
+  ASSERT_TRUE(bool(D)) << D.error().str();
+  ASSERT_TRUE(D->Ok);
+  EXPECT_NE(D->StatsJson.find("\"draining\":true"), std::string::npos);
+
+  // Drain stopped the server from within; join its threads.
+  Srv.stop();
+  EXPECT_TRUE(Srv.stopped());
+
+  // Every in-flight job finished — none were killed by the shutdown.
+  for (uint64_t Id : Ids) {
+    std::optional<JobInfo> Info = Svc.status(Id);
+    ASSERT_TRUE(Info.has_value());
+    EXPECT_EQ(Info->State, JobState::Completed) << Info->Outcome.Error;
+  }
+}
+
+} // namespace
