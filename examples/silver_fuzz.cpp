@@ -17,6 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/Containment.h"
 #include "fuzz/Fuzzer.h"
 
 #include <cstring>
@@ -64,7 +65,10 @@ int usage(const char *Argv0) {
       << "  --shrink=0|1      minimize findings (default 1)\n"
       << "  --corpus=DIR      replay DIR/*.s as regression tests first;\n"
       << "                    replay failures fail the run\n"
-      << "  --corpus-out=DIR  write minimized reproducers to DIR\n";
+      << "  --corpus-out=DIR  write minimized reproducers to DIR\n"
+      << "  --containment=DIR check DIR/*.s against the symbolic block\n"
+      << "                    summaries (analysis/BlockSummary.h) instead\n"
+      << "                    of fuzzing; violations fail the run\n";
   return 2;
 }
 
@@ -107,6 +111,7 @@ int main(int Argc, char **Argv) {
   Opt.Jobs = std::max(1u, std::thread::hardware_concurrency());
   Opt.Log = &std::cout;
   std::string ReplayDir;
+  std::string ContainmentDir;
 
   for (int I = 1; I != Argc; ++I) {
     std::string Arg = Argv[I];
@@ -137,6 +142,8 @@ int main(int Argc, char **Argv) {
         Opt.Shrink = std::string(V) != "0";
       else if (const char *V = Value("--corpus="))
         ReplayDir = V;
+      else if (const char *V = Value("--containment="))
+        ContainmentDir = V;
       else if (const char *V = Value("--corpus-out="))
         Opt.CorpusDir = V;
       else
@@ -144,6 +151,26 @@ int main(int Argc, char **Argv) {
     } catch (...) {
       return usage(Argv[0]);
     }
+  }
+
+  if (!ContainmentDir.empty()) {
+    fuzz::CorpusContainment C =
+        fuzz::checkCorpusContainment(ContainmentDir, Opt.Oracle.MaxSteps);
+    std::cout << "containment: " << C.Cases << " cases, "
+              << C.Totals.BlocksChecked << " block executions checked ("
+              << C.Totals.CheckedInstrs << " instrs), "
+              << C.Totals.BlocksSkipped << " skipped, "
+              << C.Totals.EntryMisses << " entry misses, "
+              << C.Violations.size() << " violations\n";
+    for (const auto &E : C.Errors)
+      std::cout << "containment ERROR: " << E.first << ": " << E.second
+                << "\n";
+    for (const auto &V : C.Violations)
+      std::cout << "containment VIOLATION: " << V.first << ": "
+                << fuzz::formatViolation(V.second) << "\n";
+    if (C.CaseErrors > 0)
+      return 2;
+    return C.ok() ? 0 : 1;
   }
 
   bool ReplayFailed = false;

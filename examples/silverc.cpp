@@ -7,7 +7,11 @@
 //   silverc --level=verilog prog.cml      ... on the generated Verilog
 //   silverc --level=spec prog.cml         ... in the reference semantics
 //   silverc --check prog.cml              run every level and compare
-//   silverc --analyze prog.cml            static installed-image audit
+//   silverc --analyze prog.cml            static installed-image audit plus
+//                                         block summaries and JIT readiness
+//                                         (--json: machine-readable report)
+//   silverc --builtin=hello ...           use a built-in app (hello, cat,
+//                                         wc, sort, proof, tin) as FILE
 //   silverc --emit=asm prog.cml           disassembled machine code
 //   silverc --emit=flat prog.cml          the Flat IR after optimisation
 //   silverc -O0 ... / -O1 ...             optimisation level (default -O1)
@@ -24,7 +28,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Diagnostic.h"
 #include "analysis/ImageAudit.h"
+#include "analysis/JitReadiness.h"
 #include "asm/Disassembler.h"
 #include "cml/CodeGen.h"
 #include "cml/Flat.h"
@@ -33,6 +39,7 @@
 #include "cml/Parser.h"
 #include "obs/Counters.h"
 #include "obs/TraceSink.h"
+#include "stack/Apps.h"
 #include "stack/Executor.h"
 #include "stack/Stack.h"
 #include "support/StringUtils.h"
@@ -63,9 +70,26 @@ int usage() {
                "usage: silverc [--level=spec|machine|isa|rtl|verilog]\n"
                "               [--check] [--analyze] [--emit=asm|flat|core]\n"
                "               [-O0|-O1] [--stdin-file=FILE] [--args=\"...\"]\n"
-               "               [--trace=FILE] [--trace-jsonl=FILE]"
-               " [--counters] [--json] FILE\n");
+               "               [--trace=FILE] [--trace-jsonl=FILE]\n"
+               "               [--counters] [--json] FILE|--builtin=NAME\n");
   return 1;
+}
+
+/// Source text of a built-in app (stack/Apps.h), or null.
+const char *builtinSource(const std::string &Name) {
+  if (Name == "hello")
+    return stack::helloSource();
+  if (Name == "cat")
+    return stack::catSource();
+  if (Name == "wc")
+    return stack::wcSource();
+  if (Name == "sort")
+    return stack::sortSource();
+  if (Name == "proof")
+    return stack::proofCheckerSource();
+  if (Name == "tin")
+    return stack::tinCompilerSource();
+  return nullptr;
 }
 
 int emitStage(const std::string &Source, const std::string &What,
@@ -113,6 +137,7 @@ int main(int Argc, char **Argv) {
   std::string Level = "isa";
   std::string Emit;
   std::string File;
+  std::string Builtin;
   std::string StdinFile;
   std::string Args;
   std::string TraceFile;
@@ -149,6 +174,8 @@ int main(int Argc, char **Argv) {
       StdinFile = A.substr(13);
     else if (startsWith(A, "--args="))
       Args = A.substr(7);
+    else if (startsWith(A, "--builtin="))
+      Builtin = A.substr(10);
     else if (!A.empty() && A[0] == '-' && A != "-")
       return usage();
     else if (File.empty())
@@ -156,11 +183,17 @@ int main(int Argc, char **Argv) {
     else
       return usage();
   }
-  if (File.empty())
+  if (File.empty() == Builtin.empty())
     return usage();
 
   std::string Source;
-  if (File == "-") {
+  if (!Builtin.empty()) {
+    const char *Text = builtinSource(Builtin);
+    if (!Text)
+      return fail("unknown builtin '" + Builtin + "'");
+    Source = Text;
+    File = Builtin;
+  } else if (File == "-") {
     Source = readAll(std::cin);
   } else {
     std::ifstream In(File);
@@ -194,15 +227,31 @@ int main(int Argc, char **Argv) {
     Result<analysis::AuditReport> Report = stack::auditPrepared(*P);
     if (!Report)
       return fail(Report.error().str());
-    for (const analysis::AuditDiag &D : Report->Diags)
-      std::printf("%s\n", analysis::formatDiag(D).c_str());
+    analysis::ImageSummary Summary = analysis::summarizeImage(*Report);
+    analysis::JitReadinessReport Readiness = analysis::jitReadiness(Summary);
+
+    std::vector<analysis::Diagnostic> Diags =
+        analysis::toDiagnostics(Report->Diags);
+    for (analysis::Diagnostic &D : analysis::readinessDiagnostics(Summary))
+      Diags.push_back(std::move(D));
+
+    if (Json) {
+      std::printf("{\n\"diagnostics\": %s,\n\"jit_readiness\": %s\n}\n",
+                  analysis::diagnosticsJson(Diags).c_str(),
+                  analysis::toJson(Readiness).c_str());
+      return Report->ok() ? 0 : 1;
+    }
+    for (const analysis::Diagnostic &D : Diags)
+      std::printf("%s\n", analysis::formatDiagnostic(D).c_str());
     std::fprintf(stderr,
                  "silverc: image audit: %zu diagnostic(s), %zu resolved "
-                 "computed jumps\n",
+                 "computed jumps; jit readiness: %zu/%zu blocks "
+                 "translatable\n",
                  Report->Diags.size(),
                  Report->Startup.Resolved.size() +
                      Report->Syscall.Resolved.size() +
-                     Report->Program.Resolved.size());
+                     Report->Program.Resolved.size(),
+                 Readiness.totalTranslatable(), Readiness.totalBlocks());
     return Report->ok() ? 0 : 1;
   }
 

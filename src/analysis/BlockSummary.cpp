@@ -1,0 +1,512 @@
+//===- analysis/BlockSummary.cpp - Symbolic basic-block summaries ----------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BlockSummary.h"
+
+#include "isa/Abi.h"
+#include "isa/Interp.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace silver;
+using namespace silver::analysis;
+using assembler::DecodedInstr;
+using isa::Func;
+using isa::Opcode;
+
+// --- rendering --------------------------------------------------------------
+
+std::string silver::analysis::toString(const SymValue &V) {
+  switch (V.K) {
+  case SymValue::Kind::Top:
+    return "?";
+  case SymValue::Kind::Const:
+    return toHex(V.Off);
+  case SymValue::Kind::RegPlus: {
+    std::string Out = "r" + std::to_string(V.Reg);
+    if (V.Off == 0)
+      return Out;
+    int32_t Off = static_cast<int32_t>(V.Off);
+    Out += Off < 0 ? "-" : "+";
+    Out += toHex(static_cast<Word>(Off < 0 ? -Off : Off));
+    return Out;
+  }
+  }
+  return "?";
+}
+
+/// Renders a signed interval bound compactly ("-0x8", "0x10").
+static std::string offsetString(Word V) {
+  int32_t S = static_cast<int32_t>(V);
+  if (S < 0)
+    return "-" + toHex(static_cast<Word>(-S));
+  return toHex(V);
+}
+
+std::string silver::analysis::toString(const MemRange &R) {
+  switch (R.K) {
+  case MemRange::Kind::None:
+    return "none";
+  case MemRange::Kind::Unbounded:
+    return "*/" + std::to_string(R.Align);
+  case MemRange::Kind::Absolute:
+    return "[" + toHex(R.Lo) + "," + toHex(R.Hi) + "]/" +
+           std::to_string(R.Align);
+  case MemRange::Kind::RegRel:
+    return "r" + std::to_string(R.Reg) + "+[" + offsetString(R.Lo) + "," +
+           offsetString(R.Hi) + "]/" + std::to_string(R.Align);
+  }
+  return "none";
+}
+
+const char *silver::analysis::interpReasonId(InterpReason R) {
+  switch (R) {
+  case InterpReason::IllegalInstruction:
+    return "illegal-instruction";
+  case InterpReason::SelfModifying:
+    return "self-modifying";
+  case InterpReason::UnresolvedSuccessor:
+    return "unresolved-successor";
+  case InterpReason::FfiBoundary:
+    return "ffi-boundary";
+  case InterpReason::Io:
+    return "io";
+  }
+  return "?";
+}
+
+// --- the memory-range lattice -----------------------------------------------
+
+MemRange MemRange::ofAccess(const SymValue &Addr, uint8_t Size) {
+  // A word access that retires is 4-aligned by the ISA semantics (a
+  // misaligned address faults), so the alignment claim is the size.
+  uint8_t Align = Size;
+  switch (Addr.K) {
+  case SymValue::Kind::Const:
+    return absolute(Addr.Off, Addr.Off + Size - 1, Align);
+  case SymValue::Kind::RegPlus:
+    return regRel(Addr.Reg, Addr.Off, Addr.Off + Size - 1, Align);
+  case SymValue::Kind::Top:
+    return unbounded(Align);
+  }
+  return unbounded(Align);
+}
+
+MemRange MemRange::join(const MemRange &A, const MemRange &B) {
+  if (A.K == Kind::None)
+    return B;
+  if (B.K == Kind::None)
+    return A;
+  uint8_t Align = std::min(A.Align, B.Align);
+  if (A.K == Kind::Absolute && B.K == Kind::Absolute)
+    return absolute(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi), Align);
+  if (A.K == Kind::RegRel && B.K == Kind::RegRel && A.Reg == B.Reg) {
+    // Offsets are signed displacements from the base register.
+    auto SLo = std::min(static_cast<int32_t>(A.Lo), static_cast<int32_t>(B.Lo));
+    auto SHi = std::max(static_cast<int32_t>(A.Hi), static_cast<int32_t>(B.Hi));
+    return regRel(A.Reg, static_cast<Word>(SLo), static_cast<Word>(SHi),
+                  Align);
+  }
+  return unbounded(Align);
+}
+
+bool MemRange::contains(Word Addr, uint8_t Size,
+                        const std::array<Word, isa::NumRegs> &Entry) const {
+  switch (K) {
+  case Kind::None:
+    return false;
+  case Kind::Unbounded:
+    break;
+  case Kind::Absolute:
+  case Kind::RegRel: {
+    // All arithmetic mod 2^32: walking up from Lo covers signed RegRel
+    // displacements and absolute intervals alike.
+    Word Base = K == Kind::RegRel ? Entry[Reg] : 0;
+    Word Start = Base + Lo;
+    Word Span = Hi - Lo;
+    Word First = Addr - Start;
+    Word Last = First + Size - 1;
+    if (First > Span || Last > Span)
+      return false;
+    break;
+  }
+  }
+  return Align <= 1 || Addr % Align == 0;
+}
+
+// --- the symbolic value lattice ---------------------------------------------
+
+static SymValue symAdd(const SymValue &A, const SymValue &B) {
+  if (A.isConst() && B.isConst())
+    return SymValue::constant(A.Off + B.Off);
+  if (A.isRegPlus() && B.isConst())
+    return SymValue::regPlus(A.Reg, A.Off + B.Off);
+  if (A.isConst() && B.isRegPlus())
+    return SymValue::regPlus(B.Reg, B.Off + A.Off);
+  return SymValue::top();
+}
+
+static SymValue symSub(const SymValue &A, const SymValue &B) {
+  if (A.isConst() && B.isConst())
+    return SymValue::constant(A.Off - B.Off);
+  if (A.isRegPlus() && B.isConst())
+    return SymValue::regPlus(A.Reg, A.Off - B.Off);
+  if (A.isRegPlus() && B.isRegPlus() && A.Reg == B.Reg)
+    return SymValue::constant(A.Off - B.Off);
+  return SymValue::top();
+}
+
+/// The ALU over symbolic values.  Add/Sub/Inc/Dec/Snd stay affine; every
+/// other function folds only when fully constant.
+static SymValue aluValue(Func F, const SymValue &A, const SymValue &B,
+                         const FlagOut &Carry, const FlagOut &Overflow) {
+  switch (F) {
+  case Func::Add:
+    return symAdd(A, B);
+  case Func::Sub:
+    return symSub(A, B);
+  case Func::Inc:
+    return symAdd(A, SymValue::constant(1));
+  case Func::Dec:
+    return symSub(A, SymValue::constant(1));
+  case Func::Snd:
+    return B;
+  case Func::AddCarry:
+    if (A.isConst() && B.isConst() && Carry.K == FlagOut::Kind::Const)
+      return SymValue::constant(
+          isa::evalAlu(F, A.Off, B.Off, Carry.Value, false).Value);
+    return SymValue::top();
+  case Func::Carry:
+    if (Carry.K == FlagOut::Kind::Const)
+      return SymValue::constant(Carry.Value ? 1 : 0);
+    return SymValue::top();
+  case Func::Overflow:
+    if (Overflow.K == FlagOut::Kind::Const)
+      return SymValue::constant(Overflow.Value ? 1 : 0);
+    return SymValue::top();
+  default:
+    if (A.isConst() && B.isConst())
+      return SymValue::constant(
+          isa::evalAlu(F, A.Off, B.Off, false, false).Value);
+    return SymValue::top();
+  }
+}
+
+/// Flag update of one ALU operation (only Add/AddCarry/Sub write flags).
+static void aluFlags(Func F, const SymValue &A, const SymValue &B,
+                     FlagOut &Carry, FlagOut &Overflow) {
+  if (!isa::funcWritesFlags(F))
+    return;
+  bool CarryKnown = F != Func::AddCarry || Carry.K == FlagOut::Kind::Const;
+  if (A.isConst() && B.isConst() && CarryKnown) {
+    bool CarryIn = F == Func::AddCarry && Carry.Value;
+    isa::AluResult R = isa::evalAlu(F, A.Off, B.Off, CarryIn, false);
+    Carry = FlagOut{FlagOut::Kind::Const, R.Carry};
+    Overflow = FlagOut{FlagOut::Kind::Const, R.Overflow};
+  } else {
+    Carry = FlagOut{FlagOut::Kind::Unknown, false};
+    Overflow = FlagOut{FlagOut::Kind::Unknown, false};
+  }
+}
+
+namespace {
+
+/// The in-block abstract state.
+struct SymState {
+  std::array<SymValue, isa::NumRegs> Regs;
+  FlagOut Carry;
+  FlagOut Overflow;
+};
+
+SymValue evalOperand(const isa::Operand &Op, const SymState &S) {
+  if (Op.IsImm)
+    return SymValue::constant(Op.immValue());
+  return S.Regs[Op.Value];
+}
+
+/// The symbolic transfer function, mirroring isa execImpl.
+void applyInsn(const isa::Instruction &I, Word Addr, SymState &S) {
+  switch (I.Op) {
+  case Opcode::Normal: {
+    SymValue A = evalOperand(I.A, S);
+    SymValue B = evalOperand(I.B, S);
+    SymValue R = aluValue(I.F, A, B, S.Carry, S.Overflow);
+    aluFlags(I.F, A, B, S.Carry, S.Overflow);
+    S.Regs[I.WReg] = R;
+    break;
+  }
+  case Opcode::Shift: {
+    SymValue A = evalOperand(I.A, S);
+    SymValue B = evalOperand(I.B, S);
+    S.Regs[I.WReg] =
+        A.isConst() && B.isConst()
+            ? SymValue::constant(isa::evalShift(I.Sh, A.Off, B.Off))
+            : SymValue::top();
+    break;
+  }
+  case Opcode::LoadMEM:
+  case Opcode::LoadMEMByte:
+  case Opcode::In:
+    S.Regs[I.WReg] = SymValue::top();
+    break;
+  case Opcode::LoadConstant:
+    S.Regs[I.WReg] = SymValue::constant(I.Negate ? (0u - I.Imm) : I.Imm);
+    break;
+  case Opcode::LoadUpperConstant:
+    S.Regs[I.WReg] =
+        S.Regs[I.WReg].isConst()
+            ? SymValue::constant((I.Imm << 21) | (S.Regs[I.WReg].Off &
+                                                  0x1fffff))
+            : SymValue::top();
+    break;
+  case Opcode::Jump: {
+    // Flags update from alu(F, PC, a) (execImpl), then the link value.
+    SymValue A = evalOperand(I.A, S);
+    aluFlags(I.F, SymValue::constant(Addr), A, S.Carry, S.Overflow);
+    S.Regs[I.WReg] = SymValue::constant(Addr + 4);
+    break;
+  }
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNotZero: {
+    SymValue A = evalOperand(I.A, S);
+    SymValue B = evalOperand(I.B, S);
+    aluFlags(I.F, A, B, S.Carry, S.Overflow);
+    break;
+  }
+  case Opcode::StoreMEM:
+  case Opcode::StoreMEMByte:
+  case Opcode::Interrupt:
+  case Opcode::Out:
+    break;
+  }
+}
+
+} // namespace
+
+// --- the summary context ----------------------------------------------------
+
+void SummaryContext::addRegion(const RegionAnalysis &A) {
+  const Cfg &G = A.G;
+  for (size_t BI = 0, BE = G.Blocks.size(); BI != BE; ++BI) {
+    if (!A.Consts.Solved.Reachable[BI])
+      continue;
+    const BasicBlock &B = G.Blocks[BI];
+    Word Lo = G.addrOf(B.First);
+    Word Hi = G.addrOf(B.Last) + 4;
+    if (!CodeIntervals.empty() && CodeIntervals.back().second == Lo)
+      CodeIntervals.back().second = Hi; // coalesce adjacent blocks
+    else
+      CodeIntervals.push_back({Lo, Hi});
+  }
+  std::sort(CodeIntervals.begin(), CodeIntervals.end());
+}
+
+bool SummaryContext::hitsCode(Word Lo, Word Hi) const {
+  for (const std::pair<Word, Word> &I : CodeIntervals)
+    if (Lo < I.second && Hi >= I.first)
+      return true;
+  return false;
+}
+
+// --- the per-block pass -----------------------------------------------------
+
+BlockSummary silver::analysis::summarizeBlock(const RegionAnalysis &A,
+                                              size_t BlockIdx,
+                                              const SummaryContext &Ctx) {
+  const Cfg &G = A.G;
+  const BasicBlock &B = G.Blocks[BlockIdx];
+
+  BlockSummary S;
+  S.BlockIndex = BlockIdx;
+  S.EntryAddr = G.addrOf(B.First);
+  S.InstrCount = B.Last - B.First + 1;
+  S.Reachable = A.Consts.Solved.Reachable[BlockIdx];
+  S.ExitTarget = SymValue::top();
+
+  // Seed the abstract state: region constprop facts become Const, the
+  // rest is the block-entry register itself.
+  SymState Sym;
+  const RegState &In = A.Consts.Solved.BlockIn[BlockIdx];
+  for (unsigned R = 0; R != isa::NumRegs; ++R) {
+    std::optional<Word> C = S.Reachable ? In.Regs[R] : std::nullopt;
+    S.EntryConsts[R] = C;
+    Sym.Regs[R] = C ? SymValue::constant(*C) : SymValue::entry(R);
+  }
+
+  bool SawIllegal = false;
+  bool SawSelfMod = false;
+  bool SawIo = false;
+
+  for (size_t I = B.First; I <= B.Last; ++I) {
+    const DecodedInstr &D = G.Instrs[I];
+    InsnEffect E;
+    E.Addr = G.addrOf(I);
+    if (!D.Valid) {
+      // Execution faults here; the Cfg makes invalid words terminators,
+      // so nothing in this block runs after it.
+      SawIllegal = true;
+      S.Insns.push_back(E);
+      break;
+    }
+    const isa::Instruction &Ins = D.Instr;
+    E.Info = isa::effectsOf(Ins);
+    if (E.Info.Mem == isa::MemAccessKind::Read)
+      E.Access = MemRange::ofAccess(evalOperand(Ins.A, Sym), E.Info.MemSize);
+    if (E.Info.Mem == isa::MemAccessKind::Write) {
+      E.Access = MemRange::ofAccess(evalOperand(Ins.B, Sym), E.Info.MemSize);
+      if (E.Access.K == MemRange::Kind::Absolute &&
+          Ctx.hitsCode(E.Access.Lo, E.Access.Hi))
+        SawSelfMod = true;
+    }
+    if (E.Info.IsIo)
+      SawIo = true;
+    S.RegWrites |= E.Info.RegWrites;
+    S.RegReads |= E.Info.RegReads;
+
+    // The terminator's computed target is a function of the pre-step
+    // state (execImpl reads the operand before writing the link).
+    if (I == B.Last && Ins.Op == Opcode::Jump)
+      S.ExitTarget = aluValue(Ins.F, SymValue::constant(E.Addr),
+                              evalOperand(Ins.A, Sym), Sym.Carry,
+                              Sym.Overflow);
+
+    applyInsn(Ins, E.Addr, Sym);
+    S.Insns.push_back(E);
+  }
+
+  S.RegOut = Sym.Regs;
+  S.CarryOut = Sym.Carry;
+  S.OverflowOut = Sym.Overflow;
+  for (const InsnEffect &E : S.Insns) {
+    if (E.Info.Mem == isa::MemAccessKind::Read)
+      S.Reads = MemRange::join(S.Reads, E.Access);
+    if (E.Info.Mem == isa::MemAccessKind::Write)
+      S.Writes = MemRange::join(S.Writes, E.Access);
+  }
+
+  // Dynamic successor set: the addresses the terminator can hand to the
+  // fetch unit.  Unlike the Cfg's dataflow edges, a call's successor is
+  // its target — the return point is reached by the callee's exit.
+  Word LastAddr = G.addrOf(B.Last);
+  Flow F = flowOf(G.Instrs[B.Last]);
+  bool Unresolved = false;
+  switch (F.Kind) {
+  case FlowKind::Fall:
+    S.Succs = {LastAddr + 4};
+    break;
+  case FlowKind::Branch:
+    S.Succs = {*F.Target, LastAddr + 4};
+    break;
+  case FlowKind::Goto:
+    S.Succs = {*F.Target};
+    break;
+  case FlowKind::Halt:
+    S.Succs = {LastAddr}; // the self-jump spins in place
+    break;
+  case FlowKind::Invalid:
+    break; // faults: no successor
+  case FlowKind::Call:
+  case FlowKind::Computed: {
+    if (F.Target) {
+      S.Succs = {*F.Target};
+      break;
+    }
+    if (std::optional<Word> C = S.ExitTarget.asConst()) {
+      S.Succs = {*C};
+      break;
+    }
+    for (const ResolvedJump &J : A.Resolved)
+      if (J.FromAddr == LastAddr) {
+        S.Succs = {J.Target};
+        break;
+      }
+    if (S.Succs.empty()) {
+      S.SuccsExact = false;
+      // A RegPlus target (a return through a live link value) is still
+      // a checkable claim; only a Top target is unresolved.
+      Unresolved = S.ExitTarget.isTop();
+    }
+    break;
+  }
+  }
+
+  // Classification (DESIGN.md §12).
+  if (SawIllegal)
+    S.Reasons.push_back(InterpReason::IllegalInstruction);
+  if (SawSelfMod)
+    S.Reasons.push_back(InterpReason::SelfModifying);
+  if (Unresolved)
+    S.Reasons.push_back(InterpReason::UnresolvedSuccessor);
+  if (Ctx.FfiEntry) {
+    bool ToFfi = std::find(S.Succs.begin(), S.Succs.end(), *Ctx.FfiEntry) !=
+                 S.Succs.end();
+    if (ToFfi)
+      S.Reasons.push_back(InterpReason::FfiBoundary);
+  }
+  if (SawIo)
+    S.Reasons.push_back(InterpReason::Io);
+  S.Translatable = S.Reasons.empty();
+  return S;
+}
+
+RegionSummary silver::analysis::summarizeBlocks(const RegionAnalysis &A,
+                                                const SummaryContext &Ctx) {
+  RegionSummary R;
+  R.Blocks.reserve(A.G.Blocks.size());
+  for (size_t BI = 0, BE = A.G.Blocks.size(); BI != BE; ++BI)
+    R.Blocks.push_back(summarizeBlock(A, BI, Ctx));
+  return R;
+}
+
+const BlockSummary *RegionSummary::atEntry(const Cfg &G, Word Addr) const {
+  std::optional<size_t> Idx = G.instrAt(Addr);
+  if (!Idx)
+    return nullptr;
+  size_t BI = G.BlockOf[*Idx];
+  if (BI >= Blocks.size() || Blocks[BI].EntryAddr != Addr)
+    return nullptr;
+  return &Blocks[BI];
+}
+
+ImageSummary silver::analysis::summarizeImage(const AuditReport &Report) {
+  ImageSummary S;
+  S.Ctx.addRegion(Report.Startup);
+  S.Ctx.addRegion(Report.Syscall);
+  S.Ctx.addRegion(Report.Program);
+  S.Ctx.FfiEntry = Report.Layout.SyscallCodeBase;
+  S.Startup = summarizeBlocks(Report.Startup, S.Ctx);
+  S.Syscall = summarizeBlocks(Report.Syscall, S.Ctx);
+  S.Program = summarizeBlocks(Report.Program, S.Ctx);
+  return S;
+}
+
+std::vector<AuditDiag>
+silver::analysis::checkObligations(const ImageSummary &S,
+                                   const SummaryObligations &O) {
+  std::vector<AuditDiag> Out;
+  auto Diag = [&Out](AuditRule Rule, Word Addr, std::string Message) {
+    AuditDiag D;
+    D.Rule = Rule;
+    D.Region = CodeRegion::Program;
+    D.HasRegion = true;
+    D.Addr = Addr;
+    D.Message = std::move(Message);
+    Out.push_back(std::move(D));
+  };
+  for (const BlockSummary &B : S.Program.Blocks) {
+    if (!B.Reachable)
+      continue;
+    if (O.StackDiscipline && B.RegOut[abi::StackReg].isTop())
+      Diag(AuditRule::StackDiscipline, B.EntryAddr,
+           "block leaves the stack pointer at an unknown value");
+    if (O.NoRawIo && B.hasReason(InterpReason::Io))
+      Diag(AuditRule::RawIo, B.EntryAddr,
+           "block interacts with the environment outside the syscall code");
+  }
+  return Out;
+}

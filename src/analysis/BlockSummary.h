@@ -1,0 +1,333 @@
+//===- analysis/BlockSummary.h - Symbolic basic-block summaries -*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic execution of decoded Silver basic blocks, in the
+/// translation-validation style of decompilation-into-logic binary
+/// verification (Sewell/Myreen/Klein, PAPERS.md): each block of a
+/// region's Cfg is abstractly interpreted once, yielding a BlockSummary —
+/// the block's register effects as affine symbolic values over the
+/// block-entry register file, its memory reads and writes as
+/// interval+alignment abstractions, its dynamic successor set, and a
+/// safety classification that says whether the ROADMAP's baseline JIT may
+/// translate the block (`Translatable`) or must leave it to the
+/// interpreter (`InterpreterOnly`, with machine-readable reasons).
+///
+/// Abstraction domains (DESIGN.md §12):
+///
+///   SymValue  =  Top  |  Const c  |  RegPlus r c      (value lattice)
+///   MemRange  =  None |  Absolute [lo,hi] align
+///                     |  RegRel r [lo,hi] align  |  Unbounded align
+///
+/// Entry seeding makes the summaries region-contextual: registers the
+/// constant-propagation solver (Dataflow.h) proves constant at block
+/// entry start as Const, everything else as RegPlus(r, 0).  Every claim a
+/// summary makes is therefore conditional only on those recorded entry
+/// constants (BlockSummary::EntryConsts) — which is exactly what the
+/// fuzzer's containment level (fuzz/Containment.h) checks concretely
+/// before holding a replayed execution to the summary's claims.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ANALYSIS_BLOCKSUMMARY_H
+#define SILVER_ANALYSIS_BLOCKSUMMARY_H
+
+#include "analysis/ImageAudit.h"
+#include "isa/Effects.h"
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace analysis {
+
+/// A symbolic word value over the block-entry register file.
+struct SymValue {
+  enum class Kind : uint8_t {
+    Top,     ///< no information
+    Const,   ///< the constant Off
+    RegPlus, ///< entry value of register Reg, plus Off (mod 2^32)
+  };
+  Kind K = Kind::Top;
+  uint8_t Reg = 0;
+  Word Off = 0;
+
+  static SymValue top() { return SymValue(); }
+  static SymValue constant(Word C) {
+    SymValue V;
+    V.K = Kind::Const;
+    V.Off = C;
+    return V;
+  }
+  static SymValue regPlus(unsigned R, Word Off) {
+    SymValue V;
+    V.K = Kind::RegPlus;
+    V.Reg = static_cast<uint8_t>(R);
+    V.Off = Off;
+    return V;
+  }
+  /// The identity value of register \p R (its own entry value).
+  static SymValue entry(unsigned R) { return regPlus(R, 0); }
+
+  bool isTop() const { return K == Kind::Top; }
+  bool isConst() const { return K == Kind::Const; }
+  bool isRegPlus() const { return K == Kind::RegPlus; }
+
+  /// The constant, when K == Const.
+  std::optional<Word> asConst() const {
+    return isConst() ? std::optional<Word>(Off) : std::nullopt;
+  }
+
+  /// Concrete value under the given block-entry register file; nullopt
+  /// for Top.
+  std::optional<Word> eval(const std::array<Word, isa::NumRegs> &Entry) const {
+    switch (K) {
+    case Kind::Top:
+      return std::nullopt;
+    case Kind::Const:
+      return Off;
+    case Kind::RegPlus:
+      return Entry[Reg] + Off;
+    }
+    return std::nullopt;
+  }
+
+  bool operator==(const SymValue &O) const {
+    return K == O.K && (K != Kind::RegPlus || Reg == O.Reg) &&
+           (K == Kind::Top || Off == O.Off);
+  }
+};
+
+/// Renders "?", "0x...", or "r7+0x..." (for golden tests and reports).
+std::string toString(const SymValue &V);
+
+/// Exit state of one ALU flag relative to block entry.
+struct FlagOut {
+  enum class Kind : uint8_t {
+    Preserved, ///< equal to its entry value
+    Const,     ///< the constant Value
+    Unknown,   ///< written with an unpredictable value
+  };
+  Kind K = Kind::Preserved;
+  bool Value = false;
+
+  /// Concrete exit value given the entry value; nullopt when Unknown.
+  std::optional<bool> eval(bool EntryValue) const {
+    switch (K) {
+    case Kind::Preserved:
+      return EntryValue;
+    case Kind::Const:
+      return Value;
+    case Kind::Unknown:
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  bool operator==(const FlagOut &O) const {
+    return K == O.K && (K != Kind::Const || Value == O.Value);
+  }
+};
+
+/// An abstract byte interval accessed by a load or store.  Lo/Hi are
+/// inclusive byte offsets — absolute addresses (Absolute) or offsets from
+/// the entry value of a base register (RegRel).  Align is the guaranteed
+/// alignment of every access start within the range (word accesses that
+/// retire are 4-aligned by the ISA semantics, so Align is at least the
+/// access size).
+struct MemRange {
+  enum class Kind : uint8_t { None, Absolute, RegRel, Unbounded };
+  Kind K = Kind::None;
+  uint8_t Reg = 0; ///< RegRel base register (entry value)
+  Word Lo = 0;
+  Word Hi = 0;
+  uint8_t Align = 1;
+
+  static MemRange none() { return MemRange(); }
+  static MemRange unbounded(uint8_t Align) {
+    MemRange R;
+    R.K = Kind::Unbounded;
+    R.Align = Align;
+    return R;
+  }
+  static MemRange absolute(Word Lo, Word Hi, uint8_t Align) {
+    MemRange R;
+    R.K = Kind::Absolute;
+    R.Lo = Lo;
+    R.Hi = Hi;
+    R.Align = Align;
+    return R;
+  }
+  static MemRange regRel(unsigned Reg, Word Lo, Word Hi, uint8_t Align) {
+    MemRange R;
+    R.K = Kind::RegRel;
+    R.Reg = static_cast<uint8_t>(Reg);
+    R.Lo = Lo;
+    R.Hi = Hi;
+    R.Align = Align;
+    return R;
+  }
+
+  /// The range of an access of \p Size bytes at symbolic address \p Addr.
+  static MemRange ofAccess(const SymValue &Addr, uint8_t Size);
+
+  /// Interval hull of two ranges (same kind and base required; anything
+  /// else widens to Unbounded).  None is the identity.
+  static MemRange join(const MemRange &A, const MemRange &B);
+
+  /// Whether a concrete access of \p Size bytes at \p Addr is inside the
+  /// range under the given block-entry register file.  All interval
+  /// arithmetic is modulo 2^32, matching the ISA's address arithmetic.
+  bool contains(Word Addr, uint8_t Size,
+                const std::array<Word, isa::NumRegs> &Entry) const;
+
+  bool operator==(const MemRange &O) const {
+    if (K != O.K || Align != O.Align)
+      return false;
+    if (K == Kind::None || K == Kind::Unbounded)
+      return true;
+    return Lo == O.Lo && Hi == O.Hi && (K != Kind::RegRel || Reg == O.Reg);
+  }
+};
+
+/// Renders "none", "*", "[0x..,0x..]/4", or "r60+[-8,-5]/4".
+std::string toString(const MemRange &R);
+
+/// Static effects of one instruction inside its block: the decoder-side
+/// metadata plus the abstract address range of its data-memory access.
+struct InsnEffect {
+  Word Addr = 0;
+  isa::EffectInfo Info;
+  MemRange Access; ///< meaningful when Info.Mem != None
+};
+
+/// Why a block cannot be handed to the JIT.
+enum class InterpReason : uint8_t {
+  IllegalInstruction,  ///< a reachable word in the block does not decode
+  SelfModifying,       ///< a store's resolved range overlaps reachable code
+  UnresolvedSuccessor, ///< computed exit whose target is symbolically Top
+  FfiBoundary,         ///< block transfers into the FFI dispatch code
+  Io,                  ///< Interrupt/In/Out: needs the environment model
+};
+inline constexpr unsigned NumInterpReasons = 5;
+
+/// The stable string identifier (e.g. "self-modifying").
+const char *interpReasonId(InterpReason R);
+
+/// The symbolic summary of one basic block.
+struct BlockSummary {
+  size_t BlockIndex = 0;
+  Word EntryAddr = 0;
+  size_t InstrCount = 0;
+  bool Reachable = false; ///< unreachable blocks carry no claims
+
+  /// Entry constants inherited from the region's constprop solution;
+  /// every other claim below is conditional on exactly these.
+  std::array<std::optional<Word>, isa::NumRegs> EntryConsts;
+
+  std::vector<InsnEffect> Insns; ///< one entry per instruction
+
+  /// Exit register file in terms of the entry register file.  Registers
+  /// the block does not write are RegPlus(r, 0) by construction.
+  std::array<SymValue, isa::NumRegs> RegOut;
+  FlagOut CarryOut;
+  FlagOut OverflowOut;
+
+  uint64_t RegWrites = 0; ///< union of the per-instruction write masks
+  uint64_t RegReads = 0;
+
+  MemRange Reads;  ///< join of all load ranges
+  MemRange Writes; ///< join of all store ranges
+
+  /// Dynamic successor set: the addresses the terminator can set the PC
+  /// to (a call's successor is its target — the return point belongs to
+  /// the callee's exit).  Exact when SuccsExact; otherwise the exit is
+  /// computed and ExitTarget describes it symbolically.
+  std::vector<Word> Succs;
+  bool SuccsExact = true;
+  SymValue ExitTarget; ///< terminator target (Top when not computed)
+
+  bool Translatable = true;
+  std::vector<InterpReason> Reasons; ///< sorted, deduplicated
+
+  bool hasReason(InterpReason R) const {
+    for (InterpReason Have : Reasons)
+      if (Have == R)
+        return true;
+    return false;
+  }
+};
+
+/// The context a summary pass classifies against: where reachable
+/// instruction bytes live (for the self-modification check against the
+/// DecodeCache invalidation contract) and where the FFI dispatch entry
+/// is (for the oracle-boundary check).
+struct SummaryContext {
+  /// Intervals [Lo, Hi) of reachable instruction bytes, all regions.
+  std::vector<std::pair<Word, Word>> CodeIntervals;
+  std::optional<Word> FfiEntry;
+
+  /// Whether the inclusive byte interval [Lo, Hi] overlaps reachable
+  /// instruction bytes.
+  bool hitsCode(Word Lo, Word Hi) const;
+
+  /// Adds the reachable blocks of \p A as code intervals.
+  void addRegion(const RegionAnalysis &A);
+};
+
+/// Summaries for every block of one analysed region, indexed like
+/// RegionAnalysis::G.Blocks.
+struct RegionSummary {
+  std::vector<BlockSummary> Blocks;
+
+  /// The summary of the block starting exactly at \p Addr, if any.
+  const BlockSummary *atEntry(const Cfg &G, Word Addr) const;
+};
+
+/// Summarises one block of \p A.  Exposed for golden tests; most callers
+/// want summarizeBlocks.
+BlockSummary summarizeBlock(const RegionAnalysis &A, size_t BlockIdx,
+                            const SummaryContext &Ctx);
+
+/// Symbolically executes every block of \p A.
+RegionSummary summarizeBlocks(const RegionAnalysis &A,
+                              const SummaryContext &Ctx);
+
+/// Block summaries for all three code regions of an audited image, under
+/// one shared context built from the report's reachable code.
+struct ImageSummary {
+  SummaryContext Ctx;
+  RegionSummary Startup;
+  RegionSummary Syscall;
+  RegionSummary Program;
+};
+
+/// Summarises all regions of \p Report (analysis::auditImage's result).
+ImageSummary summarizeImage(const AuditReport &Report);
+
+/// Opt-in obligations derivable from the summaries but too strict to be
+/// unconditional audit rules (compiled closures routinely spill the
+/// stack pointer, and hand-written images may drive the ports).
+struct SummaryObligations {
+  /// Every reachable program block must leave the stack pointer at a
+  /// known offset from its entry value ("img-stack-discipline").
+  bool StackDiscipline = false;
+  /// No reachable program block may execute In/Out/Interrupt directly —
+  /// environment interaction belongs to the syscall code ("img-raw-io").
+  bool NoRawIo = false;
+};
+
+/// Checks \p S's program region against the requested obligations,
+/// returning one diagnostic per violating block.
+std::vector<AuditDiag> checkObligations(const ImageSummary &S,
+                                        const SummaryObligations &O);
+
+} // namespace analysis
+} // namespace silver
+
+#endif // SILVER_ANALYSIS_BLOCKSUMMARY_H

@@ -8,6 +8,7 @@
 #include "analysis/Dataflow.h"
 
 #include "isa/Abi.h"
+#include "isa/Effects.h"
 #include "isa/Interp.h"
 
 #include <algorithm>
@@ -146,66 +147,13 @@ ConstPropResult silver::analysis::runConstProp(const Cfg &G,
 
 void silver::analysis::accumulateDefUse(const isa::Instruction &I,
                                         RegSummary &S) {
-  auto Def = [&](unsigned R) { S.Defs |= uint64_t(1) << R; };
-  auto Use = [&](const isa::Operand &Op) {
-    if (!Op.IsImm)
-      S.Uses |= uint64_t(1) << Op.Value;
-  };
-  auto AluFlags = [&](Func F) {
-    if (F == Func::Add || F == Func::AddCarry || F == Func::Sub)
-      S.DefsFlags = true;
-    if (F == Func::AddCarry || F == Func::Carry || F == Func::Overflow)
-      S.UsesFlags = true;
-  };
-  switch (I.Op) {
-  case Opcode::Normal:
-    Def(I.WReg);
-    Use(I.A);
-    Use(I.B);
-    AluFlags(I.F);
-    break;
-  case Opcode::Shift:
-    Def(I.WReg);
-    Use(I.A);
-    Use(I.B);
-    break;
-  case Opcode::LoadMEM:
-  case Opcode::LoadMEMByte:
-    Def(I.WReg);
-    Use(I.A);
-    break;
-  case Opcode::StoreMEM:
-  case Opcode::StoreMEMByte:
-    Use(I.A);
-    Use(I.B);
-    break;
-  case Opcode::LoadConstant:
-    Def(I.WReg);
-    break;
-  case Opcode::LoadUpperConstant:
-    Def(I.WReg);
-    S.Uses |= uint64_t(1) << I.WReg; // merges into the low bits
-    break;
-  case Opcode::Jump:
-    Def(I.WReg);
-    Use(I.A);
-    AluFlags(I.F);
-    break;
-  case Opcode::JumpIfZero:
-  case Opcode::JumpIfNotZero:
-    Use(I.A);
-    Use(I.B);
-    AluFlags(I.F);
-    break;
-  case Opcode::In:
-    Def(I.WReg);
-    break;
-  case Opcode::Out:
-    Use(I.A);
-    break;
-  case Opcode::Interrupt:
-    break;
-  }
+  // The decoder-side effect metadata (isa/Effects.h) is the shared
+  // source of truth; this summary only folds it into region-level masks.
+  isa::EffectInfo E = isa::effectsOf(I);
+  S.Defs |= E.RegWrites;
+  S.Uses |= E.RegReads;
+  S.DefsFlags |= E.WritesFlags;
+  S.UsesFlags |= E.ReadsFlags;
 }
 
 RegSummary

@@ -28,6 +28,10 @@ const char *silver::analysis::auditRuleId(AuditRule R) {
     return "img-write-to-code";
   case AuditRule::SyscallClobber:
     return "img-syscall-clobber";
+  case AuditRule::StackDiscipline:
+    return "img-stack-discipline";
+  case AuditRule::RawIo:
+    return "img-raw-io";
   }
   return "img-unknown";
 }
@@ -245,6 +249,7 @@ void Auditor::checkRegion(CodeRegion Region) {
 }
 
 AuditReport Auditor::run() {
+  R.Layout = L;
   checkLayout();
 
   // Constants established by the startup code (installed (i)): the info

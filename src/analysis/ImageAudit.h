@@ -51,6 +51,10 @@ enum class AuditRule : uint8_t {
   JumpTarget,     ///< a resolvable transfer leaves the code regions
   WriteToCode,    ///< a resolvable store targets instruction bytes (W^X)
   SyscallClobber, ///< syscall code writes outside its permitted set
+  // Opt-in obligations derived from the symbolic block summaries
+  // (BlockSummary.h); enforced by stack::auditPrepared on request.
+  StackDiscipline, ///< a program block leaves the stack pointer unknown
+  RawIo,           ///< a program block does In/Out/Interrupt directly
 };
 
 /// The stable string identifier of a rule (e.g. "img-layout").
@@ -77,6 +81,7 @@ std::string formatDiag(const AuditDiag &D);
 /// callers (the silver-lint tool, tests) can report coverage statistics.
 struct AuditReport {
   std::vector<AuditDiag> Diags;
+  sys::MemoryLayout Layout; ///< the audited image's layout
   RegionAnalysis Startup;
   RegionAnalysis Syscall;
   RegionAnalysis Program;

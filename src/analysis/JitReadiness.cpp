@@ -1,0 +1,121 @@
+//===- analysis/JitReadiness.cpp - JIT-readiness report --------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/JitReadiness.h"
+
+#include "isa/Abi.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace silver;
+using namespace silver::analysis;
+
+size_t JitReadinessReport::totalBlocks() const {
+  size_t N = 0;
+  for (const RegionReadiness &R : Regions)
+    N += R.Blocks;
+  return N;
+}
+
+size_t JitReadinessReport::totalTranslatable() const {
+  size_t N = 0;
+  for (const RegionReadiness &R : Regions)
+    N += R.Translatable;
+  return N;
+}
+
+double JitReadinessReport::fraction() const {
+  size_t Blocks = totalBlocks();
+  return Blocks ? static_cast<double>(totalTranslatable()) / Blocks : 1.0;
+}
+
+static RegionReadiness aggregate(const char *Name, const RegionSummary &S) {
+  RegionReadiness R;
+  R.Name = Name;
+  for (const BlockSummary &B : S.Blocks) {
+    if (!B.Reachable)
+      continue;
+    ++R.Blocks;
+    if (B.Translatable)
+      ++R.Translatable;
+    if (!B.SuccsExact)
+      ++R.ComputedExits;
+    if (B.RegOut[abi::StackReg].isTop())
+      ++R.UnknownStack;
+    for (InterpReason Reason : B.Reasons)
+      ++R.Reasons[static_cast<size_t>(Reason)];
+  }
+  return R;
+}
+
+JitReadinessReport silver::analysis::jitReadiness(const ImageSummary &S) {
+  JitReadinessReport R;
+  R.Regions.push_back(aggregate("startup", S.Startup));
+  R.Regions.push_back(aggregate("syscall", S.Syscall));
+  R.Regions.push_back(aggregate("program", S.Program));
+  return R;
+}
+
+std::string silver::analysis::toJson(const JitReadinessReport &R) {
+  std::string Out = "{\n \"regions\": [";
+  for (size_t I = 0; I != R.Regions.size(); ++I) {
+    const RegionReadiness &Rg = R.Regions[I];
+    Out += I ? ",\n  " : "\n  ";
+    Out += "{\"name\": " + jsonQuote(Rg.Name);
+    Out += ", \"blocks\": " + std::to_string(Rg.Blocks);
+    Out += ", \"translatable\": " + std::to_string(Rg.Translatable);
+    Out += ", \"computed_exits\": " + std::to_string(Rg.ComputedExits);
+    Out += ", \"unknown_stack\": " + std::to_string(Rg.UnknownStack);
+    Out += ", \"reasons\": {";
+    for (unsigned Reason = 0; Reason != NumInterpReasons; ++Reason) {
+      if (Reason)
+        Out += ", ";
+      Out += jsonQuote(interpReasonId(static_cast<InterpReason>(Reason)));
+      Out += ": " + std::to_string(Rg.Reasons[Reason]);
+    }
+    Out += "}}";
+  }
+  Out += "\n ],\n \"blocks\": " + std::to_string(R.totalBlocks());
+  Out += ",\n \"translatable\": " + std::to_string(R.totalTranslatable());
+  char Fraction[16];
+  std::snprintf(Fraction, sizeof(Fraction), "%.4f", R.fraction());
+  Out += ",\n \"fraction\": ";
+  Out += Fraction;
+  Out += "\n}";
+  return Out;
+}
+
+std::vector<Diagnostic>
+silver::analysis::readinessDiagnostics(const ImageSummary &S) {
+  std::vector<Diagnostic> Out;
+  const struct {
+    const char *Name;
+    const RegionSummary *Summary;
+  } Regions[] = {{"startup", &S.Startup},
+                 {"syscall", &S.Syscall},
+                 {"program", &S.Program}};
+  for (const auto &Region : Regions) {
+    for (const BlockSummary &B : Region.Summary->Blocks) {
+      if (!B.Reachable || B.Translatable)
+        continue;
+      Diagnostic D;
+      D.Id = "jit-interpreter-only";
+      D.Severity = Diagnostic::Level::Note;
+      D.Subject = Region.Name;
+      D.HasAddr = true;
+      D.Addr = B.EntryAddr;
+      D.Message = "block is interpreter-only:";
+      for (size_t I = 0; I != B.Reasons.size(); ++I) {
+        D.Message += I ? ", " : " ";
+        D.Message += interpReasonId(B.Reasons[I]);
+      }
+      Out.push_back(std::move(D));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- analysis/JitReadiness.h - JIT-readiness report -----------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregates an image's block summaries (BlockSummary.h) into the
+/// tracked JIT-readiness metric: per region, how many reachable blocks
+/// the baseline JIT may translate, how many must stay on the
+/// interpreter and why (a reasons histogram), how many exit through a
+/// computed target, and how many leave the stack pointer unknown.  The
+/// JSON serialisation is byte-deterministic — the committed
+/// reports/jit-readiness/*.json files are diffed against regenerated
+/// output by the CI analysis gate, so a compiler or analysis change that
+/// shifts a block's classification fails the build visibly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ANALYSIS_JITREADINESS_H
+#define SILVER_ANALYSIS_JITREADINESS_H
+
+#include "analysis/BlockSummary.h"
+#include "analysis/Diagnostic.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace analysis {
+
+/// Readiness counts over one region's *reachable* blocks (unreachable
+/// blocks are dead bytes — usually data decoded as code — and would
+/// drown the metric).
+struct RegionReadiness {
+  std::string Name;
+  size_t Blocks = 0;       ///< reachable blocks
+  size_t Translatable = 0;
+  size_t ComputedExits = 0; ///< blocks whose successor set is inexact
+  size_t UnknownStack = 0;  ///< blocks leaving the stack pointer unknown
+  std::array<size_t, NumInterpReasons> Reasons{}; ///< indexed by InterpReason
+};
+
+/// The per-image readiness report.
+struct JitReadinessReport {
+  std::vector<RegionReadiness> Regions; ///< startup, syscall, program
+
+  size_t totalBlocks() const;
+  size_t totalTranslatable() const;
+  /// Translatable fraction over all reachable blocks (1 when empty).
+  double fraction() const;
+};
+
+/// Aggregates \p S into the report.
+JitReadinessReport jitReadiness(const ImageSummary &S);
+
+/// Byte-deterministic JSON rendering (fixed key order, all histogram
+/// keys present, fraction with four decimals).
+std::string toJson(const JitReadinessReport &R);
+
+/// Advisory diagnostics for the front ends: one "jit-interpreter-only"
+/// note per reachable InterpreterOnly block, listing its reasons.
+std::vector<Diagnostic> readinessDiagnostics(const ImageSummary &S);
+
+} // namespace analysis
+} // namespace silver
+
+#endif // SILVER_ANALYSIS_JITREADINESS_H

@@ -1,0 +1,298 @@
+//===- fuzz/Containment.cpp - Summary-containment fuzz level ---------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Containment.h"
+
+#include "fuzz/Corpus.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace silver;
+using namespace silver::fuzz;
+using analysis::BlockSummary;
+using analysis::InsnEffect;
+using analysis::InterpReason;
+
+std::string silver::fuzz::formatViolation(const ContainmentViolation &V) {
+  return toHex(V.Pc) + " (block " + toHex(V.BlockEntry) + ", retire " +
+         std::to_string(V.Retire) + "): " + V.What;
+}
+
+namespace {
+
+/// Collects the memory events of a single instrumented step.
+class MemCollector : public obs::Observer {
+public:
+  std::vector<obs::MemEvent> Mems;
+  void onMem(const obs::MemEvent &E) override { Mems.push_back(E); }
+};
+
+/// The replay-and-check pass over one prepared image.
+class Checker {
+public:
+  Checker(const sys::MemoryImage &Image, const analysis::AuditReport &Report,
+          const analysis::ImageSummary &Summary, uint64_t MaxSteps)
+      : Image(Image), Summary(Summary), MaxSteps(MaxSteps) {
+    Regions[0] = {&Report.Startup, &Summary.Startup};
+    Regions[1] = {&Report.Syscall, &Summary.Syscall};
+    Regions[2] = {&Report.Program, &Summary.Program};
+  }
+
+  ContainmentResult run();
+
+private:
+  struct RegionView {
+    const analysis::RegionAnalysis *A = nullptr;
+    const analysis::RegionSummary *S = nullptr;
+  };
+
+  const sys::MemoryImage &Image;
+  const analysis::ImageSummary &Summary;
+  uint64_t MaxSteps;
+  ContainmentResult R;
+
+  // Tracking state of the block currently being checked.
+  const BlockSummary *Cur = nullptr;
+  size_t InsnIdx = 0;
+  std::array<Word, isa::NumRegs> EntryRegs{};
+  bool EntryCarry = false;
+  bool EntryOverflow = false;
+
+  RegionView Regions[3];
+
+  const BlockSummary *lookup(Word Pc) const {
+    for (const RegionView &V : Regions)
+      if (const BlockSummary *B = V.S->atEntry(V.A->G, Pc))
+        return B;
+    return nullptr;
+  }
+
+  void violation(Word Pc, uint64_t Retire, std::string What) {
+    ContainmentViolation V;
+    V.BlockEntry = Cur ? Cur->EntryAddr : Pc;
+    V.Pc = Pc;
+    V.Retire = Retire;
+    V.What = std::move(What);
+    R.Violations.push_back(std::move(V));
+  }
+
+  void tryEnter(const isa::MachineState &S);
+  void checkStep(Word Pc, uint64_t Retire, const isa::MachineState &S,
+                 const std::array<Word, isa::NumRegs> &PrevRegs,
+                 bool PrevCarry, bool PrevOverflow,
+                 const std::vector<obs::MemEvent> &Mems);
+  void checkExit(Word Pc, uint64_t Retire, const isa::MachineState &S);
+};
+
+void Checker::tryEnter(const isa::MachineState &S) {
+  const BlockSummary *B = lookup(S.PC);
+  if (!B)
+    return; // mid-block entry or outside the analysed regions: no claims
+  // Io blocks route effects through the environment model the summaries
+  // do not capture; illegal blocks fault.  Both are skipped, matching
+  // their InterpreterOnly classification.
+  if (B->hasReason(InterpReason::Io) ||
+      B->hasReason(InterpReason::IllegalInstruction)) {
+    ++R.Stats.BlocksSkipped;
+    return;
+  }
+  // The summary's claims are conditional on its recorded entry
+  // constants; verify them concretely so every checked claim is
+  // unconditional.  A miss means the block was entered along an edge
+  // the region analysis did not model (e.g. an unresolved computed
+  // jump) — the claims simply do not apply.
+  for (unsigned Reg = 0; Reg != isa::NumRegs; ++Reg)
+    if (B->EntryConsts[Reg] && *B->EntryConsts[Reg] != S.Regs[Reg]) {
+      ++R.Stats.EntryMisses;
+      return;
+    }
+  Cur = B;
+  InsnIdx = 0;
+  EntryRegs = S.Regs;
+  EntryCarry = S.CarryFlag;
+  EntryOverflow = S.OverflowFlag;
+}
+
+void Checker::checkStep(Word Pc, uint64_t Retire, const isa::MachineState &S,
+                        const std::array<Word, isa::NumRegs> &PrevRegs,
+                        bool PrevCarry, bool PrevOverflow,
+                        const std::vector<obs::MemEvent> &Mems) {
+  if (InsnIdx >= Cur->Insns.size() || Cur->Insns[InsnIdx].Addr != Pc) {
+    // Straight-line blocks cannot diverge mid-body; reaching here means
+    // the summary's instruction list disagrees with the execution.
+    violation(Pc, Retire, "tracker desynchronised from the block body");
+    Cur = nullptr;
+    return;
+  }
+  const InsnEffect &IE = Cur->Insns[InsnIdx];
+  ++R.Stats.CheckedInstrs;
+
+  for (const obs::MemEvent &E : Mems) {
+    isa::MemAccessKind Need =
+        E.IsWrite ? isa::MemAccessKind::Write : isa::MemAccessKind::Read;
+    if (IE.Info.Mem != Need)
+      violation(Pc, Retire,
+                std::string("unclaimed memory ") +
+                    (E.IsWrite ? "write" : "read") + " of " +
+                    std::to_string(E.Size) + " bytes at " + toHex(E.Addr));
+    else if (!IE.Access.contains(E.Addr, E.Size, EntryRegs))
+      violation(Pc, Retire,
+                std::string(E.IsWrite ? "write" : "read") + " at " +
+                    toHex(E.Addr) + " escapes summarised range " +
+                    toString(IE.Access));
+  }
+
+  for (unsigned Reg = 0; Reg != isa::NumRegs; ++Reg)
+    if (S.Regs[Reg] != PrevRegs[Reg] && !IE.Info.writes(Reg))
+      violation(Pc, Retire,
+                "wrote r" + std::to_string(Reg) +
+                    " outside the declared write set");
+  if ((S.CarryFlag != PrevCarry || S.OverflowFlag != PrevOverflow) &&
+      !IE.Info.WritesFlags)
+    violation(Pc, Retire, "updated the ALU flags without declaring it");
+
+  if (InsnIdx + 1 == Cur->Insns.size()) {
+    checkExit(Pc, Retire, S);
+    Cur = nullptr;
+  } else {
+    ++InsnIdx;
+  }
+}
+
+void Checker::checkExit(Word Pc, uint64_t Retire,
+                        const isa::MachineState &S) {
+  for (unsigned Reg = 0; Reg != isa::NumRegs; ++Reg)
+    if (std::optional<Word> V = Cur->RegOut[Reg].eval(EntryRegs))
+      if (*V != S.Regs[Reg])
+        violation(Pc, Retire,
+                  "exit r" + std::to_string(Reg) + " is " +
+                      toHex(S.Regs[Reg]) + ", summary claims " +
+                      toString(Cur->RegOut[Reg]));
+  if (std::optional<bool> C = Cur->CarryOut.eval(EntryCarry))
+    if (*C != S.CarryFlag)
+      violation(Pc, Retire, "exit carry flag contradicts the summary");
+  if (std::optional<bool> O = Cur->OverflowOut.eval(EntryOverflow))
+    if (*O != S.OverflowFlag)
+      violation(Pc, Retire, "exit overflow flag contradicts the summary");
+
+  Word Next = S.PC;
+  if (Cur->SuccsExact) {
+    if (std::find(Cur->Succs.begin(), Cur->Succs.end(), Next) ==
+        Cur->Succs.end())
+      violation(Pc, Retire,
+                "next pc " + toHex(Next) + " is not in the successor set");
+  } else if (std::optional<Word> T = Cur->ExitTarget.eval(EntryRegs)) {
+    if (*T != Next)
+      violation(Pc, Retire,
+                "computed exit went to " + toHex(Next) +
+                    ", summary resolves " + toString(Cur->ExitTarget));
+  }
+  ++R.Stats.BlocksChecked;
+}
+
+ContainmentResult Checker::run() {
+  isa::MachineState S = sys::initialState(Image);
+  sys::SysEnv Env(Image.Layout);
+  MemCollector Col;
+
+  while (R.Stats.Steps < MaxSteps) {
+    if (isa::isHalted(S)) {
+      R.Stats.Halted = true;
+      break;
+    }
+    if (!Cur && !R.Stats.Tainted)
+      tryEnter(S);
+
+    Word Pc = S.PC;
+    std::array<Word, isa::NumRegs> PrevRegs = S.Regs;
+    bool PrevCarry = S.CarryFlag;
+    bool PrevOverflow = S.OverflowFlag;
+    Col.Mems.clear();
+
+    isa::StepResult Step = isa::step(S, Env, Col, R.Stats.Steps);
+    if (!Step.ok()) {
+      // The instruction did not retire, so the block's claims about it
+      // never activated; drop the tracking and stop.
+      R.Stats.Fault = Step.Fault;
+      break;
+    }
+    ++R.Stats.Steps;
+
+    if (Cur)
+      checkStep(Pc, R.Stats.Steps - 1, S, PrevRegs, PrevCarry, PrevOverflow,
+                Col.Mems);
+
+    // Summaries describe the static code: the first store that patches
+    // reachable instruction bytes invalidates them, so checking stops
+    // (the patching instruction itself was checked above).
+    if (!R.Stats.Tainted)
+      for (const obs::MemEvent &E : Col.Mems)
+        if (E.IsWrite &&
+            Summary.Ctx.hitsCode(E.Addr, E.Addr + E.Size - 1)) {
+          R.Stats.Tainted = true;
+          R.Stats.TaintAddr = E.Addr;
+          Cur = nullptr;
+          break;
+        }
+  }
+  return std::move(R);
+}
+
+} // namespace
+
+ContainmentResult
+silver::fuzz::checkContainment(const sys::MemoryImage &Image,
+                               const analysis::AuditReport &Report,
+                               const analysis::ImageSummary &Summary,
+                               uint64_t MaxSteps) {
+  return Checker(Image, Report, Summary, MaxSteps).run();
+}
+
+Result<ContainmentResult>
+silver::fuzz::checkContainment(const stack::Prepared &P, uint64_t MaxSteps) {
+  Result<sys::MemoryImage> Image = sys::buildImage(P.Image);
+  if (!Image)
+    return Error("image build failed: " + Image.error().message());
+  analysis::AuditReport Report =
+      analysis::auditImage(*Image, static_cast<Word>(P.Image.Program.size()));
+  analysis::ImageSummary Summary = analysis::summarizeImage(Report);
+  return checkContainment(*Image, Report, Summary, MaxSteps);
+}
+
+Result<ContainmentResult> silver::fuzz::checkContainment(const CaseSpec &C,
+                                                         uint64_t MaxSteps) {
+  Result<stack::Prepared> P = prepareCase(C);
+  if (!P)
+    return Error("case assembly failed: " + P.error().message());
+  return checkContainment(*P, MaxSteps);
+}
+
+CorpusContainment
+silver::fuzz::checkCorpusContainment(const std::string &Dir,
+                                     uint64_t MaxSteps) {
+  CorpusContainment Out;
+  for (const std::string &Path : listCorpus(Dir)) {
+    Result<CaseSpec> C = loadCase(Path);
+    if (!C) {
+      ++Out.CaseErrors;
+      Out.Errors.emplace_back(Path, C.error().str());
+      continue;
+    }
+    Result<ContainmentResult> R = checkContainment(*C, MaxSteps);
+    if (!R) {
+      ++Out.CaseErrors;
+      Out.Errors.emplace_back(Path, R.error().message());
+      continue;
+    }
+    ++Out.Cases;
+    Out.Totals.add(R->Stats);
+    for (ContainmentViolation &V : R->Violations)
+      Out.Violations.emplace_back(Path, std::move(V));
+  }
+  return Out;
+}

@@ -1,0 +1,136 @@
+//===- fuzz/Containment.h - Summary-containment fuzz level -----*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The summary-containment check: replays a prepared case concretely at
+/// the ISA level and asserts that every retired instruction's observed
+/// effects are contained in its basic block's symbolic summary
+/// (analysis/BlockSummary.h).  This is the dynamic half of the
+/// translation-validation story — the summaries are what the baseline
+/// JIT would trust, so a containment violation is an analysis soundness
+/// bug surfaced on a concrete execution, the same way the differential
+/// oracle surfaces cross-level semantic bugs.
+///
+/// Checking protocol (DESIGN.md §12):
+///
+///  - Block tracking is stateless: whenever the PC equals a block's
+///    entry address, the checker starts tracking that block; dynamic
+///    entries into the middle of a block (which carry no claims) simply
+///    never match and are skipped.
+///  - A block's claims are conditional on its recorded entry constants
+///    (BlockSummary::EntryConsts).  The checker verifies them against
+///    the concrete register file at entry and skips the block execution
+///    (counting an entry miss) when they do not hold — this is what
+///    makes every *checked* claim unconditional.
+///  - Blocks classified Io are skipped (their effects route through the
+///    environment model the summaries deliberately do not capture), as
+///    are blocks with an illegal instruction (they fault).
+///  - Per retired instruction: observed memory events must match the
+///    instruction's declared access kind and fall inside its abstract
+///    address range; register and flag changes must be inside the
+///    declared write sets.  At the block terminator: the exit register
+///    file, exit flags, and next PC must satisfy RegOut / CarryOut /
+///    OverflowOut / Succs (or ExitTarget for computed exits).
+///  - The first observed store that overlaps reachable instruction
+///    bytes taints the run: summaries describe the *static* code, so
+///    once it is patched all further checking stops (the self-modifying
+///    block itself is still checked up to and including that store).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_FUZZ_CONTAINMENT_H
+#define SILVER_FUZZ_CONTAINMENT_H
+
+#include "analysis/BlockSummary.h"
+#include "fuzz/Oracle.h"
+
+#include <string>
+#include <vector>
+
+namespace silver {
+namespace fuzz {
+
+/// One observed effect that escaped its block's summary.
+struct ContainmentViolation {
+  Word BlockEntry = 0;  ///< entry address of the violated block
+  Word Pc = 0;          ///< address of the offending instruction
+  uint64_t Retire = 0;  ///< retirement index at detection
+  std::string What;     ///< human-readable description
+};
+
+/// Replay statistics (for reporting and for sanity-checking that the
+/// property test actually exercised blocks).
+struct ContainmentStats {
+  uint64_t Steps = 0;          ///< instructions retired
+  uint64_t CheckedInstrs = 0;  ///< instructions checked against a summary
+  uint64_t BlocksChecked = 0;  ///< block executions checked through exit
+  uint64_t BlocksSkipped = 0;  ///< entries skipped (io / illegal blocks)
+  uint64_t EntryMisses = 0;    ///< entry-constant assumptions that failed
+  bool Tainted = false;        ///< a store patched reachable code
+  Word TaintAddr = 0;          ///< first patched code address
+  bool Halted = false;
+  isa::StepFault Fault = isa::StepFault::None;
+
+  void add(const ContainmentStats &O) {
+    Steps += O.Steps;
+    CheckedInstrs += O.CheckedInstrs;
+    BlocksChecked += O.BlocksChecked;
+    BlocksSkipped += O.BlocksSkipped;
+    EntryMisses += O.EntryMisses;
+    Tainted |= O.Tainted;
+    Halted |= O.Halted;
+  }
+};
+
+struct ContainmentResult {
+  ContainmentStats Stats;
+  std::vector<ContainmentViolation> Violations;
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Replays \p P at the ISA level against the block summaries of its
+/// audited image.  The error return is for a broken image (build
+/// failure); violations are part of the result, not errors.
+Result<ContainmentResult> checkContainment(const stack::Prepared &P,
+                                           uint64_t MaxSteps = 100'000);
+
+/// Core entry point: replays \p Image against caller-provided analysis
+/// results.  Exposed so tests can tamper with a summary and assert the
+/// checker detects the escape (the negative direction of the property).
+ContainmentResult checkContainment(const sys::MemoryImage &Image,
+                                   const analysis::AuditReport &Report,
+                                   const analysis::ImageSummary &Summary,
+                                   uint64_t MaxSteps = 100'000);
+
+/// Assembles \p C (fuzz/Oracle.h's prepareCase) and checks it.
+Result<ContainmentResult> checkContainment(const CaseSpec &C,
+                                           uint64_t MaxSteps = 100'000);
+
+/// Containment sweep over a corpus directory (fuzz/Corpus.h layout).
+struct CorpusContainment {
+  size_t Cases = 0;      ///< corpus files replayed
+  size_t CaseErrors = 0; ///< files that failed to parse or assemble
+  ContainmentStats Totals;
+  /// (corpus path, violation) pairs across all cases.
+  std::vector<std::pair<std::string, ContainmentViolation>> Violations;
+  /// (corpus path, error message) for the broken files.
+  std::vector<std::pair<std::string, std::string>> Errors;
+
+  bool ok() const { return Violations.empty() && Errors.empty(); }
+};
+
+/// Replays every `.s` case under \p Dir and accumulates the results.
+CorpusContainment checkCorpusContainment(const std::string &Dir,
+                                         uint64_t MaxSteps = 100'000);
+
+/// Renders one violation as "0xPC (block 0xENTRY, retire N): what".
+std::string formatViolation(const ContainmentViolation &V);
+
+} // namespace fuzz
+} // namespace silver
+
+#endif // SILVER_FUZZ_CONTAINMENT_H

@@ -1,0 +1,372 @@
+//===- tests/analysis/BlockSummaryTest.cpp - symbolic block summaries ------===//
+//
+// Golden tests for the symbolic block-summary pass (analysis/BlockSummary.h):
+// the abstract domains (SymValue, MemRange), the per-block symbolic effects,
+// the dynamic successor sets, and the Translatable / InterpreterOnly
+// classification — including the committed self-modifying reproducer, which
+// must classify as interpreter-only, and the real example images, which must
+// clear the tracked JIT-readiness bar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BlockSummary.h"
+#include "analysis/JitReadiness.h"
+
+#include "asm/Assembler.h"
+#include "fuzz/Corpus.h"
+#include "fuzz/Oracle.h"
+#include "isa/Abi.h"
+#include "stack/Apps.h"
+#include "stack/Stack.h"
+
+#include <gtest/gtest.h>
+
+using namespace silver;
+using namespace silver::analysis;
+using assembler::Assembler;
+using isa::Func;
+using isa::Instruction;
+using isa::Operand;
+
+static Operand R(unsigned Reg) { return Operand::reg(Reg); }
+
+namespace {
+
+std::vector<uint8_t> assembleAt(Assembler &A, Word Base) {
+  Result<assembler::Assembled> Out = A.assemble(Base);
+  EXPECT_TRUE(Out) << (Out ? "" : Out.error().str());
+  return Out ? Out->Bytes : std::vector<uint8_t>{};
+}
+
+/// Analyses and summarises a snippet as its own single region.
+RegionSummary summarize(const std::vector<uint8_t> &Bytes, Word Base,
+                        RegionAnalysis &A) {
+  A = analyzeRegion(Bytes, Base, Base, RegState());
+  SummaryContext Ctx;
+  Ctx.addRegion(A);
+  return summarizeBlocks(A, Ctx);
+}
+
+/// The audited image summary of a prepared fuzz case.
+ImageSummary summarizeCase(const fuzz::CaseSpec &C) {
+  Result<stack::Prepared> P = fuzz::prepareCase(C);
+  EXPECT_TRUE(P) << (P ? "" : P.error().str());
+  Result<sys::MemoryImage> Image = sys::buildImage(P->Image);
+  EXPECT_TRUE(Image) << (Image ? "" : Image.error().str());
+  AuditReport Report =
+      auditImage(*Image, static_cast<Word>(P->Image.Program.size()));
+  return summarizeImage(Report);
+}
+
+} // namespace
+
+#ifndef SILVER_FUZZ_CORPUS_DIR
+#error "build must define SILVER_FUZZ_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+// --- abstract domains -------------------------------------------------------
+
+TEST(SymValue, EvalAndEquality) {
+  std::array<Word, isa::NumRegs> Entry{};
+  Entry[5] = 100;
+
+  EXPECT_FALSE(SymValue::top().eval(Entry));
+  EXPECT_EQ(*SymValue::constant(7).eval(Entry), 7u);
+  EXPECT_EQ(*SymValue::regPlus(5, 0x10).eval(Entry), 116u);
+  // Offsets wrap modulo 2^32, matching the ISA's address arithmetic.
+  EXPECT_EQ(*SymValue::regPlus(5, ~Word(0)).eval(Entry), 99u);
+
+  EXPECT_EQ(SymValue::entry(5), SymValue::regPlus(5, 0));
+  EXPECT_FALSE(SymValue::entry(5) == SymValue::entry(6));
+  EXPECT_EQ(toString(SymValue::top()), "?");
+}
+
+TEST(MemRange, ContainsIsModular) {
+  std::array<Word, isa::NumRegs> Entry{};
+  Entry[10] = 0xfffffffc;
+
+  MemRange Abs = MemRange::absolute(0x100, 0x107, 4);
+  EXPECT_TRUE(Abs.contains(0x100, 4, Entry));
+  EXPECT_TRUE(Abs.contains(0x104, 4, Entry));
+  EXPECT_FALSE(Abs.contains(0x106, 4, Entry)); // misaligned within range
+  EXPECT_FALSE(Abs.contains(0x108, 4, Entry)); // past the end
+  EXPECT_FALSE(Abs.contains(0xfc, 4, Entry));
+
+  // A register-relative range evaluated near the address-space wrap.
+  MemRange Rel = MemRange::regRel(10, 0, 7, 4);
+  EXPECT_TRUE(Rel.contains(0xfffffffc, 4, Entry));
+  EXPECT_TRUE(Rel.contains(0x0, 4, Entry)); // wraps into low memory
+  EXPECT_FALSE(Rel.contains(0x4, 4, Entry));
+
+  EXPECT_TRUE(MemRange::unbounded(1).contains(0x1234, 1, Entry));
+  EXPECT_FALSE(MemRange::none().contains(0x1234, 1, Entry));
+}
+
+TEST(MemRange, JoinWidensToHull) {
+  MemRange A = MemRange::absolute(0x100, 0x103, 4);
+  MemRange B = MemRange::absolute(0x110, 0x113, 4);
+  MemRange J = MemRange::join(A, B);
+  EXPECT_EQ(J, MemRange::absolute(0x100, 0x113, 4));
+
+  // None is the identity.
+  EXPECT_EQ(MemRange::join(MemRange::none(), A), A);
+
+  // Different base registers cannot be hulled: widen to Unbounded.
+  MemRange Mixed =
+      MemRange::join(MemRange::regRel(5, 0, 3, 4), MemRange::regRel(6, 0, 3, 4));
+  EXPECT_EQ(Mixed.K, MemRange::Kind::Unbounded);
+}
+
+// --- block symbolic effects -------------------------------------------------
+
+TEST(BlockSummary, StraightLineAffineEffects) {
+  Assembler A;
+  A.emit(Instruction::normal(Func::Add, 5, R(5), Operand::imm(8)));
+  A.emit(Instruction::normal(Func::Sub, 6, R(5), Operand::imm(1)));
+  A.emit(Instruction::storeMem(R(6), R(7)));
+  // Terminate with a flag-preserving branch so the Sub's data-dependent
+  // flag write is what reaches the block exit.
+  A.emit(Instruction::jumpIfZero(Func::Snd, Operand::imm(0), R(6), 1));
+  A.emitHalt();
+  std::vector<uint8_t> Bytes = assembleAt(A, 0x1000);
+
+  RegionAnalysis RA;
+  RegionSummary S = summarize(Bytes, 0x1000, RA);
+  const BlockSummary *B = S.atEntry(RA.G, 0x1000);
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(B->Reachable);
+
+  // r5' = r5 + 8, r6' = r5 + 7, everything else preserved.
+  EXPECT_EQ(B->RegOut[5], SymValue::regPlus(5, 8));
+  EXPECT_EQ(B->RegOut[6], SymValue::regPlus(5, 7));
+  EXPECT_EQ(B->RegOut[7], SymValue::entry(7));
+
+  // The store is r7-relative, one word.
+  EXPECT_EQ(B->Writes, MemRange::regRel(7, 0, 3, 4));
+  EXPECT_EQ(B->Reads, MemRange::none());
+
+  // Add and Sub write the flags with data-dependent values.
+  EXPECT_EQ(B->CarryOut.K, FlagOut::Kind::Unknown);
+  EXPECT_TRUE(B->hasReason(InterpReason::SelfModifying) == false);
+}
+
+TEST(BlockSummary, ConstantsFoldThroughFlags) {
+  Assembler A;
+  A.emitLi(5, 40);
+  A.emit(Instruction::normal(Func::Add, 5, R(5), Operand::imm(2)));
+  A.emitHalt();
+  std::vector<uint8_t> Bytes = assembleAt(A, 0);
+
+  RegionAnalysis RA;
+  RegionSummary S = summarize(Bytes, 0, RA);
+  const BlockSummary *B = S.atEntry(RA.G, 0);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->RegOut[5], SymValue::constant(42));
+  // 40 + 2 neither carries nor overflows: the flags are known constants.
+  EXPECT_EQ(B->CarryOut, (FlagOut{FlagOut::Kind::Const, false}));
+  EXPECT_EQ(B->OverflowOut, (FlagOut{FlagOut::Kind::Const, false}));
+}
+
+TEST(BlockSummary, SuccessorSets) {
+  Assembler A;
+  // b0: conditional branch to b2; b1: goto b2 (fall-replacement); b2: halt.
+  A.emit(Instruction::jumpIfZero(Func::Snd, Operand::imm(0), R(5), 2));
+  A.emit(Instruction::normal(Func::Add, 6, R(6), Operand::imm(1)));
+  A.emitHalt();
+  std::vector<uint8_t> Bytes = assembleAt(A, 0x2000);
+
+  RegionAnalysis RA;
+  RegionSummary S = summarize(Bytes, 0x2000, RA);
+
+  const BlockSummary *B0 = S.atEntry(RA.G, 0x2000);
+  ASSERT_NE(B0, nullptr);
+  EXPECT_TRUE(B0->SuccsExact);
+  EXPECT_EQ(B0->Succs.size(), 2u); // taken target + fallthrough
+
+  // The halt block's successor is itself (the self-jump fixpoint).
+  const BlockSummary *B2 = S.atEntry(RA.G, 0x2008);
+  ASSERT_NE(B2, nullptr);
+  ASSERT_EQ(B2->Succs.size(), 1u);
+  EXPECT_EQ(B2->Succs[0], 0x2008u);
+  EXPECT_TRUE(B2->Translatable);
+}
+
+TEST(BlockSummary, UnresolvedComputedExitIsInterpreterOnly) {
+  Assembler A;
+  // Jump through a register nothing defines: symbolically Top.
+  A.emit(Instruction::jump(Func::Snd, silver::abi::TmpReg, R(5)));
+  std::vector<uint8_t> Bytes = assembleAt(A, 0);
+
+  RegionAnalysis RA;
+  RegionSummary S = summarize(Bytes, 0, RA);
+  const BlockSummary *B = S.atEntry(RA.G, 0);
+  ASSERT_NE(B, nullptr);
+  EXPECT_FALSE(B->SuccsExact);
+  // r5 is unknown but affine: the exit target is checkable (r5+0), so
+  // the block is *not* unresolved...
+  EXPECT_EQ(B->ExitTarget, SymValue::entry(5));
+  EXPECT_FALSE(B->hasReason(InterpReason::UnresolvedSuccessor));
+
+  // ...whereas a target laundered through memory is Top.
+  Assembler A2;
+  A2.emit(Instruction::loadMem(5, R(6)));
+  A2.emit(Instruction::jump(Func::Snd, silver::abi::TmpReg, R(5)));
+  std::vector<uint8_t> Bytes2 = assembleAt(A2, 0);
+  RegionAnalysis RA2;
+  RegionSummary S2 = summarize(Bytes2, 0, RA2);
+  const BlockSummary *B2 = S2.atEntry(RA2.G, 0);
+  ASSERT_NE(B2, nullptr);
+  EXPECT_TRUE(B2->ExitTarget.isTop());
+  EXPECT_TRUE(B2->hasReason(InterpReason::UnresolvedSuccessor));
+  EXPECT_FALSE(B2->Translatable);
+}
+
+TEST(BlockSummary, IoAndIllegalClassification) {
+  Assembler A;
+  A.emit(Instruction::interrupt());
+  A.emitHalt();
+  std::vector<uint8_t> Bytes = assembleAt(A, 0);
+  RegionAnalysis RA;
+  RegionSummary S = summarize(Bytes, 0, RA);
+  const BlockSummary *B = S.atEntry(RA.G, 0);
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(B->hasReason(InterpReason::Io));
+  EXPECT_FALSE(B->Translatable);
+
+  // An undecodable word classifies as an illegal instruction.
+  std::vector<uint8_t> Garbage = {0xff, 0xff, 0xff, 0xff};
+  RegionAnalysis RA2;
+  RegionSummary S2 = summarize(Garbage, 0, RA2);
+  const BlockSummary *B2 = S2.atEntry(RA2.G, 0);
+  ASSERT_NE(B2, nullptr);
+  EXPECT_TRUE(B2->hasReason(InterpReason::IllegalInstruction));
+}
+
+TEST(BlockSummary, StoreToOwnCodeIsSelfModifying) {
+  // li r5, <addr of the add>; stw r5, [r5] — patches reachable code.
+  Assembler A;
+  A.emitLi(5, 0x3000);
+  A.emit(Instruction::storeMem(R(5), R(5)));
+  A.emitHalt();
+  std::vector<uint8_t> Bytes = assembleAt(A, 0x3000);
+
+  RegionAnalysis RA;
+  RegionSummary S = summarize(Bytes, 0x3000, RA);
+  const BlockSummary *B = S.atEntry(RA.G, 0x3000);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Writes.K, MemRange::Kind::Absolute);
+  EXPECT_TRUE(B->hasReason(InterpReason::SelfModifying));
+  EXPECT_FALSE(B->Translatable);
+}
+
+// --- the committed self-modifying reproducer --------------------------------
+
+TEST(BlockSummary, SelfmodCorpusCaseClassifiesInterpreterOnly) {
+  Result<fuzz::CaseSpec> C =
+      fuzz::loadCase(std::string(SILVER_FUZZ_CORPUS_DIR) + "/selfmod-0.s");
+  ASSERT_TRUE(C) << C.error().str();
+
+  ImageSummary S = summarizeCase(*C);
+  // The patching store lives in the program region; entry-constant
+  // seeding must resolve its absolute target and flag the block.
+  bool Found = false;
+  for (const BlockSummary &B : S.Program.Blocks)
+    if (B.Reachable && B.hasReason(InterpReason::SelfModifying)) {
+      Found = true;
+      EXPECT_FALSE(B.Translatable);
+      EXPECT_EQ(B.Writes.K, MemRange::Kind::Absolute);
+    }
+  EXPECT_TRUE(Found)
+      << "selfmod-0.s has no block classified InterpreterOnly{self-modifying}";
+}
+
+// --- real example images ----------------------------------------------------
+
+TEST(JitReadiness, ExampleAppsClearTheBar) {
+  // The tracked acceptance bar: at least 80% of reachable blocks of the
+  // hello/wc/sort images are Translatable (ROADMAP: baseline-JIT prep).
+  const struct {
+    const char *Name;
+    const char *Source;
+  } Apps[] = {{"hello", stack::helloSource()},
+              {"wc", stack::wcSource()},
+              {"sort", stack::sortSource()}};
+  for (const auto &[Name, Source] : Apps) {
+    stack::RunSpec Spec;
+    Spec.Source = Source;
+    Result<stack::Prepared> P = stack::prepare(Spec);
+    ASSERT_TRUE(P) << Name << ": " << P.error().str();
+    Result<AuditReport> Report = stack::auditPrepared(*P);
+    ASSERT_TRUE(Report) << Name << ": " << Report.error().str();
+
+    ImageSummary S = summarizeImage(*Report);
+    JitReadinessReport Ready = jitReadiness(S);
+    EXPECT_GE(Ready.fraction(), 0.80)
+        << Name << ": only " << Ready.totalTranslatable() << "/"
+        << Ready.totalBlocks() << " blocks translatable";
+
+    // Every reachable block is classified: Translatable or reasoned.
+    for (const RegionSummary *R : {&S.Startup, &S.Syscall, &S.Program})
+      for (const BlockSummary &B : R->Blocks)
+        if (B.Reachable) {
+          EXPECT_TRUE(B.Translatable || !B.Reasons.empty());
+        }
+  }
+}
+
+TEST(SummaryObligations, FlagsUnknownStackAndRawIo) {
+  // Synthetic program region: one clean block, one violating both
+  // opt-in obligations.
+  ImageSummary S;
+  BlockSummary Clean;
+  Clean.Reachable = true;
+  Clean.EntryAddr = 0x1000;
+  for (unsigned Reg = 0; Reg != isa::NumRegs; ++Reg)
+    Clean.RegOut[Reg] = SymValue::entry(Reg);
+  BlockSummary Bad = Clean;
+  Bad.EntryAddr = 0x1010;
+  Bad.RegOut[silver::abi::StackReg] = SymValue::top();
+  Bad.Reasons.push_back(InterpReason::Io);
+  S.Program.Blocks = {Clean, Bad};
+
+  SummaryObligations O;
+  EXPECT_TRUE(checkObligations(S, O).empty()); // nothing requested
+
+  O.StackDiscipline = true;
+  O.NoRawIo = true;
+  std::vector<AuditDiag> Diags = checkObligations(S, O);
+  ASSERT_EQ(Diags.size(), 2u);
+  EXPECT_EQ(std::string(auditRuleId(Diags[0].Rule)), "img-stack-discipline");
+  EXPECT_EQ(std::string(auditRuleId(Diags[1].Rule)), "img-raw-io");
+  EXPECT_EQ(Diags[0].Addr, 0x1010u);
+}
+
+TEST(SummaryObligations, ExampleImagesSatisfyThem) {
+  // The compiled examples keep a disciplined stack and route all IO
+  // through the syscall code, so the opt-in obligations hold.
+  stack::RunSpec Spec;
+  Spec.Source = stack::helloSource();
+  Result<stack::Prepared> P = stack::prepare(Spec);
+  ASSERT_TRUE(P) << P.error().str();
+  analysis::SummaryObligations O;
+  O.StackDiscipline = true;
+  O.NoRawIo = true;
+  Result<AuditReport> Report = stack::auditPrepared(*P, O);
+  ASSERT_TRUE(Report) << Report.error().str();
+  for (const AuditDiag &D : Report->Diags)
+    ADD_FAILURE() << formatDiag(D);
+}
+
+TEST(JitReadiness, JsonIsDeterministic) {
+  stack::RunSpec Spec;
+  Spec.Source = stack::helloSource();
+  Result<stack::Prepared> P = stack::prepare(Spec);
+  ASSERT_TRUE(P) << P.error().str();
+  Result<AuditReport> Report = stack::auditPrepared(*P);
+  ASSERT_TRUE(Report) << Report.error().str();
+
+  ImageSummary S1 = summarizeImage(*Report);
+  ImageSummary S2 = summarizeImage(*Report);
+  EXPECT_EQ(toJson(jitReadiness(S1)), toJson(jitReadiness(S2)));
+  EXPECT_NE(toJson(jitReadiness(S1)).find("\"fraction\""), std::string::npos);
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI analysis gate: regenerates `silverc --analyze --json` for every
+# builtin example app and byte-diffs the output against the committed
+# reports/jit-readiness/<app>.json.  A compiler or analysis change that
+# shifts any block's JIT-readiness classification fails here visibly;
+# if the shift is intended, re-baseline with the command printed below.
+#
+# usage: gate.sh <path-to-silverc> <path-to-reports-dir>
+set -u
+
+SILVERC="$1"
+REPORTS="$2"
+STATUS=0
+
+for APP in hello cat wc sort proof tin; do
+  WANT="$REPORTS/$APP.json"
+  if ! [ -f "$WANT" ]; then
+    echo "analysis-gate: missing committed report $WANT"
+    STATUS=1
+    continue
+  fi
+  if ! GOT="$("$SILVERC" --analyze --json --builtin="$APP" 2>/dev/null)"; then
+    echo "analysis-gate: silverc --analyze failed on $APP"
+    STATUS=1
+    continue
+  fi
+  if ! diff -u "$WANT" <(printf '%s\n' "$GOT"); then
+    echo "analysis-gate: '$APP' drifted from its committed report."
+    echo "  If intended: silverc --analyze --json --builtin=$APP \\"
+    echo "               > reports/jit-readiness/$APP.json"
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "analysis-gate: all committed jit-readiness reports match"
+fi
+exit $STATUS
