@@ -35,7 +35,7 @@ void runIsaApp(benchmark::State &State, const char *Source,
   Spec.CommandLine = Cl;
   Spec.Compile.Layout.MemSize = 16u << 20;
   Spec.Compile.Layout.StdinCap = 2u << 20;
-  Spec.MaxSteps = 4'000'000'000ull;
+  Spec.Exec.MaxSteps = 4'000'000'000ull;
 
   Result<Executor> ExecOr = Executor::create(Spec);
   if (!ExecOr) {

@@ -75,7 +75,7 @@ void BM_TinOnSilverIsa(benchmark::State &State) {
   Spec.Source = tinCompilerSource();
   Spec.StdinData = tinProgram();
   Spec.CommandLine = {"tin"};
-  Spec.MaxSteps = 2'000'000'000ull;
+  Spec.Exec.MaxSteps = 2'000'000'000ull;
   Result<Executor> ExecOr = Executor::create(Spec);
   if (!ExecOr) {
     State.SkipWithError(ExecOr.error().str().c_str());
@@ -110,7 +110,7 @@ void BM_TinOnSilverRtl(benchmark::State &State) {
   Spec.Source = tinCompilerSource();
   Spec.StdinData = sampleTinProgram(2);
   Spec.CommandLine = {"tin"};
-  Spec.MaxSteps = 2'000'000'000ull;
+  Spec.Exec.MaxSteps = 2'000'000'000ull;
   Result<Executor> ExecOr = Executor::create(Spec);
   if (!ExecOr) {
     State.SkipWithError(ExecOr.error().str().c_str());

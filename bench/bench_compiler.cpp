@@ -42,7 +42,7 @@ void compareOptLevels(benchmark::State &State, const char *Source,
   Spec.StdinData = Stdin;
   Spec.Compile.Opt =
       Optimised ? cml::OptOptions::all() : cml::OptOptions::none();
-  Spec.MaxSteps = 2'000'000'000ull;
+  Spec.Exec.MaxSteps = 2'000'000'000ull;
   Result<Prepared> P = prepare(Spec);
   if (!P) {
     State.SkipWithError("compile failed");
@@ -88,7 +88,7 @@ void BM_OomShrinkingHeaps(benchmark::State &State) {
   )";
   Spec.Compile.Layout.MemSize =
       static_cast<Word>(State.range(0)) << 10; // KiB
-  Spec.MaxSteps = 1'000'000'000ull;
+  Spec.Exec.MaxSteps = 1'000'000'000ull;
   bool Oom = false;
   for (auto _ : State) {
     Result<Observed> R = run(Spec, Level::Isa);

@@ -88,7 +88,7 @@ void BM_CpiHello(benchmark::State &State) {
   using namespace silver::stack;
   RunSpec Spec;
   Spec.Source = helloSource();
-  Spec.MaxSteps = 100'000'000;
+  Spec.Exec.MaxSteps = 100'000'000;
   Result<Prepared> P = prepare(Spec);
   if (!P) {
     State.SkipWithError("compile failed");

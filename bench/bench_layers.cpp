@@ -54,27 +54,46 @@ struct Row {
   double CyclesPerSec = 0;
 };
 
+/// One measured (level, backend) cell.  The JIT is not a Figure-1 layer
+/// — it is the Isa level stepped by the BackendKind::Jit engine — so it
+/// gets its own row name ("jit") rather than a new Level.
+struct Cell {
+  Level L;
+  BackendKind Backend = BackendKind::Interp;
+};
+
+const char *cellName(const Cell &C) {
+  return C.Backend == BackendKind::Jit ? "jit" : levelName(C.L);
+}
+
 struct Workload {
   std::string Name;
   RunSpec Spec;
-  std::vector<Level> Levels;
+  std::vector<Cell> Cells;
 };
 
 std::vector<Workload> workloads() {
   std::vector<Workload> W;
   RunSpec Hello;
   Hello.Source = helloSource();
-  Hello.MaxSteps = 100'000'000;
+  Hello.Exec.MaxSteps = 100'000'000;
   W.push_back({"hello",
                Hello,
-               {Level::Machine, Level::Isa, Level::Rtl, Level::Verilog}});
+               {{Level::Machine},
+                {Level::Isa},
+                {Level::Rtl},
+                {Level::Verilog},
+                {Level::Isa, BackendKind::Jit}}});
   // A longer interpreter-bound workload: the cycle-accurate levels would
-  // take minutes here, so wc only measures the two interpreters.
+  // take minutes here, so wc only measures the two interpreters and the
+  // JIT.
   RunSpec Wc;
   Wc.Source = wcSource();
   Wc.StdinData = randomLines(200, 1);
-  Wc.MaxSteps = 100'000'000;
-  W.push_back({"wc-200", Wc, {Level::Machine, Level::Isa}});
+  Wc.Exec.MaxSteps = 100'000'000;
+  W.push_back({"wc-200",
+               Wc,
+               {{Level::Machine}, {Level::Isa}, {Level::Isa, BackendKind::Jit}}});
   return W;
 }
 
@@ -310,24 +329,38 @@ int main(int Argc, char **Argv) {
 
   std::vector<Row> Rows;
   for (const Workload &W : workloads()) {
-    Result<Executor> ExecOr = Executor::create(W.Spec);
-    if (!ExecOr) {
-      std::fprintf(stderr, "bench_layers: %s: %s\n", W.Name.c_str(),
-                   ExecOr.error().str().c_str());
-      return 1;
-    }
-    Executor Exec = ExecOr.take();
-    for (Level L : W.Levels) {
+    for (const Cell &C : W.Cells) {
+      if (C.Backend == BackendKind::Jit &&
+          !backendSupported(BackendKind::Jit)) {
+        // No row at all: the baseline guard reports absent cells as
+        // "new cell" notes, so an unsupported host passes rather than
+        // recording interpreter numbers under the jit label.
+        std::fprintf(stderr,
+                     "bench_layers: skipping %s/jit (host unsupported)\n",
+                     W.Name.c_str());
+        continue;
+      }
+      // The backend is part of the session spec, so each cell gets its
+      // own (untimed) Executor rather than sharing one per workload.
+      RunSpec Spec = W.Spec;
+      Spec.Exec.Backend = C.Backend;
+      Result<Executor> ExecOr = Executor::create(Spec);
+      if (!ExecOr) {
+        std::fprintf(stderr, "bench_layers: %s: %s\n", W.Name.c_str(),
+                     ExecOr.error().str().c_str());
+        return 1;
+      }
+      Executor Exec = ExecOr.take();
       Row R;
       R.Name = W.Name;
-      R.Level = levelName(L);
+      R.Level = cellName(C);
       std::vector<uint64_t> Samples;
       for (unsigned Rep = 0; Rep != Warmup + Reps; ++Rep) {
         Result<uint64_t> Ns =
-            timedRun(Exec, L, R.Instructions, R.Cycles);
+            timedRun(Exec, C.L, R.Instructions, R.Cycles);
         if (!Ns) {
           std::fprintf(stderr, "bench_layers: %s at %s: %s\n",
-                       W.Name.c_str(), levelName(L),
+                       W.Name.c_str(), cellName(C),
                        Ns.error().str().c_str());
           return 1;
         }

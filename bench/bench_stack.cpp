@@ -44,21 +44,21 @@ std::vector<Workload> workloads() {
 
   RunSpec Hello;
   Hello.Source = helloSource();
-  Hello.MaxSteps = 100'000'000;
+  Hello.Exec.MaxSteps = 100'000'000;
   W.push_back({"hello", Hello, {Level::Isa, Level::Rtl, Level::Verilog}});
 
   RunSpec Wc;
   Wc.Source = wcSource();
   Wc.CommandLine = {"wc"};
   Wc.StdinData = randomLines(/*LineCount=*/10, /*Seed=*/7);
-  Wc.MaxSteps = 100'000'000;
+  Wc.Exec.MaxSteps = 100'000'000;
   W.push_back({"wc-10", Wc, {Level::Isa, Level::Rtl}});
 
   RunSpec Sort;
   Sort.Source = sortSource();
   Sort.CommandLine = {"sort"};
   Sort.StdinData = randomLines(/*LineCount=*/10, /*Seed=*/9);
-  Sort.MaxSteps = 200'000'000;
+  Sort.Exec.MaxSteps = 200'000'000;
   W.push_back({"sort-10", Sort, {Level::Isa, Level::Rtl}});
 
   return W;

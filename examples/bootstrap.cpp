@@ -26,7 +26,7 @@ int main() {
   stack::RunSpec Spec;
   Spec.Source = stack::tinCompilerSource();
   Spec.StdinData = TinProgram;
-  Spec.MaxSteps = 500'000'000;
+  Spec.Exec.MaxSteps = 500'000'000;
 
   // Native path: the Tin compiler as a C++ function (tin_spec itself).
   auto T0 = std::chrono::steady_clock::now();

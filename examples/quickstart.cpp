@@ -26,7 +26,7 @@ int main() {
     fun fib n = if n < 2 then n else fib (n - 1) + fib (n - 2);
     val _ = print_line (int_to_string (fib 12))
   )";
-  Spec.MaxSteps = 50'000'000;
+  Spec.Exec.MaxSteps = 50'000'000;
 
   Result<stack::Executor> ExecOr = stack::Executor::create(Spec);
   if (!ExecOr) {

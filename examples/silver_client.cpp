@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "stack/Apps.h"
+#include "stack/Stack.h"
 #include "support/StringUtils.h"
 #include "svc/Client.h"
 
@@ -45,7 +46,8 @@ int usage() {
       stderr,
       "usage: silver-client --socket=PATH|--tcp=HOST:PORT COMMAND ...\n"
       "  submit FILE|--builtin=hello|cat|wc|sort|proof\n"
-      "         [--level=spec|machine|isa|rtl|verilog] [--args=\"...\"]\n"
+      "         [--level=spec|machine|isa|rtl|verilog]\n"
+      "         [--backend=interp|jit] [--args=\"...\"]\n"
       "         [--stdin-file=FILE] [--priority=N] [--slice=N]\n"
       "         [--max-steps=N] [--wall-ms=N] [--wait-ms=N] [--json]\n"
       "  status JOBID [--wait-ms=N] [--json]\n"
@@ -173,7 +175,19 @@ int main(int Argc, char **Argv) {
     else if (startsWith(A, "--builtin="))
       Builtin = A.substr(10);
     else if (startsWith(A, "--level=")) {
-      if (!parseLevel(A.substr(8), Spec.Level))
+      std::string Name = A.substr(8);
+      if (Name == "jit") {
+        // The old ad-hoc spelling, before --backend= was uniform
+        // across the CLIs; jit is a backend, not a Figure-1 level.
+        std::fprintf(stderr,
+                     "silver-client: warning: --level=jit is deprecated; "
+                     "use --level=isa --backend=jit\n");
+        Spec.Level = stack::Level::Isa;
+        Spec.Backend = stack::BackendKind::Jit;
+      } else if (!parseLevel(Name, Spec.Level))
+        return usage();
+    } else if (startsWith(A, "--backend=")) {
+      if (!stack::parseBackendKind(A.substr(10), Spec.Backend))
         return usage();
     } else if (startsWith(A, "--args="))
       Args = A.substr(7);

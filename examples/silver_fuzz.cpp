@@ -19,6 +19,7 @@
 
 #include "fuzz/Containment.h"
 #include "fuzz/Fuzzer.h"
+#include "stack/Stack.h"
 
 #include <cstring>
 #include <iomanip>
@@ -59,6 +60,10 @@ int usage(const char *Argv0) {
       << "  --levels=a,b,..   levels to compare against the ISA reference\n"
       << "                    (machine, isa, rtl, verilog; default\n"
       << "                    machine,rtl)\n"
+      << "  --backend=B       interp (default) or jit: jit additionally\n"
+      << "                    runs every case at the ISA level on the JIT\n"
+      << "                    backend and compares it exactly against the\n"
+      << "                    interpreter (the Jit-vs-Isa level)\n"
       << "  --profiles=a,b,.. program shapes (alu, branchy, loadstore,\n"
       << "                    ffi, mixed; default all)\n"
       << "  --max-steps=N     ISA instruction budget per case\n"
@@ -72,7 +77,8 @@ int usage(const char *Argv0) {
   return 2;
 }
 
-bool parseLevels(const std::string &Arg, std::vector<stack::Level> &Out) {
+bool parseLevels(const std::string &Arg, std::vector<stack::Level> &Out,
+                 bool &Jit) {
   Out.clear();
   std::istringstream In(Arg);
   std::string Name;
@@ -85,10 +91,12 @@ bool parseLevels(const std::string &Arg, std::vector<stack::Level> &Out) {
       Out.push_back(stack::Level::Rtl);
     else if (Name == "verilog")
       Out.push_back(stack::Level::Verilog);
+    else if (Name == "jit")
+      Jit = true; // deprecated spelling of --backend=jit; the caller warns
     else
       return false;
   }
-  return !Out.empty();
+  return !Out.empty() || Jit;
 }
 
 bool parseProfiles(const std::string &Arg, std::vector<fuzz::Profile> &Out) {
@@ -133,8 +141,19 @@ int main(int Argc, char **Argv) {
       else if (const char *V = Value("--max-steps="))
         Opt.Oracle.MaxSteps = std::stoull(V);
       else if (const char *V = Value("--levels=")) {
-        if (!parseLevels(V, Opt.Oracle.Levels))
+        bool Jit = false;
+        if (!parseLevels(V, Opt.Oracle.Levels, Jit))
           return usage(Argv[0]);
+        if (Jit) {
+          std::cerr << "silver-fuzz: warning: --levels=...,jit is "
+                       "deprecated; use --backend=jit\n";
+          Opt.Oracle.CompareJit = true;
+        }
+      } else if (const char *V = Value("--backend=")) {
+        stack::BackendKind B;
+        if (!stack::parseBackendKind(V, B))
+          return usage(Argv[0]);
+        Opt.Oracle.CompareJit = B == stack::BackendKind::Jit;
       } else if (const char *V = Value("--profiles=")) {
         if (!parseProfiles(V, Opt.Profiles))
           return usage(Argv[0]);
@@ -152,6 +171,11 @@ int main(int Argc, char **Argv) {
       return usage(Argv[0]);
     }
   }
+
+  if (Opt.Oracle.CompareJit &&
+      !stack::backendSupported(stack::BackendKind::Jit))
+    std::cerr << "silver-fuzz: warning: the jit backend is not supported on "
+                 "this host; the jit level runs on the interpreter\n";
 
   if (!ContainmentDir.empty()) {
     fuzz::CorpusContainment C =
@@ -194,7 +218,8 @@ int main(int Argc, char **Argv) {
               << Report.WallSeconds << " s, "
               << rate(Report.CasesRun, Report.WallSeconds) << " cases/s\n";
     for (const fuzz::LevelWork &W : Report.Work) {
-      std::cout << "  " << stack::levelName(W.L) << ": " << W.Instructions
+      std::cout << "  " << (W.Jit ? "jit" : stack::levelName(W.L)) << ": "
+                << W.Instructions
                 << " instrs (" << rate(W.Instructions, Report.WallSeconds)
                 << " instrs/s)";
       if (W.Cycles != 0)

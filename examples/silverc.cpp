@@ -6,6 +6,9 @@
 //   silverc --level=rtl prog.cml          ... on the cycle-accurate core
 //   silverc --level=verilog prog.cml      ... on the generated Verilog
 //   silverc --level=spec prog.cml         ... in the reference semantics
+//   silverc --backend=jit prog.cml        ... with the baseline JIT stepping
+//                                         the ISA (degrades to the
+//                                         interpreter where unsupported)
 //   silverc --check prog.cml              run every level and compare
 //   silverc --analyze prog.cml            static installed-image audit plus
 //                                         block summaries and JIT readiness
@@ -68,6 +71,7 @@ int fail(const std::string &Message) {
 int usage() {
   std::fprintf(stderr,
                "usage: silverc [--level=spec|machine|isa|rtl|verilog]\n"
+               "               [--backend=interp|jit]\n"
                "               [--check] [--analyze] [--emit=asm|flat|core]\n"
                "               [-O0|-O1] [--stdin-file=FILE] [--args=\"...\"]\n"
                "               [--trace=FILE] [--trace-jsonl=FILE]\n"
@@ -135,6 +139,7 @@ int emitStage(const std::string &Source, const std::string &What,
 
 int main(int Argc, char **Argv) {
   std::string Level = "isa";
+  std::string Backend;
   std::string Emit;
   std::string File;
   std::string Builtin;
@@ -152,6 +157,8 @@ int main(int Argc, char **Argv) {
     std::string A = Argv[I];
     if (startsWith(A, "--level="))
       Level = A.substr(8);
+    else if (startsWith(A, "--backend="))
+      Backend = A.substr(10);
     else if (startsWith(A, "--emit="))
       Emit = A.substr(7);
     else if (A == "--check")
@@ -186,6 +193,24 @@ int main(int Argc, char **Argv) {
   if (File.empty() == Builtin.empty())
     return usage();
 
+  // The one uniform backend spelling across the CLIs; "--level=jit" was
+  // never a Figure-1 level, so the old spelling is a deprecated alias.
+  if (Level == "jit") {
+    std::fprintf(stderr, "silverc: warning: --level=jit is deprecated; use "
+                         "--level=isa --backend=jit\n");
+    Level = "isa";
+    if (Backend.empty())
+      Backend = "jit";
+  }
+  stack::BackendKind ExecBackend = stack::BackendKind::Interp;
+  if (!Backend.empty() && !stack::parseBackendKind(Backend, ExecBackend))
+    return usage();
+  if (ExecBackend == stack::BackendKind::Jit &&
+      !stack::backendSupported(ExecBackend))
+    std::fprintf(stderr,
+                 "silverc: warning: the jit backend is not supported on "
+                 "this host; running on the interpreter\n");
+
   std::string Source;
   if (!Builtin.empty()) {
     const char *Text = builtinSource(Builtin);
@@ -208,6 +233,7 @@ int main(int Argc, char **Argv) {
   stack::RunSpec Spec;
   Spec.Source = Source;
   Spec.Compile.Opt = Opt;
+  Spec.Exec.Backend = ExecBackend;
   Spec.CommandLine = {File == "-" ? "prog" : File};
   if (!Args.empty())
     for (const std::string &Arg : splitString(Args, ' '))
@@ -233,6 +259,15 @@ int main(int Argc, char **Argv) {
     std::vector<analysis::Diagnostic> Diags =
         analysis::toDiagnostics(Report->Diags);
     for (analysis::Diagnostic &D : analysis::readinessDiagnostics(Summary))
+      Diags.push_back(std::move(D));
+    // Cross-check the static classification against the JIT's actual
+    // block scan: a Translatable block the JIT still refuses becomes a
+    // "jit-bailout" note (and lands in the committed gate reports).
+    Result<sys::MemoryImage> Image = sys::buildImage(P->Image);
+    if (!Image)
+      return fail(Image.error().str());
+    for (analysis::Diagnostic &D : analysis::jitBailoutDiagnostics(
+             Summary, sys::initialState(*Image)))
       Diags.push_back(std::move(D));
 
     if (Json) {

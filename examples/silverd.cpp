@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "stack/Stack.h"
 #include "svc/Server.h"
 #include "svc/Service.h"
 #include "support/StringUtils.h"
@@ -109,6 +110,9 @@ int main(int Argc, char **Argv) {
     std::printf("silverd: listening on %s\n", SrvOpts.SocketPath.c_str());
   std::printf("silverd: %u workers, queue depth %zu\n", SvcOpts.Workers,
               SvcOpts.QueueDepth);
+  if (!stack::backendSupported(stack::BackendKind::Jit))
+    std::printf("silverd: jit backend unsupported on this host; jit jobs "
+                "run on the interpreter\n");
   std::fflush(stdout);
 
   // The server runs on its own threads; this loop only watches for the

@@ -35,7 +35,7 @@ int main() {
     Spec.StdinData = Input;
     Spec.Compile.Layout.MemSize = 16u << 20;
     Spec.Compile.Layout.StdinCap = 1u << 20;
-    Spec.MaxSteps = 3'000'000'000ull;
+    Spec.Exec.MaxSteps = 3'000'000'000ull;
     Result<stack::Observed> R = runOnce(Spec, stack::Level::Isa);
     if (!R) {
       std::fprintf(stderr, "isa: %s\n", R.error().str().c_str());
@@ -55,7 +55,7 @@ int main() {
     stack::RunSpec Spec;
     Spec.Source = stack::sortSource();
     Spec.StdinData = Input;
-    Spec.MaxSteps = 400'000'000ull;
+    Spec.Exec.MaxSteps = 400'000'000ull;
     Result<stack::Observed> R = runOnce(Spec, stack::Level::Rtl);
     if (!R) {
       std::fprintf(stderr, "rtl: %s\n", R.error().str().c_str());

@@ -8,6 +8,7 @@
 #include "analysis/JitReadiness.h"
 
 #include "isa/Abi.h"
+#include "isa/jit/Jit.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -114,6 +115,39 @@ silver::analysis::readinessDiagnostics(const ImageSummary &S) {
         D.Message += I ? ", " : " ";
         D.Message += interpReasonId(B.Reasons[I]);
       }
+      Out.push_back(std::move(D));
+    }
+  }
+  return Out;
+}
+
+std::vector<Diagnostic>
+silver::analysis::jitBailoutDiagnostics(const ImageSummary &S,
+                                        const isa::MachineState &State) {
+  std::vector<Diagnostic> Out;
+  const struct {
+    const char *Name;
+    const RegionSummary *Summary;
+  } Regions[] = {{"startup", &S.Startup},
+                 {"syscall", &S.Syscall},
+                 {"program", &S.Program}};
+  for (const auto &Region : Regions) {
+    for (const BlockSummary &B : Region.Summary->Blocks) {
+      if (!B.Reachable || !B.Translatable)
+        continue;
+      isa::jit::BlockProbe P = isa::jit::probeBlock(State, B.EntryAddr);
+      if (P.Compilable)
+        continue;
+      Diagnostic D;
+      D.Id = "jit-bailout";
+      D.Severity = Diagnostic::Level::Note;
+      D.Subject = Region.Name;
+      D.HasAddr = true;
+      D.Addr = B.EntryAddr;
+      D.Message = std::string("block is Translatable but the JIT refuses"
+                              " it: ") +
+                  isa::jit::refuseReasonId(P.Refused) + " after " +
+                  std::to_string(P.Instrs) + " instructions";
       Out.push_back(std::move(D));
     }
   }

@@ -23,6 +23,7 @@
 
 #include "analysis/BlockSummary.h"
 #include "analysis/Diagnostic.h"
+#include "isa/MachineState.h"
 
 #include <array>
 #include <string>
@@ -63,6 +64,17 @@ std::string toJson(const JitReadinessReport &R);
 /// Advisory diagnostics for the front ends: one "jit-interpreter-only"
 /// note per reachable InterpreterOnly block, listing its reasons.
 std::vector<Diagnostic> readinessDiagnostics(const ImageSummary &S);
+
+/// Cross-checks the static classification against the JIT's actual
+/// block scan (isa::jit::probeBlock shares the compiler's code path):
+/// one "jit-bailout" note per reachable block the summaries classify
+/// Translatable but the JIT refuses at compile time, with the stable
+/// refusal reason.  \p State is the booted image the summaries describe
+/// (sys::initialState); the probe is pure C++ and host-independent, so
+/// the notes — and the committed reports containing them — are
+/// byte-identical across hosts.
+std::vector<Diagnostic> jitBailoutDiagnostics(const ImageSummary &S,
+                                              const isa::MachineState &State);
 
 } // namespace analysis
 } // namespace silver

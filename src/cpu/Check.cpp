@@ -8,7 +8,7 @@
 #include "cpu/Check.h"
 
 #include "isa/Abi.h"
-#include "isa/DecodeCache.h"
+#include "isa/ExecBackend.h"
 #include "isa/Encoding.h"
 #include "support/StringUtils.h"
 
@@ -196,11 +196,13 @@ Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,
   CoreSim &Sim = **SimOr;
   Sim.primeArchState(Initial);
 
-  // The ISA side: its own copy of the machine state and environment.
-  // The ISA steps run predecoded; SysEnv only reads memory on interrupts,
-  // so the interpreter's own store invalidation keeps the cache exact.
+  // The ISA side: its own copy of the machine state and environment,
+  // stepped through an execution backend (the lock-step retire-by-retire
+  // comparison wants interpreter-exact single steps, so the reference
+  // backend is the right one; SysEnv only reads memory on interrupts,
+  // and the backend's own store invalidation keeps it exact).
   isa::MachineState Isa = Initial;
-  isa::DecodeCache IsaCache;
+  std::unique_ptr<isa::ExecBackend> IsaBackend = isa::makeInterpBackend();
   std::unique_ptr<sys::SysEnv> SysEnv;
   if (Layout)
     SysEnv = std::make_unique<sys::SysEnv>(*Layout);
@@ -233,7 +235,7 @@ Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,
   };
 
   while (Instructions < MaxInstructions) {
-    if (isa::isHalted(Isa, IsaCache))
+    if (IsaBackend->isHalted(Isa))
       break;
     if (Cycles > Options.MaxCycles)
       return Error("cycle budget exhausted before instruction " +
@@ -248,7 +250,7 @@ Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,
       continue;
 
     // One implementation retire corresponds to one ISA Next step.
-    isa::StepResult S = isa::step(Isa, IsaEnv, IsaCache);
+    isa::StepResult S = IsaBackend->step(Isa, IsaEnv);
     if (!S.ok())
       return Error("ISA faulted at instruction " +
                    std::to_string(Instructions) +

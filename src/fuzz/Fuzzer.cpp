@@ -27,12 +27,14 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
   std::atomic<uint64_t> CasesRun{0};
   std::atomic<uint64_t> Inconclusive{0};
   std::atomic<uint64_t> CaseErrors{0};
-  // Per-level work totals, indexed by stack::Level; summed lock-free in
-  // the workers and folded into the report at the end.
+  // Per-level work totals, indexed by stack::Level with one extra slot
+  // for the Jit-vs-Isa differential runs; summed lock-free in the
+  // workers and folded into the report at the end.
   constexpr size_t NumLevels = static_cast<size_t>(stack::Level::Verilog) + 1;
-  std::array<std::atomic<uint64_t>, NumLevels> LevelInstrs{};
-  std::array<std::atomic<uint64_t>, NumLevels> LevelCycles{};
-  std::array<std::atomic<uint64_t>, NumLevels> LevelRuns{};
+  constexpr size_t JitSlot = NumLevels;
+  std::array<std::atomic<uint64_t>, NumLevels + 1> LevelInstrs{};
+  std::array<std::atomic<uint64_t>, NumLevels + 1> LevelCycles{};
+  std::array<std::atomic<uint64_t>, NumLevels + 1> LevelRuns{};
   std::mutex Mu; // guards Report.Findings and O.Log
   const auto Start = std::chrono::steady_clock::now();
   const auto Deadline =
@@ -64,7 +66,7 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
       for (const LevelRun &Run : R->Runs) {
         if (!Run.Ran)
           continue;
-        size_t L = static_cast<size_t>(Run.L);
+        size_t L = Run.Jit ? JitSlot : static_cast<size_t>(Run.L);
         LevelRuns[L].fetch_add(1, std::memory_order_relaxed);
         LevelInstrs[L].fetch_add(Run.Behaviour.Instructions,
                                  std::memory_order_relaxed);
@@ -118,11 +120,12 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
   Report.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
-  for (size_t L = 0; L != NumLevels; ++L) {
+  for (size_t L = 0; L != NumLevels + 1; ++L) {
     if (LevelRuns[L].load() == 0)
       continue;
     LevelWork W;
-    W.L = static_cast<stack::Level>(L);
+    W.L = L == JitSlot ? stack::Level::Isa : static_cast<stack::Level>(L);
+    W.Jit = L == JitSlot;
     W.Instructions = LevelInstrs[L].load();
     W.Cycles = LevelCycles[L].load();
     Report.Work.push_back(W);

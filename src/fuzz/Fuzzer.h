@@ -70,6 +70,7 @@ struct Finding {
 /// ones).
 struct LevelWork {
   stack::Level L = stack::Level::Isa;
+  bool Jit = false; ///< the Jit-vs-Isa differential runs (L is Isa)
   uint64_t Instructions = 0;
   uint64_t Cycles = 0;
 };

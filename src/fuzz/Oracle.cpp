@@ -7,6 +7,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "machine/MachineSem.h"
 #include "obs/TraceSink.h"
 #include "support/StringUtils.h"
 #include "sys/Syscalls.h"
@@ -37,7 +38,7 @@ const char *silver::fuzz::diffKindName(DiffKind K) {
 
 std::string Divergence::fingerprint() const {
   return std::string(diffKindName(Kind)) + ":" + stack::levelName(Ref) + ":" +
-         stack::levelName(Other);
+         (OtherJit ? "jit" : stack::levelName(Other));
 }
 
 Result<stack::Prepared> silver::fuzz::prepareCase(const CaseSpec &C) {
@@ -80,20 +81,28 @@ Result<stack::Prepared> silver::fuzz::prepareCase(const CaseSpec &C) {
 namespace {
 
 LevelRun runOne(const stack::Prepared &P, const CaseSpec &C, Level L,
-                uint64_t MaxSteps) {
+                uint64_t MaxSteps, bool Jit = false) {
   LevelRun R;
   R.L = L;
+  R.Jit = Jit;
   R.Ran = true;
 
   stack::RunSpec Spec;
   Spec.CommandLine = C.CommandLine;
   Spec.StdinData = C.StdinData;
-  Spec.MaxSteps = MaxSteps;
+  Spec.Exec.MaxSteps = MaxSteps;
+  Spec.Exec.Backend =
+      Jit ? stack::BackendKind::Jit : stack::BackendKind::Interp;
+  Spec.Exec.JitHotThreshold = 1; // cases are short; compile everything
 
   stack::Executor E = stack::Executor::fromPrepared(Spec, P);
   obs::TraceSink Sink;
   Sink.setFfiNames(stack::Executor::ffiNames());
-  E.attach(&Sink);
+  // The JIT run stays unobserved: per-step retire events would force
+  // every block back to the interpreter, and the retire stream is only
+  // compared for the hardware levels anyway.
+  if (!Jit)
+    E.attach(&Sink);
 
   if (Result<void> B = E.begin(L); !B) {
     R.Errored = true;
@@ -127,6 +136,7 @@ Divergence diverge(DiffKind K, const LevelRun &Other, std::string Detail) {
   D.Kind = K;
   D.Ref = Level::Isa;
   D.Other = Other.L;
+  D.OtherJit = Other.Jit;
   D.Detail = std::move(Detail);
   return D;
 }
@@ -140,6 +150,19 @@ Divergence compareRuns(const LevelRun &Ref, const LevelRun &R, bool HasFfi) {
     // asymmetry the fuzzer exists to find.
     if (Ref.Errored == R.Errored)
       return {};
+    if (!Ref.Errored && R.L == Level::Machine &&
+        R.ErrorMessage == machine::OracleRejectedMessage) {
+      // ffi_interfer is specified only for well-formed FFI call states;
+      // the real syscall code the other levels run has no such domain
+      // restriction.  A generated case that wanders out of the domain
+      // (e.g. a looped get_arg that turns its own result bytes into an
+      // out-of-range index) is outside the theorem, not a divergence.
+      Divergence D;
+      D.Kind = DiffKind::Inconclusive;
+      D.Detail = "FFI call left the interference oracle's well-formed "
+                 "domain";
+      return D;
+    }
     const LevelRun &Bad = Ref.Errored ? Ref : R;
     return diverge(DiffKind::Status, R,
                    std::string(stack::levelName(Bad.L)) +
@@ -256,6 +279,17 @@ Result<OracleResult> silver::fuzz::runCase(const CaseSpec &C,
       Isa.Errored ? O.MaxSteps : Isa.Behaviour.Instructions + 256;
 
   Res.Runs.push_back(Isa);
+  if (O.CompareJit) {
+    // The Jit-vs-Isa differential level: the same image at Level::Isa
+    // stepped by the JIT backend.  Neither masked asymmetry applies (no
+    // extra halt retire, no oracle clobber difference), so the
+    // comparison is exact down to the final digest.
+    LevelRun J = runOne(*POr, C, Level::Isa, Budget, /*Jit=*/true);
+    Divergence D = compareRuns(Res.Runs.front(), J, C.hasFfi());
+    Res.Runs.push_back(std::move(J));
+    if (D.found() && !Res.Diff.found())
+      Res.Diff = D;
+  }
   for (Level L : O.Levels) {
     if (L == Level::Isa)
       continue;
@@ -264,6 +298,9 @@ Result<OracleResult> silver::fuzz::runCase(const CaseSpec &C,
     Res.Runs.push_back(std::move(R));
     if (D.found() && !Res.Diff.found())
       Res.Diff = D;
+    else if (D.Kind == DiffKind::Inconclusive &&
+             Res.Diff.Kind == DiffKind::None)
+      Res.Diff = D; // counted, but a later real divergence still wins
   }
   return Res;
 }

@@ -60,6 +60,7 @@ namespace fuzz {
 /// What one level did with the case.
 struct LevelRun {
   stack::Level L = stack::Level::Isa;
+  bool Jit = false; ///< ran at Isa with the JIT backend (Jit-vs-Isa level)
   bool Ran = false;
   bool Errored = false; ///< the executor reported an error (fault, ...)
   std::string ErrorMessage;
@@ -85,6 +86,7 @@ struct Divergence {
   DiffKind Kind = DiffKind::None;
   stack::Level Ref = stack::Level::Isa;
   stack::Level Other = stack::Level::Isa;
+  bool OtherJit = false;  ///< Other ran at Isa with the JIT backend
   std::string Detail;     ///< human-readable description
   uint64_t RetireAt = 0;  ///< Retire: first differing index
 
@@ -103,6 +105,12 @@ struct OracleOptions {
   std::vector<stack::Level> Levels = {stack::Level::Machine,
                                       stack::Level::Rtl};
   uint64_t MaxSteps = 100'000; ///< ISA instruction budget
+  /// Also run the case at Level::Isa with the JIT backend
+  /// (stack::BackendKind::Jit) and compare it against the interpreter
+  /// exactly — the Jit-vs-Isa differential level.  On hosts without
+  /// native JIT support the run degrades to the interpreter, so the
+  /// comparison is trivially green rather than an error.
+  bool CompareJit = false;
 };
 
 struct OracleResult {

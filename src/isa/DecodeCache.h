@@ -142,11 +142,29 @@ public:
 
   const Stats &stats() const { return S; }
 
-private:
-  static constexpr unsigned PageShift = 12; ///< 4 KiB code pages
+  /// Invokes \p Fn with the base address of every page that holds at
+  /// least one decoded slot.  The JIT backend uses this to re-derive its
+  /// store-guard page set after an interpreter-delegated run filled the
+  /// cache behind its back (isa/jit/Jit.h).
+  template <class Fn> void forEachCachedPage(Fn &&F) const {
+    for (size_t PageIdx = 0; PageIdx != Pages.size(); ++PageIdx) {
+      if (!Pages[PageIdx])
+        continue;
+      for (const DecodedInsn &E : Pages[PageIdx]->Slots)
+        if (E.St != DecodedInsn::Empty) {
+          F(static_cast<Word>(PageIdx) << PageShift);
+          break;
+        }
+    }
+  }
+
+  /// 4 KiB code pages; fixed by the invalidation contract shared with
+  /// the JIT's store-guard map.
+  static constexpr unsigned PageShift = 12;
   static constexpr Word PageMask = (Word(1) << PageShift) - 1;
   static constexpr size_t PageSlots = (size_t(1) << PageShift) / 4;
 
+private:
   struct Page {
     std::array<DecodedInsn, PageSlots> Slots{};
   };

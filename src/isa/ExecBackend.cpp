@@ -1,0 +1,17 @@
+//===- isa/ExecBackend.cpp - Pluggable ISA execution backends -------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/ExecBackend.h"
+
+using namespace silver;
+using namespace silver::isa;
+
+ExecBackend::~ExecBackend() = default;
+
+std::unique_ptr<ExecBackend> silver::isa::makeInterpBackend() {
+  return std::make_unique<InterpBackend>();
+}

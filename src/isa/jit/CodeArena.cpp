@@ -1,0 +1,57 @@
+//===- isa/jit/CodeArena.cpp - W^X executable code arena ------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/jit/CodeArena.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define SILVER_JIT_HAVE_MMAP 1
+#else
+#define SILVER_JIT_HAVE_MMAP 0
+#endif
+
+using namespace silver::isa::jit;
+
+CodeArena::CodeArena(size_t Bytes) {
+#if SILVER_JIT_HAVE_MMAP
+  if (Bytes == 0)
+    return;
+  long Page = sysconf(_SC_PAGESIZE);
+  size_t PageSize = Page > 0 ? static_cast<size_t>(Page) : 4096;
+  size_t Rounded = (Bytes + PageSize - 1) & ~(PageSize - 1);
+  void *P = mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return;
+  Base = static_cast<uint8_t *>(P);
+  Cap = Rounded;
+#else
+  (void)Bytes;
+#endif
+}
+
+CodeArena::~CodeArena() {
+#if SILVER_JIT_HAVE_MMAP
+  if (Base)
+    munmap(Base, Cap);
+#endif
+}
+
+void CodeArena::beginWrite() {
+#if SILVER_JIT_HAVE_MMAP
+  if (Base)
+    mprotect(Base, Cap, PROT_READ | PROT_WRITE);
+#endif
+}
+
+void CodeArena::endWrite() {
+#if SILVER_JIT_HAVE_MMAP
+  if (Base)
+    mprotect(Base, Cap, PROT_READ | PROT_EXEC);
+#endif
+}

@@ -1,0 +1,73 @@
+//===- isa/jit/CodeArena.h - W^X executable code arena ---------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump allocator over one mmap'd region holding all translated code
+/// of a JIT backend.  The mapping follows a W^X discipline: it is
+/// read-write only inside a beginWrite()/endWrite() bracket (compiling,
+/// patching chains, invalidating entries) and read-execute otherwise —
+/// never writable and executable at once.  Exhaustion is handled by the
+/// backend flushing every block and starting over (resetTo), so the
+/// arena never grows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_ISA_JIT_CODEARENA_H
+#define SILVER_ISA_JIT_CODEARENA_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace silver {
+namespace isa {
+namespace jit {
+
+class CodeArena {
+public:
+  /// Maps \p Bytes of read-write memory (rounded up to the page size);
+  /// valid() reports failure.  Pass 0 for a deliberately empty arena
+  /// (backend in interpreter-degrade mode).
+  explicit CodeArena(size_t Bytes);
+  ~CodeArena();
+
+  CodeArena(const CodeArena &) = delete;
+  CodeArena &operator=(const CodeArena &) = delete;
+
+  bool valid() const { return Base != nullptr; }
+  uint8_t *base() { return Base; }
+  size_t capacity() const { return Cap; }
+  size_t used() const { return Used; }
+
+  /// Bump-allocates \p N bytes; null when the arena is exhausted.
+  uint8_t *alloc(size_t N) {
+    if (N > Cap - Used)
+      return nullptr;
+    uint8_t *P = Base + Used;
+    Used += N;
+    return P;
+  }
+
+  /// Drops every allocation after the first \p KeepBytes (the runtime
+  /// thunks survive a block flush).
+  void resetTo(size_t KeepBytes) { Used = KeepBytes; }
+
+  /// Makes the whole mapping read-write for emission or patching.
+  void beginWrite();
+  /// Seals the mapping read-execute.
+  void endWrite();
+
+private:
+  uint8_t *Base = nullptr;
+  size_t Cap = 0;
+  size_t Used = 0;
+};
+
+} // namespace jit
+} // namespace isa
+} // namespace silver
+
+#endif // SILVER_ISA_JIT_CODEARENA_H

@@ -18,7 +18,7 @@ void silver::machine::applyFfiInterfer(MachineState &State,
                                        unsigned Index,
                                        const std::vector<uint8_t> &ResultBytes,
                                        const ffi::BasisFfi &FfiAfter,
-                                       isa::DecodeCache *Cache) {
+                                       isa::ExecBackend *Backend) {
   Word BytesPtr = State.Regs[abi::FfiBytesReg];
   Word ConfPtr = State.Regs[abi::FfiConfReg];
   Word ConfLen = State.Regs[abi::FfiConfLenReg];
@@ -27,12 +27,12 @@ void silver::machine::applyFfiInterfer(MachineState &State,
   // memory domain md): the called-id cell, the stdin offset, and for
   // writes the output buffer.
   State.writeWord(Layout.SyscallIdAddr, Index);
-  if (Cache)
-    Cache->invalidate(Layout.SyscallIdAddr, 4);
+  if (Backend)
+    Backend->invalidate(Layout.SyscallIdAddr, 4);
   State.writeWord(Layout.StdinBase + 4,
                   static_cast<Word>(FfiAfter.Fs.StdinOffset));
-  if (Cache)
-    Cache->invalidate(Layout.StdinBase + 4, 4);
+  if (Backend)
+    Backend->invalidate(Layout.StdinBase + 4, 4);
   if (Index == unsigned(sys::FfiIndex::Write) && !ResultBytes.empty() &&
       ResultBytes[0] == 0) {
     uint64_t Fd = ffi::bytesToU64(State.readBytes(ConfPtr, ConfLen));
@@ -45,14 +45,14 @@ void silver::machine::applyFfiInterfer(MachineState &State,
       State.writeByte(Layout.OutBufBase + 8 + I,
                       static_cast<uint8_t>(
                           Stream[Stream.size() - Count + I]));
-    if (Cache)
-      Cache->invalidate(Layout.OutBufBase, 8 + Count);
+    if (Backend)
+      Backend->invalidate(Layout.OutBufBase, 8 + Count);
   }
 
   // The shared byte array receives the oracle's result.
   State.writeBytes(BytesPtr, ResultBytes);
-  if (Cache && !ResultBytes.empty())
-    Cache->invalidate(BytesPtr, static_cast<Word>(ResultBytes.size()));
+  if (Backend && !ResultBytes.empty())
+    Backend->invalidate(BytesPtr, static_cast<Word>(ResultBytes.size()));
 
   // Scratch registers are clobbered deterministically; the PC returns to
   // the caller per the calling convention.
@@ -72,24 +72,26 @@ bool MachineSem::oracleStep() {
   if (Index >= Names.size() || !State.inRange(ConfPtr, ConfLen) ||
       !State.inRange(BytesPtr, BytesLen)) {
     LastBehaviour.Kind = BehaviourKind::Failed;
+    LastBehaviour.OracleRejected = true;
     return false;
   }
   ffi::FfiResult R = Ffi.call(Names[Index], State.readBytes(ConfPtr, ConfLen),
                               State.readBytes(BytesPtr, BytesLen));
   if (R.Outcome == ffi::FfiOutcome::Fail) {
     LastBehaviour.Kind = BehaviourKind::Failed;
+    LastBehaviour.OracleRejected = true;
     return false;
   }
   if (R.Outcome == ffi::FfiOutcome::Exit) {
     State.writeWord(Layout.ExitFlagAddr, 1);
     State.writeWord(Layout.ExitCodeAddr, R.ExitCode);
-    Cache.invalidate(Layout.ExitFlagAddr, 4);
-    Cache.invalidate(Layout.ExitCodeAddr, 4);
+    Backend->invalidate(Layout.ExitFlagAddr, 4);
+    Backend->invalidate(Layout.ExitCodeAddr, 4);
     LastBehaviour.Kind = BehaviourKind::Terminated;
     LastBehaviour.ExitCode = R.ExitCode;
     return false;
   }
-  applyFfiInterfer(State, Layout, Index, R.Bytes, Ffi, &Cache);
+  applyFfiInterfer(State, Layout, Index, R.Bytes, Ffi, Backend.get());
   return true;
 }
 
@@ -100,9 +102,9 @@ bool MachineSem::stepOnce() {
     return oracleStep();
 
   isa::HaltOrStep R =
-      Obs ? isa::stepUnlessHalted(State, isa::nullEnv(), *Obs, RetireIndex++,
-                                  Cache)
-          : isa::stepUnlessHalted(State, isa::nullEnv(), Cache);
+      Obs ? Backend->stepUnlessHalted(State, isa::nullEnv(), *Obs,
+                                      RetireIndex++)
+          : Backend->stepUnlessHalted(State, isa::nullEnv());
   if (R.Halted) {
     // A direct halt without an exit call: report the recorded status
     // (zero when no exit happened; hand-written programs use this).
@@ -130,17 +132,17 @@ Behaviour MachineSem::run(uint64_t MaxSteps) {
     return LastBehaviour;
   }
 
-  // Uninstrumented: execute predecoded bursts that stop at the FFI entry,
-  // keeping the hot loop inside isa::runUntilPc instead of paying a
-  // cross-call per instruction.  Step accounting matches the stepOnce
+  // Uninstrumented: execute backend bursts that stop at the FFI entry,
+  // keeping the hot loop inside the backend's runUntilPc instead of
+  // paying a cross-call per instruction.  Step accounting matches the stepOnce
   // loop exactly: an oracle consultation, the halt-detecting step, and a
   // faulting attempt each cost one step, and none of them runs once the
   // budget is exhausted.
   while (true) {
     isa::RunStopResult R =
-        isa::runUntilPc(State, isa::nullEnv(),
-                        MaxSteps - LastBehaviour.Steps,
-                        Layout.SyscallCodeBase, Cache);
+        Backend->runUntilPc(State, isa::nullEnv(),
+                            MaxSteps - LastBehaviour.Steps,
+                            Layout.SyscallCodeBase);
     LastBehaviour.Steps += R.Steps;
     if (R.AtStopPc) {
       ++LastBehaviour.Steps;

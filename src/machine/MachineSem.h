@@ -26,9 +26,11 @@
 #define SILVER_MACHINE_MACHINESEM_H
 
 #include "ffi/BasisFfi.h"
-#include "isa/DecodeCache.h"
+#include "isa/ExecBackend.h"
 #include "isa/Interp.h"
 #include "sys/Image.h"
+
+#include <memory>
 
 namespace silver {
 namespace machine {
@@ -47,11 +49,26 @@ enum class BehaviourKind : uint8_t {
   OutOfSteps,
 };
 
+/// The error message a Failed run carries when the failure is the
+/// interference oracle rejecting an ill-formed FFI call state (bad call
+/// index, argument arrays out of range, or a basis call whose
+/// preconditions do not hold).  The paper's ffi_interfer is specified
+/// only for well-formed call states — the hand-written syscall code is
+/// verified against it on exactly that domain — so consumers comparing
+/// machine_sem against levels that run the real syscall code (the fuzz
+/// oracle) treat this failure as "outside the modeled domain" rather
+/// than as a semantic divergence.
+inline constexpr const char *OracleRejectedMessage =
+    "machine-sem: FFI call outside the oracle's well-formed domain";
+
 struct Behaviour {
   BehaviourKind Kind = BehaviourKind::OutOfSteps;
   uint8_t ExitCode = 0;
   isa::StepFault Fault = isa::StepFault::None;
   uint64_t Steps = 0;
+  /// True when Kind == Failed because the interference oracle rejected
+  /// an ill-formed FFI call (see OracleRejectedMessage).
+  bool OracleRejected = false;
 
   bool terminatedSuccessfully() const {
     return Kind == BehaviourKind::Terminated && ExitCode == 0;
@@ -67,24 +84,31 @@ struct Behaviour {
 /// for the in-memory book-keeping: the stdin offset cell, the output
 /// buffer, the called-id cell).  Clobbered scratch registers are set to
 /// zero — compiled code never reads them across a call.  The oracle
-/// writes memory behind the interpreter's back, so a predecode cache
-/// executing this state must drop the written ranges: pass it as
-/// \p Cache (null when execution is uncached).
+/// writes memory behind the execution backend's back, so the backend
+/// running this state must drop every derived artifact (decoded slots,
+/// compiled blocks) over the written ranges: pass it as \p Backend
+/// (null when execution holds no derived state).
 void applyFfiInterfer(isa::MachineState &State,
                       const sys::MemoryLayout &Layout, unsigned Index,
                       const std::vector<uint8_t> &ResultBytes,
                       const ffi::BasisFfi &FfiAfter,
-                      isa::DecodeCache *Cache = nullptr);
+                      isa::ExecBackend *Backend = nullptr);
 
 /// The machine semantics: steps \p State with \p Ffi as the interference
 /// oracle for FFI calls (detected as the PC reaching the system-call
 /// entry point).  On an "exit" call, terminates with the code.
 class MachineSem {
 public:
+  /// \p Backend is the ISA execution backend the semantics steps with
+  /// (isa/ExecBackend.h); null selects the reference interpreter.  The
+  /// oracle arm notifies it of every interference write, so a
+  /// translating backend (the JIT) stays exact across FFI boundaries.
   MachineSem(isa::MachineState State, ffi::BasisFfi Ffi,
-             sys::MemoryLayout Layout)
+             sys::MemoryLayout Layout,
+             std::unique_ptr<isa::ExecBackend> Backend = nullptr)
       : State(std::move(State)), Ffi(std::move(Ffi)),
-        Layout(std::move(Layout)) {}
+        Layout(std::move(Layout)),
+        Backend(Backend ? std::move(Backend) : isa::makeInterpBackend()) {}
 
   /// Runs for at most \p MaxSteps ISA steps (oracle steps count as one).
   Behaviour run(uint64_t MaxSteps);
@@ -116,9 +140,10 @@ private:
   sys::MemoryLayout Layout;
   obs::Observer *Obs = nullptr;
   uint64_t RetireIndex = 0;
-  /// Predecoded execution (isa/DecodeCache.h); stepOnce keeps it valid
-  /// across interpreter stores and oracle interference writes.
-  isa::DecodeCache Cache;
+  /// The ISA execution backend; owns all derived execution state
+  /// (decode cache, compiled blocks) and is kept valid across
+  /// interpreter stores and oracle interference writes.
+  std::unique_ptr<isa::ExecBackend> Backend;
 };
 
 } // namespace machine

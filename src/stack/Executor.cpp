@@ -9,7 +9,7 @@
 
 #include "cpu/Check.h"
 #include "ffi/BasisFfi.h"
-#include "isa/DecodeCache.h"
+#include "isa/jit/Jit.h"
 
 #include <algorithm>
 
@@ -69,6 +69,19 @@ struct Executor::SessionBase {
 
 namespace {
 
+/// The execution backend a session steps with.  Jit silently degrades
+/// to the interpreter on unsupported hosts (the CLIs surface the
+/// degradation as a diagnostic before the run starts).
+std::unique_ptr<isa::ExecBackend> makeSessionBackend(const ExecOptions &E) {
+  if (E.Backend == BackendKind::Jit && isa::jit::hostSupported()) {
+    isa::jit::JitOptions Opts;
+    if (E.JitHotThreshold)
+      Opts.HotThreshold = E.JitHotThreshold;
+    return isa::jit::makeJitBackend(Opts);
+  }
+  return isa::makeInterpBackend();
+}
+
 StateDigest digestOf(const isa::MachineState &S) {
   StateDigest D;
   D.Pc = S.PC;
@@ -88,15 +101,17 @@ struct IsaSession final : Executor::SessionBase {
   sys::BootResult Boot;
   sys::SysEnv Env;
   isa::ObsHooks Hooks;
-  /// Session-lifetime predecode cache: a paused-and-resumed run keeps
-  /// its decode work (interpreter stores invalidate the slots they
-  /// overwrite, so self-modifying code stays correct).
-  isa::DecodeCache Cache;
+  /// Session-lifetime execution backend: a paused-and-resumed run keeps
+  /// its derived state — decoded slots, and compiled blocks at the Jit
+  /// backend (stores invalidate what they overwrite, so self-modifying
+  /// code stays correct at every backend).
+  std::unique_ptr<isa::ExecBackend> Backend;
   uint64_t Steps = 0; ///< post-startup ISA steps
   bool Halted = false;
 
-  IsaSession(sys::BootResult B, obs::Observer *Obs)
-      : Boot(std::move(B)), Env(Boot.Image.Layout) {
+  IsaSession(sys::BootResult B, const ExecOptions &E, obs::Observer *Obs)
+      : Boot(std::move(B)), Env(Boot.Image.Layout),
+        Backend(makeSessionBackend(E)) {
     Hooks.Obs = Obs;
     Hooks.RetireIndexBase = Boot.StartupSteps;
     Hooks.FfiEntryPc = Boot.Image.Layout.SyscallCodeBase;
@@ -111,8 +126,8 @@ struct IsaSession final : Executor::SessionBase {
     // retire: the uninstrumented branch runs the predecoded NullEmit
     // loop, which does no virtual dispatch at all.
     isa::RunResult R =
-        Hooks.Obs ? isa::run(Boot.State, Env, MaxInstructions, Hooks, Cache)
-                  : isa::run(Boot.State, Env, MaxInstructions, Cache);
+        Hooks.Obs ? Backend->run(Boot.State, Env, MaxInstructions, Hooks)
+                  : Backend->run(Boot.State, Env, MaxInstructions);
     Steps += R.Steps;
     if (R.Fault != isa::StepFault::None)
       return Error("ISA execution faulted");
@@ -150,7 +165,7 @@ struct MachineSession final : Executor::SessionBase {
       : Sem(std::move(B.State),
             ffi::BasisFfi(Spec.CommandLine,
                           ffi::Filesystem::withStdin(Spec.StdinData)),
-            B.Image.Layout) {
+            B.Image.Layout, makeSessionBackend(Spec.Exec)) {
     if (Obs)
       Sem.attachObserver(Obs);
   }
@@ -161,7 +176,8 @@ struct MachineSession final : Executor::SessionBase {
     machine::Behaviour B = Sem.run(MaxInstructions);
     Steps += B.Steps;
     if (B.Kind == machine::BehaviourKind::Failed)
-      return Error("machine-sem execution failed");
+      return Error(B.OracleRejected ? machine::OracleRejectedMessage
+                                    : "machine-sem execution failed");
     Last = B;
     Done = B.Kind == machine::BehaviourKind::Terminated;
     return Done ? RunStatus::Completed : RunStatus::Paused;
@@ -298,13 +314,13 @@ const std::vector<std::string> &Executor::ffiNames() {
 }
 
 uint64_t Executor::cycleBudget() const {
-  if (Spec.MaxCycles)
-    return Spec.MaxCycles;
+  if (Spec.Exec.MaxCycles)
+    return Spec.Exec.MaxCycles;
   // Derived: a generous cycles-per-instruction bound over the
   // instruction budget (the core retires one instruction every few
   // cycles; 16 leaves slack for memory latency), saturating.
   const uint64_t Cap = UINT64_MAX / 16;
-  return Spec.MaxSteps > Cap ? UINT64_MAX : Spec.MaxSteps * 16;
+  return Spec.Exec.MaxSteps > Cap ? UINT64_MAX : Spec.Exec.MaxSteps * 16;
 }
 
 Result<void> Executor::begin(Level L) {
@@ -313,7 +329,7 @@ Result<void> Executor::begin(Level L) {
   if (L == Level::Spec)
     return Error("the spec level has no machine steps; use run()");
 
-  InstrBudgetLeft = Spec.MaxSteps;
+  InstrBudgetLeft = Spec.Exec.MaxSteps;
   LastStatus = RunStatus::Paused;
   if (Obs)
     Obs->onRunBegin(toExecLevel(L));
@@ -329,7 +345,8 @@ Result<void> Executor::begin(Level L) {
     Result<sys::BootResult> Boot = sys::boot(Prep.Image, Obs);
     if (!Boot)
       return Fail(Boot.error());
-    Session = std::make_unique<IsaSession>(Boot.take(), Obs);
+    Session =
+        std::make_unique<IsaSession>(Boot.take(), Spec.Exec, Obs);
     break;
   }
   case Level::Machine: {

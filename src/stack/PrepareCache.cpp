@@ -31,6 +31,11 @@ std::string PrepareCache::keyOf(const RunSpec &Spec) {
   Num(C.Layout.OutBufCap);
   Num(C.Layout.SyscallCodeCap);
   Num(C.Layout.StartupCap);
+  // The backend is part of the key even though compilation ignores it:
+  // the serving layer keys sessions and artifacts off this string, and
+  // keeping per-backend streams distinct means a jit/interp A-B
+  // comparison never aliases in the cache.
+  Num(static_cast<uint64_t>(Spec.Exec.Backend));
   return Key;
 }
 

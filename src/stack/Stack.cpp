@@ -9,11 +9,39 @@
 
 #include "cml/Interp.h"
 #include "cml/Parser.h"
+#include "isa/jit/Jit.h"
 #include "stack/Executor.h"
 #include "support/StringUtils.h"
 
 using namespace silver;
 using namespace silver::stack;
+
+const char *silver::stack::backendKindName(BackendKind B) {
+  switch (B) {
+  case BackendKind::Interp:
+    return "interp";
+  case BackendKind::Jit:
+    return "jit";
+  }
+  return "?";
+}
+
+bool silver::stack::parseBackendKind(const std::string &Name,
+                                     BackendKind &Out) {
+  if (Name == "interp") {
+    Out = BackendKind::Interp;
+    return true;
+  }
+  if (Name == "jit") {
+    Out = BackendKind::Jit;
+    return true;
+  }
+  return false;
+}
+
+bool silver::stack::backendSupported(BackendKind B) {
+  return B == BackendKind::Interp || isa::jit::hostSupported();
+}
 
 const char *silver::stack::levelName(Level L) {
   switch (L) {

@@ -36,16 +36,48 @@
 namespace silver {
 namespace stack {
 
-/// What to run: a source program plus its world (command line + stdin).
+/// Which ISA execution backend the software levels (Machine, Isa) step
+/// with.  Interp is the reference predecoded interpreter; Jit is the
+/// baseline template JIT (isa/jit/Jit.h), which compiles hot basic
+/// blocks to host code and degrades to the interpreter on unsupported
+/// hosts.  The observable behaviour and the per-slice StateDigests are
+/// identical by contract; only throughput differs.
+enum class BackendKind : uint8_t { Interp, Jit };
+
+/// Stable identifier ("interp", "jit") for CLIs, logs, and cache keys.
+const char *backendKindName(BackendKind B);
+
+/// Parses a backend name; returns false when \p Name is unknown.
+bool parseBackendKind(const std::string &Name, BackendKind &Out);
+
+/// True when the requested backend executes natively on this host; a
+/// false answer for Jit means the run silently falls back to the
+/// interpreter (callers surface a diagnostic, not an error).
+bool backendSupported(BackendKind B);
+
+/// How to execute: backend choice plus the budgets, one object so the
+/// whole execution configuration travels together through
+/// Executor::prepare, the batch-service protocol, and the CLIs.
+struct ExecOptions {
+  BackendKind Backend = BackendKind::Interp;
+  /// Block-execution count at which the JIT compiles a block; 0 keeps
+  /// the backend default (isa::jit::JitOptions).  The fuzz oracle sets
+  /// 1 so its differential runs compile every reachable block.
+  uint32_t JitHotThreshold = 0;
+  uint64_t MaxSteps = 2'000'000'000ull; ///< instruction budget (all levels)
+  /// Clock-cycle budget for the Rtl/Verilog levels; 0 derives a generous
+  /// bound from MaxSteps (see Executor::cycleBudget).
+  uint64_t MaxCycles = 0;
+};
+
+/// What to run: a source program plus its world (command line + stdin)
+/// and the execution configuration.
 struct RunSpec {
   std::string Source;
   std::vector<std::string> CommandLine = {"prog"};
   std::string StdinData;
   cml::CompileOptions Compile;
-  uint64_t MaxSteps = 2'000'000'000ull; ///< instruction budget (all levels)
-  /// Clock-cycle budget for the Rtl/Verilog levels; 0 derives a generous
-  /// bound from MaxSteps (see Executor::cycleBudget).
-  uint64_t MaxCycles = 0;
+  ExecOptions Exec;
 };
 
 /// Execution level (Figure 1).

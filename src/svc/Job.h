@@ -58,6 +58,10 @@ struct JobSpec {
   /// chunks, so overshoot is bounded by one chunk).  0 = none.
   uint64_t WallMsBudget = 0;
   uint8_t Priority = 1; ///< 0 (urgent) .. NumPriorities-1 (batch)
+  /// ISA execution backend for the software levels (stack::BackendKind);
+  /// part of the wire format and the worker's prepare-cache key.  Jit
+  /// degrades to the interpreter on hosts without native support.
+  stack::BackendKind Backend = stack::BackendKind::Interp;
 };
 
 enum class JobState : uint8_t {

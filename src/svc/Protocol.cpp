@@ -129,6 +129,7 @@ void putSpec(Writer &W, const JobSpec &S) {
   W.u64(S.SliceInstructions);
   W.u64(S.WallMsBudget);
   W.u8(S.Priority);
+  W.u8(static_cast<uint8_t>(S.Backend));
 }
 
 JobSpec getSpec(Reader &R) {
@@ -142,6 +143,7 @@ JobSpec getSpec(Reader &R) {
   S.SliceInstructions = R.u64();
   S.WallMsBudget = R.u64();
   S.Priority = R.u8();
+  S.Backend = static_cast<stack::BackendKind>(R.u8());
   return S;
 }
 
@@ -242,6 +244,9 @@ Result<Request> silver::svc::decodeRequest(const std::vector<uint8_t> &P) {
   if (static_cast<uint8_t>(Req.Job.Level) >
       static_cast<uint8_t>(stack::Level::Verilog))
     return Error("protocol: unknown execution level");
+  if (static_cast<uint8_t>(Req.Job.Backend) >
+      static_cast<uint8_t>(stack::BackendKind::Jit))
+    return Error("protocol: unknown execution backend");
   return Req;
 }
 

@@ -340,8 +340,9 @@ Service::executeSlice(Job &J, const JobSpec &Spec,
     Run.Source = Spec.Source;
     Run.CommandLine = Spec.CommandLine;
     Run.StdinData = Spec.StdinData;
-    Run.MaxSteps = Spec.MaxSteps ? Spec.MaxSteps : Opts.DefaultMaxSteps;
-    Run.MaxCycles = Spec.MaxCycles;
+    Run.Exec.MaxSteps = Spec.MaxSteps ? Spec.MaxSteps : Opts.DefaultMaxSteps;
+    Run.Exec.MaxCycles = Spec.MaxCycles;
+    Run.Exec.Backend = Spec.Backend;
 
     Result<stack::Prepared> P = Cache.prepare(Run);
     if (!P) {

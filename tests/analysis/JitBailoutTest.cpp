@@ -1,0 +1,137 @@
+//===- tests/analysis/JitBailoutTest.cpp - jit-bailout cross-check ----------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+// Cross-checks the committed reports/jit-readiness/*.json against the
+// JIT's *actual* compile-time decisions: for every builtin app, probe
+// each reachable Translatable block with isa::jit::probeBlock (the
+// compiler's own block scan) and require the committed report to list
+// exactly the refused ones as "jit-bailout" notes.  The analysis gate
+// byte-diffs the reports against silverc --analyze output; this test
+// closes the other half of the loop, so a JIT change that starts
+// refusing (or accepting) blocks fails visibly until the reports are
+// re-baselined.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/JitReadiness.h"
+#include "isa/jit/Jit.h"
+#include "stack/Apps.h"
+#include "stack/Stack.h"
+#include "sys/Image.h"
+
+#include "gtest/gtest.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace silver;
+
+namespace {
+
+struct App {
+  const char *Name;
+  const char *Source;
+};
+
+const App Apps[] = {
+    {"hello", stack::helloSource()}, {"cat", stack::catSource()},
+    {"wc", stack::wcSource()},       {"sort", stack::sortSource()},
+    {"proof", stack::proofCheckerSource()},
+    {"tin", stack::tinCompilerSource()},
+};
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+size_t countOccurrences(const std::string &Haystack,
+                        const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = Haystack.find(Needle); At != std::string::npos;
+       At = Haystack.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(JitBailout, CommittedReportsMatchActualCompileResults) {
+  for (const App &A : Apps) {
+    SCOPED_TRACE(A.Name);
+
+    stack::RunSpec Spec;
+    Spec.Source = A.Source;
+    Result<stack::Prepared> P = stack::prepare(Spec);
+    ASSERT_TRUE(P) << P.error().str();
+    Result<analysis::AuditReport> Report = stack::auditPrepared(*P);
+    ASSERT_TRUE(Report) << Report.error().str();
+    analysis::ImageSummary Summary = analysis::summarizeImage(*Report);
+
+    Result<sys::MemoryImage> Image = sys::buildImage(P->Image);
+    ASSERT_TRUE(Image) << Image.error().str();
+    isa::MachineState State = sys::initialState(*Image);
+
+    std::vector<analysis::Diagnostic> Bailouts =
+        analysis::jitBailoutDiagnostics(Summary, State);
+
+    std::string Json = readFile(std::string(SILVER_REPORTS_DIR) + "/" +
+                                A.Name + ".json");
+    ASSERT_FALSE(Json.empty());
+
+    // Every actual compile-time refusal of a Translatable block must be
+    // recorded in the committed report at its address...
+    for (const analysis::Diagnostic &D : Bailouts) {
+      EXPECT_EQ(D.Id, "jit-bailout");
+      char Addr[16];
+      std::snprintf(Addr, sizeof(Addr), "0x%08x", D.Addr);
+      std::string Entry = std::string("{\"id\":\"jit-bailout\",") +
+                          "\"severity\":\"note\",\"subject\":\"" + D.Subject +
+                          "\",\"addr\":\"" + Addr + "\"";
+      EXPECT_NE(Json.find(Entry), std::string::npos)
+          << "report misses the bailout at " << Addr << " (" << D.Subject
+          << "); re-baseline reports/jit-readiness/" << A.Name << ".json";
+    }
+    // ... and the report must not claim bailouts that no longer happen.
+    EXPECT_EQ(countOccurrences(Json, "\"id\":\"jit-bailout\""),
+              Bailouts.size())
+        << "stale jit-bailout notes in reports/jit-readiness/" << A.Name
+        << ".json";
+  }
+}
+
+TEST(JitBailout, ProbeAgreesWithReadinessOnRefusalShape) {
+  // The only expected reason a statically Translatable block bails out
+  // of the baseline JIT is the block-length cap: the static classifier
+  // has no notion of MaxBlockInstrs.  A new refusal reason showing up
+  // here means the classifier and the compiler disagree about block
+  // *shape*, which deserves a classifier fix, not a re-baseline.
+  for (const App &A : Apps) {
+    SCOPED_TRACE(A.Name);
+    stack::RunSpec Spec;
+    Spec.Source = A.Source;
+    Result<stack::Prepared> P = stack::prepare(Spec);
+    ASSERT_TRUE(P) << P.error().str();
+    Result<analysis::AuditReport> Report = stack::auditPrepared(*P);
+    ASSERT_TRUE(Report) << Report.error().str();
+    analysis::ImageSummary Summary = analysis::summarizeImage(*Report);
+    Result<sys::MemoryImage> Image = sys::buildImage(P->Image);
+    ASSERT_TRUE(Image) << Image.error().str();
+    isa::MachineState State = sys::initialState(*Image);
+
+    for (const analysis::Diagnostic &D :
+         analysis::jitBailoutDiagnostics(Summary, State)) {
+      isa::jit::BlockProbe Probe = isa::jit::probeBlock(State, D.Addr);
+      EXPECT_FALSE(Probe.Compilable);
+      EXPECT_STREQ(isa::jit::refuseReasonId(Probe.Refused),
+                   "block-too-long")
+          << "unexpected refusal reason at " << D.Addr;
+      EXPECT_EQ(Probe.Instrs, isa::jit::MaxBlockInstrs);
+    }
+  }
+}

@@ -135,7 +135,7 @@ TEST_P(CorpusVsSpec, CompiledMatchesInterpreter) {
   Spec.StdinData = E.Stdin;
   Spec.Compile.Opt =
       Optimised ? cml::OptOptions::all() : cml::OptOptions::none();
-  Spec.MaxSteps = 200'000'000;
+  Spec.Exec.MaxSteps = 200'000'000;
 
   Result<std::vector<Observed>> R =
       checkEndToEnd(Spec, {Level::Machine, Level::Isa});
@@ -191,7 +191,7 @@ TEST(Compiler, OutOfMemoryExitsWithPrefixOfOutput) {
     val _ = print (int_to_string (length l))
   )";
   Spec.Compile.Layout.MemSize = 1 << 20; // leaves a few hundred KiB usable
-  Spec.MaxSteps = 100'000'000;
+  Spec.Exec.MaxSteps = 100'000'000;
 
   Result<Observed> Isa = run(Spec, Level::Isa);
   ASSERT_TRUE(Isa) << Isa.error().str();
@@ -210,7 +210,7 @@ TEST(Compiler, StackOverflowAlsoExitsOom) {
     fun deep n = if n = 0 then 0 else 1 + deep (n - 1)
     val _ = print (int_to_string (deep 1000000))
   )";
-  Spec.MaxSteps = 200'000'000;
+  Spec.Exec.MaxSteps = 200'000'000;
   Result<Observed> Isa = run(Spec, Level::Isa);
   ASSERT_TRUE(Isa) << Isa.error().str();
   EXPECT_TRUE(Isa->Terminated);
@@ -238,7 +238,7 @@ TEST(Compiler, LargeStringIoRoundTrips) {
   RunSpec Spec;
   Spec.Source = "val _ = print (input_all ())";
   Spec.StdinData = Big;
-  Spec.MaxSteps = 500'000'000;
+  Spec.Exec.MaxSteps = 500'000'000;
   Result<Observed> R = run(Spec, Level::Isa);
   ASSERT_TRUE(R) << R.error().str();
   EXPECT_EQ(R->StdoutData, Big);

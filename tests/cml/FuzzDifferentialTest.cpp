@@ -180,7 +180,7 @@ TEST_P(FuzzDifferential, CompiledMatchesInterpreted) {
 
     RunSpec Spec;
     Spec.Source = Src;
-    Spec.MaxSteps = 100'000'000;
+    Spec.Exec.MaxSteps = 100'000'000;
     Result<std::vector<Observed>> R =
         checkEndToEnd(Spec, {Level::Machine, Level::Isa});
     EXPECT_TRUE(R) << "seed " << GetParam() << "." << Sub << ": "
@@ -202,7 +202,7 @@ TEST_P(FuzzDifferential, OptimisationPreservesBehaviour) {
     Spec.Source = Src;
     Spec.Compile.Opt =
         Optimised ? cml::OptOptions::all() : cml::OptOptions::none();
-    Spec.MaxSteps = 100'000'000;
+    Spec.Exec.MaxSteps = 100'000'000;
     Result<std::vector<Observed>> R = checkEndToEnd(Spec, {Level::Isa});
     EXPECT_TRUE(R) << "seed " << GetParam() << " O" << Optimised << ": "
                    << (R ? "" : R.error().str()) << "\nprogram:\n"

@@ -1,0 +1,8 @@
+; silver-fuzz case v1
+; seed=0x134159e index=0x423 profile=mixed
+; arg=fuzz
+li r45 0x00000003
+label L0
+ffi 3 0x00007000 0 0x00007400 2
+instr 0x06b56c00        ; dec r45, r45, #0
+branch nz snd #0 r45 L0

@@ -24,7 +24,7 @@ namespace {
 RunSpec helloSpec() {
   RunSpec Spec;
   Spec.Source = helloSource();
-  Spec.MaxSteps = 100'000'000;
+  Spec.Exec.MaxSteps = 100'000'000;
   return Spec;
 }
 
@@ -88,7 +88,7 @@ TEST(Executor, RetireStreamEqualWc) {
   Spec.Source = wcSource();
   Spec.CommandLine = {"wc"};
   Spec.StdinData = "alpha beta\ngamma\n";
-  Spec.MaxSteps = 100'000'000;
+  Spec.Exec.MaxSteps = 100'000'000;
   expectRetireStreamsEqual(Spec);
 }
 
@@ -96,7 +96,7 @@ TEST(Executor, RetireStreamEqualSort) {
   RunSpec Spec;
   Spec.Source = sortSource();
   Spec.StdinData = "pear\napple\nzebra\nmango\n";
-  Spec.MaxSteps = 400'000'000;
+  Spec.Exec.MaxSteps = 400'000'000;
   expectRetireStreamsEqual(Spec);
 }
 
@@ -198,7 +198,7 @@ TEST(Executor, RegionTrafficAndFfiCostMatchAcrossLevels) {
 
 TEST(Executor, InstructionBudgetTimesOutAtIsa) {
   RunSpec Spec = helloSpec();
-  Spec.MaxSteps = 50; // far too few to finish
+  Spec.Exec.MaxSteps = 50; // far too few to finish
   Result<Executor> ExecOr = Executor::create(Spec);
   ASSERT_TRUE(ExecOr) << ExecOr.error().str();
   Result<Outcome> R = ExecOr->run(Level::Isa);
@@ -212,7 +212,7 @@ TEST(Executor, CycleBudgetTimesOutAtRtl) {
   // too-small budget at the circuit level simply ran forever.  Now the
   // derived cycle budget turns it into a Timeout outcome.
   RunSpec Spec = helloSpec();
-  Spec.MaxSteps = 50;
+  Spec.Exec.MaxSteps = 50;
   Result<Executor> ExecOr = Executor::create(Spec);
   ASSERT_TRUE(ExecOr) << ExecOr.error().str();
   EXPECT_EQ(ExecOr->cycleBudget(), 50u * 16u);
@@ -224,9 +224,9 @@ TEST(Executor, CycleBudgetTimesOutAtRtl) {
 
 TEST(Executor, CycleBudgetDerivation) {
   RunSpec Spec = helloSpec();
-  Spec.MaxSteps = 10;
+  Spec.Exec.MaxSteps = 10;
   EXPECT_EQ(Executor::create(Spec).take().cycleBudget(), 160u);
-  Spec.MaxCycles = 1000; // explicit budget wins
+  Spec.Exec.MaxCycles = 1000; // explicit budget wins
   EXPECT_EQ(Executor::create(Spec).take().cycleBudget(), 1000u);
 }
 
@@ -314,7 +314,7 @@ void expectReplenishedRunMatchesUnbudgeted(Level L) {
   // The same program under a starvation budget, revived via replenish
   // every time it times out.
   RunSpec Starved = helloSpec();
-  Starved.MaxSteps = 200;
+  Starved.Exec.MaxSteps = 200;
   Result<Executor> ExecOr = Executor::create(Starved);
   ASSERT_TRUE(ExecOr) << ExecOr.error().str();
   Executor Exec = ExecOr.take();
@@ -398,6 +398,59 @@ TEST(Executor, SessionBehaviourSnapshotsTheRunningPrefix) {
   EXPECT_GE(*N, 300u);
   Result<Outcome> Out = Exec.finish();
   ASSERT_TRUE(Out);
+}
+
+// The pluggable-backend contract, end to end: the same program at the
+// same level must produce an identical Observed AND an identical final
+// StateDigest whether the session steps on the interpreter or the JIT.
+// The Machine level additionally covers the oracle-write invalidation
+// contract — every FFI consultation there is an oracle interference
+// write behind the backend's back, and MachineSem must invalidate the
+// JIT's compiled blocks for the touched range.  On hosts without JIT
+// support the Jit run degrades to the interpreter, so the comparison
+// holds vacuously rather than failing.
+void expectJitSessionMatchesInterp(Level L) {
+  RunSpec Spec;
+  Spec.Source = wcSource();
+  Spec.CommandLine = {"wc"};
+  Spec.StdinData = randomLines(40, 7);
+  Spec.Exec.MaxSteps = 100'000'000;
+  Spec.Exec.JitHotThreshold = 1; // compile every block, not just hot ones
+
+  Observed Behaviours[2];
+  StateDigest Digests[2];
+  for (int I = 0; I != 2; ++I) {
+    Spec.Exec.Backend = I ? BackendKind::Jit : BackendKind::Interp;
+    Result<Executor> ExecOr = Executor::create(Spec);
+    ASSERT_TRUE(ExecOr) << ExecOr.error().str();
+    Executor Exec = ExecOr.take();
+    ASSERT_TRUE(Exec.begin(L));
+    Result<RunStatus> S = Exec.step(UINT64_MAX);
+    ASSERT_TRUE(S) << S.error().str();
+    ASSERT_EQ(*S, RunStatus::Completed);
+    Result<StateDigest> D = Exec.sessionState();
+    ASSERT_TRUE(D) << D.error().str();
+    Digests[I] = *D;
+    Result<Outcome> Out = Exec.finish();
+    ASSERT_TRUE(Out) << Out.error().str();
+    Behaviours[I] = Out->Behaviour;
+  }
+
+  expectSameObserved(Behaviours[0], Behaviours[1]);
+  EXPECT_EQ(Digests[0].Pc, Digests[1].Pc);
+  EXPECT_EQ(Digests[0].Carry, Digests[1].Carry);
+  EXPECT_EQ(Digests[0].Overflow, Digests[1].Overflow);
+  EXPECT_EQ(Digests[0].Regs, Digests[1].Regs);
+  EXPECT_EQ(Digests[0].MemoryHash, Digests[1].MemoryHash);
+  EXPECT_EQ(Digests[0].MemoryBytes, Digests[1].MemoryBytes);
+}
+
+TEST(Executor, JitBackendMatchesInterpAtIsa) {
+  expectJitSessionMatchesInterp(Level::Isa);
+}
+
+TEST(Executor, JitBackendMatchesInterpAtMachine) {
+  expectJitSessionMatchesInterp(Level::Machine);
 }
 
 TEST(Executor, DeprecatedWrappersStillAgree) {

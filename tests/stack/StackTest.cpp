@@ -73,7 +73,7 @@ TEST(EndToEnd, SortOnHardwareSmallInput) {
   RunSpec Spec;
   Spec.Source = sortSource();
   Spec.StdinData = Input;
-  Spec.MaxSteps = 400'000'000;
+  Spec.Exec.MaxSteps = 400'000'000;
   Result<Observed> R = run(Spec, Level::Rtl);
   ASSERT_TRUE(R) << R.error().str();
   EXPECT_EQ(R->StdoutData, "apple\nmango\npear\nzebra\n");
@@ -128,7 +128,7 @@ TEST(EndToEnd, TinCompilerMatchesSpec) {
     RunSpec Spec;
     Spec.Source = tinCompilerSource();
     Spec.StdinData = Program;
-    Spec.MaxSteps = 500'000'000;
+    Spec.Exec.MaxSteps = 500'000'000;
     Result<Observed> R = run(Spec, Level::Isa);
     ASSERT_TRUE(R) << R.error().str();
     EXPECT_EQ(R->StdoutData, tinSpec(Program)) << Program;

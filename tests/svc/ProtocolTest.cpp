@@ -25,6 +25,7 @@ JobSpec sampleSpec() {
   S.SliceInstructions = 1000;
   S.WallMsBudget = 250;
   S.Priority = 3;
+  S.Backend = stack::BackendKind::Jit;
   return S;
 }
 
@@ -47,6 +48,7 @@ TEST(Protocol, SubmitRoundTrip) {
   EXPECT_EQ(D->Job.SliceInstructions, R.Job.SliceInstructions);
   EXPECT_EQ(D->Job.WallMsBudget, R.Job.WallMsBudget);
   EXPECT_EQ(D->Job.Priority, R.Job.Priority);
+  EXPECT_EQ(D->Job.Backend, stack::BackendKind::Jit);
 }
 
 TEST(Protocol, EveryRequestKindRoundTrips) {
@@ -141,6 +143,18 @@ TEST(Protocol, BadKindAndBadLevelRejected) {
   Full[0] = 0; // kind byte below the valid range
   EXPECT_FALSE(bool(decodeRequest(Full)));
   Full[0] = 200; // above
+  EXPECT_FALSE(bool(decodeRequest(Full)));
+}
+
+TEST(Protocol, BadBackendRejected) {
+  Request R;
+  R.Kind = RequestKind::Submit;
+  R.Job = sampleSpec();
+  std::vector<uint8_t> Full = encodeRequest(R);
+  // The backend ordinal is the last byte of the encoded spec; corrupt
+  // it past BackendKind::Jit and the decoder must refuse.
+  ASSERT_EQ(Full.back(), static_cast<uint8_t>(stack::BackendKind::Jit));
+  Full.back() = 200;
   EXPECT_FALSE(bool(decodeRequest(Full)));
 }
 

@@ -99,8 +99,13 @@ TEST(Service, TotalBudgetExhaustionIsTerminalTimeout) {
   EXPECT_FALSE(bool(R));
 }
 
-TEST(Service, SliceBudgetPausesThenResumesToSameDigest) {
-  // Reference: the same job in one unsliced run.
+/// Slice-vs-whole equivalence through the service: the whole run on the
+/// reference interpreter, the sliced run on \p Backend.  Passing at
+/// BackendKind::Jit checks both halves of the backend contract at once:
+/// pausing and resuming keeps compiled-block state exact, and the final
+/// digest is bit-identical to the interpreter's.
+void expectSlicedRunMatchesWholeRun(stack::BackendKind Backend) {
+  // Reference: the same job in one unsliced interpreter run.
   Service Svc({.Workers = 1});
   JobInfo Whole = submitAndWait(Svc, wcJob(20));
   ASSERT_EQ(Whole.State, JobState::Completed) << Whole.Outcome.Error;
@@ -108,6 +113,7 @@ TEST(Service, SliceBudgetPausesThenResumesToSameDigest) {
 
   // The same job sliced: park/resume until it completes.
   JobSpec Sliced = wcJob(20);
+  Sliced.Backend = Backend;
   Sliced.SliceInstructions = 20'000;
   JobInfo Info = Svc.submit(Sliced);
   ASSERT_EQ(Info.State, JobState::Queued);
@@ -139,6 +145,14 @@ TEST(Service, SliceBudgetPausesThenResumesToSameDigest) {
   EXPECT_EQ(Info.Outcome.Digest.MemoryHash, Whole.Outcome.Digest.MemoryHash);
   EXPECT_EQ(Info.Outcome.Digest.MemoryBytes,
             Whole.Outcome.Digest.MemoryBytes);
+}
+
+TEST(Service, SliceBudgetPausesThenResumesToSameDigest) {
+  expectSlicedRunMatchesWholeRun(stack::BackendKind::Interp);
+}
+
+TEST(Service, JitSlicedRunMatchesInterpreterWholeRunDigest) {
+  expectSlicedRunMatchesWholeRun(stack::BackendKind::Jit);
 }
 
 TEST(Service, WallClockBudgetParksTheJob) {
