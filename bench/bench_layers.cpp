@@ -60,9 +60,15 @@ struct Row {
 struct Cell {
   Level L;
   BackendKind Backend = BackendKind::Interp;
+  /// Simulator backend for the Verilog level; the compiled simulator
+  /// (hdl/compile) gets its own row name ("verilog-compiled"), same
+  /// convention as the JIT.
+  HdlBackendKind Hdl = HdlBackendKind::Interp;
 };
 
 const char *cellName(const Cell &C) {
+  if (C.Hdl == HdlBackendKind::Compiled)
+    return "verilog-compiled";
   return C.Backend == BackendKind::Jit ? "jit" : levelName(C.L);
 }
 
@@ -83,6 +89,8 @@ std::vector<Workload> workloads() {
                 {Level::Isa},
                 {Level::Rtl},
                 {Level::Verilog},
+                {Level::Verilog, BackendKind::Interp,
+                 HdlBackendKind::Compiled},
                 {Level::Isa, BackendKind::Jit}}});
   // A longer interpreter-bound workload: the cycle-accurate levels would
   // take minutes here, so wc only measures the two interpreters and the
@@ -340,10 +348,21 @@ int main(int Argc, char **Argv) {
                      W.Name.c_str());
         continue;
       }
+      if (C.Hdl == HdlBackendKind::Compiled &&
+          !hdlBackendSupported(HdlBackendKind::Compiled)) {
+        // Same convention: no interpreter numbers under the compiled
+        // label on hosts without a usable C++ compiler.
+        std::fprintf(stderr,
+                     "bench_layers: skipping %s/verilog-compiled "
+                     "(no host C++ compiler)\n",
+                     W.Name.c_str());
+        continue;
+      }
       // The backend is part of the session spec, so each cell gets its
       // own (untimed) Executor rather than sharing one per workload.
       RunSpec Spec = W.Spec;
       Spec.Exec.Backend = C.Backend;
+      Spec.Exec.Hdl = C.Hdl;
       Result<Executor> ExecOr = Executor::create(Spec);
       if (!ExecOr) {
         std::fprintf(stderr, "bench_layers: %s: %s\n", W.Name.c_str(),

@@ -47,7 +47,8 @@ int usage() {
       "usage: silver-client --socket=PATH|--tcp=HOST:PORT COMMAND ...\n"
       "  submit FILE|--builtin=hello|cat|wc|sort|proof\n"
       "         [--level=spec|machine|isa|rtl|verilog]\n"
-      "         [--backend=interp|jit] [--args=\"...\"]\n"
+      "         [--backend=interp|jit] [--hdl=interp|compiled]\n"
+      "         [--args=\"...\"]\n"
       "         [--stdin-file=FILE] [--priority=N] [--slice=N]\n"
       "         [--max-steps=N] [--wall-ms=N] [--wait-ms=N] [--json]\n"
       "  status JOBID [--wait-ms=N] [--json]\n"
@@ -188,6 +189,9 @@ int main(int Argc, char **Argv) {
         return usage();
     } else if (startsWith(A, "--backend=")) {
       if (!stack::parseBackendKind(A.substr(10), Spec.Backend))
+        return usage();
+    } else if (startsWith(A, "--hdl=")) {
+      if (!stack::parseHdlBackendKind(A.substr(6), Spec.Hdl))
         return usage();
     } else if (startsWith(A, "--args="))
       Args = A.substr(7);

@@ -59,7 +59,11 @@ int usage(const char *Argv0) {
       << "  --time-budget=S   stop after S seconds (best-effort prefix)\n"
       << "  --levels=a,b,..   levels to compare against the ISA reference\n"
       << "                    (machine, isa, rtl, verilog; default\n"
-      << "                    machine,rtl)\n"
+      << "                    machine,rtl).  The token \"compiled\" adds\n"
+      << "                    the Compiled-vs-Verilog differential level:\n"
+      << "                    the generated Verilog stepped by the compiled\n"
+      << "                    simulator (hdl/compile), compared exactly\n"
+      << "                    against the AST interpreter\n"
       << "  --backend=B       interp (default) or jit: jit additionally\n"
       << "                    runs every case at the ISA level on the JIT\n"
       << "                    backend and compares it exactly against the\n"
@@ -78,7 +82,7 @@ int usage(const char *Argv0) {
 }
 
 bool parseLevels(const std::string &Arg, std::vector<stack::Level> &Out,
-                 bool &Jit) {
+                 bool &Jit, bool &Compiled) {
   Out.clear();
   std::istringstream In(Arg);
   std::string Name;
@@ -91,12 +95,14 @@ bool parseLevels(const std::string &Arg, std::vector<stack::Level> &Out,
       Out.push_back(stack::Level::Rtl);
     else if (Name == "verilog")
       Out.push_back(stack::Level::Verilog);
+    else if (Name == "compiled")
+      Compiled = true; // Compiled-vs-Verilog; the oracle adds verilog itself
     else if (Name == "jit")
       Jit = true; // deprecated spelling of --backend=jit; the caller warns
     else
       return false;
   }
-  return !Out.empty() || Jit;
+  return !Out.empty() || Jit || Compiled;
 }
 
 bool parseProfiles(const std::string &Arg, std::vector<fuzz::Profile> &Out) {
@@ -142,8 +148,10 @@ int main(int Argc, char **Argv) {
         Opt.Oracle.MaxSteps = std::stoull(V);
       else if (const char *V = Value("--levels=")) {
         bool Jit = false;
-        if (!parseLevels(V, Opt.Oracle.Levels, Jit))
+        bool Compiled = false;
+        if (!parseLevels(V, Opt.Oracle.Levels, Jit, Compiled))
           return usage(Argv[0]);
+        Opt.Oracle.CompareCompiled = Compiled;
         if (Jit) {
           std::cerr << "silver-fuzz: warning: --levels=...,jit is "
                        "deprecated; use --backend=jit\n";
@@ -176,6 +184,12 @@ int main(int Argc, char **Argv) {
       !stack::backendSupported(stack::BackendKind::Jit))
     std::cerr << "silver-fuzz: warning: the jit backend is not supported on "
                  "this host; the jit level runs on the interpreter\n";
+
+  if (Opt.Oracle.CompareCompiled &&
+      !stack::hdlBackendSupported(stack::HdlBackendKind::Compiled))
+    std::cerr << "silver-fuzz: warning: the compiled simulator is not "
+                 "available on this host (no usable C++ compiler); the "
+                 "compiled level runs on the interpreter\n";
 
   if (!ContainmentDir.empty()) {
     fuzz::CorpusContainment C =
@@ -218,7 +232,11 @@ int main(int Argc, char **Argv) {
               << Report.WallSeconds << " s, "
               << rate(Report.CasesRun, Report.WallSeconds) << " cases/s\n";
     for (const fuzz::LevelWork &W : Report.Work) {
-      std::cout << "  " << (W.Jit ? "jit" : stack::levelName(W.L)) << ": "
+      std::cout << "  "
+                << (W.Compiled ? "verilog-compiled"
+                    : W.Jit    ? "jit"
+                               : stack::levelName(W.L))
+                << ": "
                 << W.Instructions
                 << " instrs (" << rate(W.Instructions, Report.WallSeconds)
                 << " instrs/s)";

@@ -71,7 +71,7 @@ int fail(const std::string &Message) {
 int usage() {
   std::fprintf(stderr,
                "usage: silverc [--level=spec|machine|isa|rtl|verilog]\n"
-               "               [--backend=interp|jit]\n"
+               "               [--backend=interp|jit] [--hdl=interp|compiled]\n"
                "               [--check] [--analyze] [--emit=asm|flat|core]\n"
                "               [-O0|-O1] [--stdin-file=FILE] [--args=\"...\"]\n"
                "               [--trace=FILE] [--trace-jsonl=FILE]\n"
@@ -140,6 +140,7 @@ int emitStage(const std::string &Source, const std::string &What,
 int main(int Argc, char **Argv) {
   std::string Level = "isa";
   std::string Backend;
+  std::string Hdl;
   std::string Emit;
   std::string File;
   std::string Builtin;
@@ -159,6 +160,8 @@ int main(int Argc, char **Argv) {
       Level = A.substr(8);
     else if (startsWith(A, "--backend="))
       Backend = A.substr(10);
+    else if (startsWith(A, "--hdl="))
+      Hdl = A.substr(6);
     else if (startsWith(A, "--emit="))
       Emit = A.substr(7);
     else if (A == "--check")
@@ -210,6 +213,15 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "silverc: warning: the jit backend is not supported on "
                  "this host; running on the interpreter\n");
+  stack::HdlBackendKind HdlBackend = stack::HdlBackendKind::Interp;
+  if (!Hdl.empty() && !stack::parseHdlBackendKind(Hdl, HdlBackend))
+    return usage();
+  if (HdlBackend == stack::HdlBackendKind::Compiled &&
+      !stack::hdlBackendSupported(HdlBackend))
+    std::fprintf(stderr,
+                 "silverc: warning: the compiled simulator is not available "
+                 "on this host (no usable C++ compiler); the verilog level "
+                 "runs on the interpreter\n");
 
   std::string Source;
   if (!Builtin.empty()) {
@@ -234,6 +246,7 @@ int main(int Argc, char **Argv) {
   Spec.Source = Source;
   Spec.Compile.Opt = Opt;
   Spec.Exec.Backend = ExecBackend;
+  Spec.Exec.Hdl = HdlBackend;
   Spec.CommandLine = {File == "-" ? "prog" : File};
   if (!Args.empty())
     for (const std::string &Arg : splitString(Args, ' '))

@@ -16,12 +16,15 @@ using namespace silver;
 using namespace silver::cpu;
 
 static Result<std::unique_ptr<CoreSim>> makeSim(const SilverCore &Core,
-                                                SimLevel Level) {
-  if (Level == SimLevel::Circuit) {
+                                                const RunOptions &Options) {
+  if (Options.Level == SimLevel::Circuit) {
     std::unique_ptr<CoreSim> S = makeCircuitSim(Core);
     return S;
   }
-  return makeVerilogSim(Core);
+  VerilogSimOptions V;
+  V.Compiled = Options.CompiledVerilog;
+  V.FallbackDiag = Options.HdlDiag;
+  return makeVerilogSim(Core, V);
 }
 
 //===----------------------------------------------------------------------===//
@@ -41,7 +44,7 @@ CoreRunner::create(const sys::MemoryImage &Image, const RunOptions &Options) {
   std::unique_ptr<CoreRunner> R(new CoreRunner(Image, Options));
   if (Result<void> V = R->Core.Circuit.validate(); !V)
     return V.error();
-  Result<std::unique_ptr<CoreSim>> SimOr = makeSim(R->Core, Options.Level);
+  Result<std::unique_ptr<CoreSim>> SimOr = makeSim(R->Core, Options);
   if (!SimOr)
     return SimOr.error();
   R->Sim = SimOr.take();
@@ -190,7 +193,7 @@ Result<uint64_t> silver::cpu::checkIsaRtl(const isa::MachineState &Initial,
   SilverCore Core = buildSilverCore();
   if (Result<void> V = Core.Circuit.validate(); !V)
     return V.error();
-  Result<std::unique_ptr<CoreSim>> SimOr = makeSim(Core, Options.Level);
+  Result<std::unique_ptr<CoreSim>> SimOr = makeSim(Core, Options);
   if (!SimOr)
     return SimOr.error();
   CoreSim &Sim = **SimOr;

@@ -40,6 +40,12 @@ struct RunOptions {
   SimLevel Level = SimLevel::Circuit;
   LabEnvOptions Env;
   uint64_t MaxCycles = 100'000'000ull;
+  /// Verilog level only: step the generated module with the compiled
+  /// backend (hdl/compile) instead of the AST interpreter.  Falls back
+  /// to the interpreter transparently (see cpu::VerilogSimOptions);
+  /// *HdlDiag, when non-null, receives the fallback diagnostic.
+  bool CompiledVerilog = false;
+  std::string *HdlDiag = nullptr;
   /// Receives retire / FFI / memory / cycle events; null runs silent.
   /// Not owned.
   obs::Observer *Obs = nullptr;

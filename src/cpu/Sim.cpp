@@ -8,6 +8,7 @@
 #include "cpu/Sim.h"
 
 #include "hdl/FastSim.h"
+#include "hdl/compile/CompiledSim.h"
 
 using namespace silver;
 using namespace silver::cpu;
@@ -222,7 +223,7 @@ private:
 class VerilogSim : public CoreSim {
 public:
   VerilogSim(const SilverCore &Core, hdl::VModule ModuleIn,
-             std::unique_ptr<hdl::FastSim> SimIn)
+             std::unique_ptr<hdl::ModuleSim> SimIn)
       : Core(Core), Module(std::move(ModuleIn)), Sim(std::move(SimIn)) {
     for (size_t K = 0; K != Sim->numInputs(); ++K)
       InBind.push_back(inPortFor(Sim->inputName(K)));
@@ -299,7 +300,7 @@ private:
 
   const SilverCore &Core;
   hdl::VModule Module;
-  std::unique_ptr<hdl::FastSim> Sim;
+  std::unique_ptr<hdl::ModuleSim> Sim;
   std::vector<InPort> InBind; // per FastSim input ordinal
   std::vector<std::pair<int, OutPort>> OutSlots;
   std::vector<uint64_t> InBuf;
@@ -318,6 +319,12 @@ std::unique_ptr<CoreSim> silver::cpu::makeCircuitSim(const SilverCore &Core) {
 
 Result<std::unique_ptr<CoreSim>>
 silver::cpu::makeVerilogSim(const SilverCore &Core) {
+  return makeVerilogSim(Core, {});
+}
+
+Result<std::unique_ptr<CoreSim>>
+silver::cpu::makeVerilogSim(const SilverCore &Core,
+                            const VerilogSimOptions &Opts) {
   Result<hdl::VModule> Module = rtl::toVerilog(Core.Circuit);
   if (!Module)
     return Module.error();
@@ -325,10 +332,33 @@ silver::cpu::makeVerilogSim(const SilverCore &Core) {
     return Error("generated Silver module fails type checking: " +
                  T.error().str());
   hdl::VModule Mod = Module.take();
-  Result<std::unique_ptr<hdl::FastSim>> Fast = hdl::FastSim::compile(Mod);
-  if (!Fast)
-    return Fast.error();
+
+  // Backend selection: the compiled backend degrades to the interpreter
+  // (with a diagnostic, never an error) so a host without a compiler
+  // still runs every Verilog-level workload.
+  std::unique_ptr<hdl::ModuleSim> ModSim;
+  if (Opts.Compiled) {
+    if (!hdl::compiledSimAvailable()) {
+      if (Opts.FallbackDiag != nullptr)
+        *Opts.FallbackDiag = "compiled simulator unavailable (no usable "
+                             "host C++ compiler); using the interpreter";
+    } else {
+      Result<std::unique_ptr<hdl::CompiledSim>> C =
+          hdl::CompiledSim::compile(Mod);
+      if (C)
+        ModSim = C.take();
+      else if (Opts.FallbackDiag != nullptr)
+        *Opts.FallbackDiag = "compiled simulator failed (" +
+                             C.error().str() + "); using the interpreter";
+    }
+  }
+  if (!ModSim) {
+    Result<std::unique_ptr<hdl::FastSim>> Fast = hdl::FastSim::compile(Mod);
+    if (!Fast)
+      return Fast.error();
+    ModSim = Fast.take();
+  }
   std::unique_ptr<CoreSim> Sim =
-      std::make_unique<VerilogSim>(Core, std::move(Mod), Fast.take());
+      std::make_unique<VerilogSim>(Core, std::move(Mod), std::move(ModSim));
   return Sim;
 }

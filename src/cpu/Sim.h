@@ -98,9 +98,26 @@ public:
 /// Layer-3 simulator: the circuit interpreter.
 std::unique_ptr<CoreSim> makeCircuitSim(const SilverCore &Core);
 
+/// Backend selection for the Verilog-level simulator.
+struct VerilogSimOptions {
+  /// Step the generated module with the ahead-of-time compiled backend
+  /// (hdl/compile) instead of the AST interpreter.  Falls back to the
+  /// interpreter — transparently, with a note in *FallbackDiag — when
+  /// no usable host compiler exists or the build fails.
+  bool Compiled = false;
+  /// Receives a one-line diagnostic when the compiled backend was
+  /// requested but the run fell back to the interpreter.  Not owned;
+  /// may be null.
+  std::string *FallbackDiag = nullptr;
+};
+
 /// Layer-4 simulator: verilog_sem on the generated module.  Fails if the
 /// generated module does not type-check.
 Result<std::unique_ptr<CoreSim>> makeVerilogSim(const SilverCore &Core);
+
+/// As above with backend selection (see VerilogSimOptions).
+Result<std::unique_ptr<CoreSim>> makeVerilogSim(const SilverCore &Core,
+                                                const VerilogSimOptions &Opts);
 
 } // namespace cpu
 } // namespace silver

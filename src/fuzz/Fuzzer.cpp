@@ -32,9 +32,10 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
   // workers and folded into the report at the end.
   constexpr size_t NumLevels = static_cast<size_t>(stack::Level::Verilog) + 1;
   constexpr size_t JitSlot = NumLevels;
-  std::array<std::atomic<uint64_t>, NumLevels + 1> LevelInstrs{};
-  std::array<std::atomic<uint64_t>, NumLevels + 1> LevelCycles{};
-  std::array<std::atomic<uint64_t>, NumLevels + 1> LevelRuns{};
+  constexpr size_t CompiledSlot = NumLevels + 1;
+  std::array<std::atomic<uint64_t>, NumLevels + 2> LevelInstrs{};
+  std::array<std::atomic<uint64_t>, NumLevels + 2> LevelCycles{};
+  std::array<std::atomic<uint64_t>, NumLevels + 2> LevelRuns{};
   std::mutex Mu; // guards Report.Findings and O.Log
   const auto Start = std::chrono::steady_clock::now();
   const auto Deadline =
@@ -66,7 +67,9 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
       for (const LevelRun &Run : R->Runs) {
         if (!Run.Ran)
           continue;
-        size_t L = Run.Jit ? JitSlot : static_cast<size_t>(Run.L);
+        size_t L = Run.Compiled ? CompiledSlot
+                   : Run.Jit    ? JitSlot
+                                : static_cast<size_t>(Run.L);
         LevelRuns[L].fetch_add(1, std::memory_order_relaxed);
         LevelInstrs[L].fetch_add(Run.Behaviour.Instructions,
                                  std::memory_order_relaxed);
@@ -120,12 +123,15 @@ FuzzReport silver::fuzz::runFuzz(const FuzzOptions &O) {
   Report.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
-  for (size_t L = 0; L != NumLevels + 1; ++L) {
+  for (size_t L = 0; L != NumLevels + 2; ++L) {
     if (LevelRuns[L].load() == 0)
       continue;
     LevelWork W;
-    W.L = L == JitSlot ? stack::Level::Isa : static_cast<stack::Level>(L);
+    W.L = L == JitSlot        ? stack::Level::Isa
+          : L == CompiledSlot ? stack::Level::Verilog
+                              : static_cast<stack::Level>(L);
     W.Jit = L == JitSlot;
+    W.Compiled = L == CompiledSlot;
     W.Instructions = LevelInstrs[L].load();
     W.Cycles = LevelCycles[L].load();
     Report.Work.push_back(W);

@@ -71,6 +71,8 @@ struct Finding {
 struct LevelWork {
   stack::Level L = stack::Level::Isa;
   bool Jit = false; ///< the Jit-vs-Isa differential runs (L is Isa)
+  /// The Compiled-vs-Verilog differential runs (L is Verilog).
+  bool Compiled = false;
   uint64_t Instructions = 0;
   uint64_t Cycles = 0;
 };

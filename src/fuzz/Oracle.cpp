@@ -37,8 +37,11 @@ const char *silver::fuzz::diffKindName(DiffKind K) {
 }
 
 std::string Divergence::fingerprint() const {
+  std::string Other_ = OtherCompiled ? "verilog-compiled"
+                       : OtherJit    ? "jit"
+                                     : stack::levelName(Other);
   return std::string(diffKindName(Kind)) + ":" + stack::levelName(Ref) + ":" +
-         (OtherJit ? "jit" : stack::levelName(Other));
+         Other_;
 }
 
 Result<stack::Prepared> silver::fuzz::prepareCase(const CaseSpec &C) {
@@ -81,10 +84,11 @@ Result<stack::Prepared> silver::fuzz::prepareCase(const CaseSpec &C) {
 namespace {
 
 LevelRun runOne(const stack::Prepared &P, const CaseSpec &C, Level L,
-                uint64_t MaxSteps, bool Jit = false) {
+                uint64_t MaxSteps, bool Jit = false, bool Compiled = false) {
   LevelRun R;
   R.L = L;
   R.Jit = Jit;
+  R.Compiled = Compiled;
   R.Ran = true;
 
   stack::RunSpec Spec;
@@ -93,6 +97,8 @@ LevelRun runOne(const stack::Prepared &P, const CaseSpec &C, Level L,
   Spec.Exec.MaxSteps = MaxSteps;
   Spec.Exec.Backend =
       Jit ? stack::BackendKind::Jit : stack::BackendKind::Interp;
+  Spec.Exec.Hdl = Compiled ? stack::HdlBackendKind::Compiled
+                           : stack::HdlBackendKind::Interp;
   Spec.Exec.JitHotThreshold = 1; // cases are short; compile everything
 
   stack::Executor E = stack::Executor::fromPrepared(Spec, P);
@@ -130,6 +136,12 @@ LevelRun runOne(const stack::Prepared &P, const CaseSpec &C, Level L,
 }
 
 bool isHardware(Level L) { return L == Level::Rtl || L == Level::Verilog; }
+
+const char *runName(const LevelRun &R) {
+  return R.Compiled ? "verilog-compiled"
+         : R.Jit    ? "jit"
+                    : stack::levelName(R.L);
+}
 
 Divergence diverge(DiffKind K, const LevelRun &Other, std::string Detail) {
   Divergence D;
@@ -246,6 +258,88 @@ Divergence compareRuns(const LevelRun &Ref, const LevelRun &R, bool HasFfi) {
   return {};
 }
 
+Divergence divergeCompiled(DiffKind K, std::string Detail) {
+  Divergence D;
+  D.Kind = K;
+  D.Ref = Level::Verilog;
+  D.Other = Level::Verilog;
+  D.OtherCompiled = true;
+  D.Detail = std::move(Detail);
+  return D;
+}
+
+/// Compiled-vs-interpreted Verilog: both sides are the same hardware
+/// semantics on the same module, so neither masked asymmetry applies
+/// and the comparison is exact — status, behaviour including the
+/// instruction and cycle counts, the full retire stream (no halt-retire
+/// trim), and the digest, bit for bit.
+Divergence compareCompiled(const LevelRun &Ref, const LevelRun &R) {
+  if (Ref.Errored || R.Errored) {
+    if (Ref.Errored && R.Errored)
+      return {}; // both sides failing identically is agreement
+    const LevelRun &Bad = Ref.Errored ? Ref : R;
+    return divergeCompiled(DiffKind::Status, std::string(runName(Bad)) +
+                                                 " errored: " +
+                                                 Bad.ErrorMessage);
+  }
+  if (Ref.Status != R.Status)
+    return divergeCompiled(DiffKind::Status,
+                           std::string(stack::runStatusName(Ref.Status)) +
+                               " vs " + stack::runStatusName(R.Status));
+  const stack::Observed &A = Ref.Behaviour;
+  const stack::Observed &B = R.Behaviour;
+  if (A.StdoutData != B.StdoutData)
+    return divergeCompiled(DiffKind::Behaviour, "stdout differs");
+  if (A.StderrData != B.StderrData)
+    return divergeCompiled(DiffKind::Behaviour, "stderr differs");
+  if (A.Terminated != B.Terminated || A.ExitCode != B.ExitCode)
+    return divergeCompiled(DiffKind::Behaviour,
+                           "exit " + std::to_string(A.Terminated) + "/" +
+                               std::to_string(A.ExitCode) + " vs " +
+                               std::to_string(B.Terminated) + "/" +
+                               std::to_string(B.ExitCode));
+  if (A.Instructions != B.Instructions || A.Cycles != B.Cycles)
+    return divergeCompiled(DiffKind::Behaviour,
+                           "counters " + std::to_string(A.Instructions) +
+                               "i/" + std::to_string(A.Cycles) + "c vs " +
+                               std::to_string(B.Instructions) + "i/" +
+                               std::to_string(B.Cycles) + "c");
+  if (Ref.Retires != R.Retires) {
+    size_t N = std::min(Ref.Retires.size(), R.Retires.size());
+    size_t At = N;
+    for (size_t I = 0; I != N; ++I)
+      if (Ref.Retires[I] != R.Retires[I]) {
+        At = I;
+        break;
+      }
+    Divergence D = divergeCompiled(
+        DiffKind::Retire,
+        At < N ? "first mismatch at retire " + std::to_string(At) +
+                     ": pc " + toHex(Ref.Retires[At].first) + " vs " +
+                     toHex(R.Retires[At].first)
+               : "stream lengths " + std::to_string(Ref.Retires.size()) +
+                     " vs " + std::to_string(R.Retires.size()));
+    D.RetireAt = At;
+    return D;
+  }
+  const stack::StateDigest &DA = Ref.Digest;
+  const stack::StateDigest &DB = R.Digest;
+  if (DA.Pc != DB.Pc)
+    return divergeCompiled(DiffKind::State, "pc " + toHex(DA.Pc) + " vs " +
+                                                toHex(DB.Pc));
+  if (DA.Carry != DB.Carry || DA.Overflow != DB.Overflow)
+    return divergeCompiled(DiffKind::State, "flags differ");
+  for (unsigned I = 0; I != isa::NumRegs; ++I)
+    if (DA.Regs[I] != DB.Regs[I])
+      return divergeCompiled(DiffKind::State,
+                             "r" + std::to_string(I) + " = " +
+                                 toHex(DA.Regs[I]) + " vs " +
+                                 toHex(DB.Regs[I]));
+  if (DA.MemoryBytes != DB.MemoryBytes || DA.MemoryHash != DB.MemoryHash)
+    return divergeCompiled(DiffKind::State, "final memory differs");
+  return {};
+}
+
 } // namespace
 
 Result<OracleResult> silver::fuzz::runCase(const CaseSpec &C,
@@ -301,6 +395,29 @@ Result<OracleResult> silver::fuzz::runCase(const CaseSpec &C,
     else if (D.Kind == DiffKind::Inconclusive &&
              Res.Diff.Kind == DiffKind::None)
       Res.Diff = D; // counted, but a later real divergence still wins
+  }
+  if (O.CompareCompiled) {
+    // The Compiled-vs-Verilog differential level: locate (or add) the
+    // interpreted Verilog run, then the same image again with the
+    // compiled simulator backend, compared exactly (both sides are the
+    // hardware, so no asymmetry is masked).
+    size_t VIdx = Res.Runs.size();
+    for (size_t I = 0; I != Res.Runs.size(); ++I)
+      if (Res.Runs[I].L == Level::Verilog && !Res.Runs[I].Compiled)
+        VIdx = I;
+    if (VIdx == Res.Runs.size()) {
+      LevelRun V = runOne(*POr, C, Level::Verilog, Budget);
+      Divergence D = compareRuns(Res.Runs.front(), V, C.hasFfi());
+      Res.Runs.push_back(std::move(V));
+      if (D.found() && !Res.Diff.found())
+        Res.Diff = D;
+    }
+    LevelRun CR = runOne(*POr, C, Level::Verilog, Budget, /*Jit=*/false,
+                         /*Compiled=*/true);
+    Divergence D = compareCompiled(Res.Runs[VIdx], CR);
+    Res.Runs.push_back(std::move(CR));
+    if (D.found() && !Res.Diff.found())
+      Res.Diff = D;
   }
   return Res;
 }

@@ -61,6 +61,9 @@ namespace fuzz {
 struct LevelRun {
   stack::Level L = stack::Level::Isa;
   bool Jit = false; ///< ran at Isa with the JIT backend (Jit-vs-Isa level)
+  /// Ran at Verilog with the compiled simulator backend (the
+  /// Compiled-vs-Verilog differential level).
+  bool Compiled = false;
   bool Ran = false;
   bool Errored = false; ///< the executor reported an error (fault, ...)
   std::string ErrorMessage;
@@ -87,6 +90,9 @@ struct Divergence {
   stack::Level Ref = stack::Level::Isa;
   stack::Level Other = stack::Level::Isa;
   bool OtherJit = false;  ///< Other ran at Isa with the JIT backend
+  /// Other ran at Verilog with the compiled simulator backend (the
+  /// reference side is then the interpreted Verilog run).
+  bool OtherCompiled = false;
   std::string Detail;     ///< human-readable description
   uint64_t RetireAt = 0;  ///< Retire: first differing index
 
@@ -111,6 +117,16 @@ struct OracleOptions {
   /// native JIT support the run degrades to the interpreter, so the
   /// comparison is trivially green rather than an error.
   bool CompareJit = false;
+  /// Also run the case at Level::Verilog with the compiled simulator
+  /// backend (stack::HdlBackendKind::Compiled) and compare it against
+  /// the interpreted Verilog run exactly — status, behaviour including
+  /// instruction and cycle counts, the full retire stream, and the
+  /// digest, with no masking: both sides are the same hardware
+  /// semantics.  Adds the interpreted Verilog run if Levels does not
+  /// already request it.  On hosts without a usable C++ compiler the
+  /// run degrades to the interpreter, so the comparison is trivially
+  /// green rather than an error.
+  bool CompareCompiled = false;
 };
 
 struct OracleResult {

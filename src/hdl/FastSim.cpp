@@ -345,6 +345,8 @@ void FastSim::Impl::exec(const FStmt &S) {
   }
 }
 
+ModuleSim::~ModuleSim() = default;
+
 FastSim::FastSim() : I(std::make_unique<Impl>()) {}
 FastSim::~FastSim() = default;
 

@@ -1,0 +1,90 @@
+//===- hdl/compile/Build.h - Host-compiler build driver ---------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a generated translation unit (Codegen.h) into a loaded shared
+/// object: invoke the host C++ compiler, cache the artifact keyed by the
+/// design hash, dlopen it, and verify the exported ABI version and
+/// design hash before handing out the entry points.
+///
+/// Everything degrades: no usable host compiler (or SILVER_HDL_DISABLE
+/// set) makes compiledSimAvailable() false, and the callers fall back to
+/// the interpreting backend with a diagnostic — never an error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_HDL_COMPILE_BUILD_H
+#define SILVER_HDL_COMPILE_BUILD_H
+
+#include "hdl/compile/Codegen.h"
+#include "support/Result.h"
+
+#include <memory>
+#include <string>
+
+namespace silver {
+namespace hdl {
+
+/// Knobs for the build; the defaults read the environment:
+/// SILVER_HDL_CXX (then CXX, then "c++") picks the compiler and
+/// SILVER_HDL_CACHE picks the artifact cache directory.
+struct BuildOptions {
+  std::string Compiler; ///< empty = environment / "c++"
+  std::string CacheDir; ///< empty = environment / default cache dir
+};
+
+/// The artifact cache directory the defaulted BuildOptions resolve to:
+/// $SILVER_HDL_CACHE, else $XDG_CACHE_HOME/silver-hdl, else
+/// $HOME/.cache/silver-hdl, else /tmp/silver-hdl.
+std::string defaultCacheDir();
+
+/// True when a host C++ compiler answers and SILVER_HDL_DISABLE is not
+/// set.  Probed once per process (per compiler choice) and cached.
+bool compiledSimAvailable();
+
+/// A dlopen'ed generated simulator: the resolved entry points plus the
+/// owning handle.  Destroying the last shared_ptr dlclose()s.
+class LoadedModule {
+public:
+  using CycleFn = int (*)(uint64_t *V, uint64_t *const *M);
+  using BatchFn = int (*)(uint64_t *V, uint64_t *const *M, uint64_t Lanes);
+
+  /// Takes ownership of the dlopen handle.  Built by buildAndLoad; the
+  /// constructor is public only for the loader internals.
+  LoadedModule(void *Handle, CycleFn Cycle, BatchFn Batch,
+               uint64_t DesignHash, std::string Path)
+      : Handle(Handle), Cycle(Cycle), Batch(Batch), DesignHash(DesignHash),
+        Path(std::move(Path)) {}
+  ~LoadedModule();
+  LoadedModule(const LoadedModule &) = delete;
+  LoadedModule &operator=(const LoadedModule &) = delete;
+
+  CycleFn cycle() const { return Cycle; }
+  BatchFn cycleBatch() const { return Batch; }
+  uint64_t designHash() const { return DesignHash; }
+  /// Path of the cached shared object (diagnostics, CI cache keys).
+  const std::string &path() const { return Path; }
+
+private:
+  void *Handle = nullptr;
+  CycleFn Cycle = nullptr;
+  BatchFn Batch = nullptr;
+  uint64_t DesignHash = 0;
+  std::string Path;
+};
+
+/// Compiles (or reuses the cached artifact for) \p G and loads it.
+/// Cache artifacts are named by the design hash and written atomically
+/// (temp file + rename), so concurrent builders of the same design race
+/// benignly.  Fails with the compiler log tail when compilation fails.
+Result<std::shared_ptr<LoadedModule>>
+buildAndLoad(const GeneratedModule &G, const BuildOptions &O = {});
+
+} // namespace hdl
+} // namespace silver
+
+#endif // SILVER_HDL_COMPILE_BUILD_H

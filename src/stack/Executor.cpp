@@ -369,6 +369,8 @@ Result<void> Executor::begin(Level L) {
         L == Level::Verilog ? cpu::SimLevel::Verilog : cpu::SimLevel::Circuit;
     Options.MaxCycles = Cycles;
     Options.Obs = Obs;
+    Options.CompiledVerilog = L == Level::Verilog &&
+                              Spec.Exec.Hdl == HdlBackendKind::Compiled;
     Result<std::unique_ptr<cpu::CoreRunner>> Runner =
         cpu::CoreRunner::create(*Image, Options);
     if (!Runner)

@@ -36,6 +36,7 @@ std::string PrepareCache::keyOf(const RunSpec &Spec) {
   // keeping per-backend streams distinct means a jit/interp A-B
   // comparison never aliases in the cache.
   Num(static_cast<uint64_t>(Spec.Exec.Backend));
+  Num(static_cast<uint64_t>(Spec.Exec.Hdl));
   return Key;
 }
 

@@ -9,6 +9,7 @@
 
 #include "cml/Interp.h"
 #include "cml/Parser.h"
+#include "hdl/compile/Build.h"
 #include "isa/jit/Jit.h"
 #include "stack/Executor.h"
 #include "support/StringUtils.h"
@@ -41,6 +42,33 @@ bool silver::stack::parseBackendKind(const std::string &Name,
 
 bool silver::stack::backendSupported(BackendKind B) {
   return B == BackendKind::Interp || isa::jit::hostSupported();
+}
+
+const char *silver::stack::hdlBackendKindName(HdlBackendKind B) {
+  switch (B) {
+  case HdlBackendKind::Interp:
+    return "interp";
+  case HdlBackendKind::Compiled:
+    return "compiled";
+  }
+  return "?";
+}
+
+bool silver::stack::parseHdlBackendKind(const std::string &Name,
+                                        HdlBackendKind &Out) {
+  if (Name == "interp") {
+    Out = HdlBackendKind::Interp;
+    return true;
+  }
+  if (Name == "compiled") {
+    Out = HdlBackendKind::Compiled;
+    return true;
+  }
+  return false;
+}
+
+bool silver::stack::hdlBackendSupported(HdlBackendKind B) {
+  return B == HdlBackendKind::Interp || hdl::compiledSimAvailable();
 }
 
 const char *silver::stack::levelName(Level L) {

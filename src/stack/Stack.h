@@ -55,11 +55,32 @@ bool parseBackendKind(const std::string &Name, BackendKind &Out);
 /// interpreter (callers surface a diagnostic, not an error).
 bool backendSupported(BackendKind B);
 
+/// Which simulator backend the Verilog level steps with.  Interp is the
+/// AST-walking hdl::FastSim; Compiled generates C++ from the module,
+/// builds it with the host compiler, and dlopen()s the result
+/// (hdl/compile).  Same contract as BackendKind: behaviour and digests
+/// are identical — enforced by the compiled-vs-interpreted differential
+/// level — and an unsupported host falls back to Interp with a
+/// diagnostic, never an error.
+enum class HdlBackendKind : uint8_t { Interp, Compiled };
+
+/// Stable identifier ("interp", "compiled") for CLIs, logs, cache keys.
+const char *hdlBackendKindName(HdlBackendKind B);
+
+/// Parses an hdl backend name; returns false when \p Name is unknown.
+bool parseHdlBackendKind(const std::string &Name, HdlBackendKind &Out);
+
+/// True when the requested hdl backend can run on this host (Compiled
+/// needs a usable host C++ compiler; see hdl::compiledSimAvailable).
+bool hdlBackendSupported(HdlBackendKind B);
+
 /// How to execute: backend choice plus the budgets, one object so the
 /// whole execution configuration travels together through
 /// Executor::prepare, the batch-service protocol, and the CLIs.
 struct ExecOptions {
   BackendKind Backend = BackendKind::Interp;
+  /// Simulator backend for the Verilog level (ignored elsewhere).
+  HdlBackendKind Hdl = HdlBackendKind::Interp;
   /// Block-execution count at which the JIT compiles a block; 0 keeps
   /// the backend default (isa::jit::JitOptions).  The fuzz oracle sets
   /// 1 so its differential runs compile every reachable block.

@@ -62,6 +62,10 @@ struct JobSpec {
   /// part of the wire format and the worker's prepare-cache key.  Jit
   /// degrades to the interpreter on hosts without native support.
   stack::BackendKind Backend = stack::BackendKind::Interp;
+  /// Verilog-level simulator backend (stack::HdlBackendKind); part of
+  /// the wire format and the prepare-cache key.  Compiled degrades to
+  /// the interpreter on hosts without a usable C++ compiler.
+  stack::HdlBackendKind Hdl = stack::HdlBackendKind::Interp;
 };
 
 enum class JobState : uint8_t {

@@ -130,6 +130,7 @@ void putSpec(Writer &W, const JobSpec &S) {
   W.u64(S.WallMsBudget);
   W.u8(S.Priority);
   W.u8(static_cast<uint8_t>(S.Backend));
+  W.u8(static_cast<uint8_t>(S.Hdl));
 }
 
 JobSpec getSpec(Reader &R) {
@@ -144,6 +145,7 @@ JobSpec getSpec(Reader &R) {
   S.WallMsBudget = R.u64();
   S.Priority = R.u8();
   S.Backend = static_cast<stack::BackendKind>(R.u8());
+  S.Hdl = static_cast<stack::HdlBackendKind>(R.u8());
   return S;
 }
 
@@ -247,6 +249,9 @@ Result<Request> silver::svc::decodeRequest(const std::vector<uint8_t> &P) {
   if (static_cast<uint8_t>(Req.Job.Backend) >
       static_cast<uint8_t>(stack::BackendKind::Jit))
     return Error("protocol: unknown execution backend");
+  if (static_cast<uint8_t>(Req.Job.Hdl) >
+      static_cast<uint8_t>(stack::HdlBackendKind::Compiled))
+    return Error("protocol: unknown hdl backend");
   return Req;
 }
 

@@ -343,6 +343,7 @@ Service::executeSlice(Job &J, const JobSpec &Spec,
     Run.Exec.MaxSteps = Spec.MaxSteps ? Spec.MaxSteps : Opts.DefaultMaxSteps;
     Run.Exec.MaxCycles = Spec.MaxCycles;
     Run.Exec.Backend = Spec.Backend;
+    Run.Exec.Hdl = Spec.Hdl;
 
     Result<stack::Prepared> P = Cache.prepare(Run);
     if (!P) {

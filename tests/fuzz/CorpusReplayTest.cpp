@@ -33,6 +33,25 @@ TEST(CorpusReplay, CommittedReproducersStillAgree) {
     ADD_FAILURE() << F.Path << ": " << F.Reason;
 }
 
+// The same corpus again at the compiled-simulator level: every
+// committed reproducer (including selfmod-0.s and ffi-domain-0.s) must
+// agree exactly between the interpreted and the compiled Verilog
+// backends.  Hosts without a host C++ compiler fall back to the
+// interpreter, which keeps the replay green rather than skipping it.
+TEST(CorpusReplay, CommittedReproducersAgreeAtCompiledLevel) {
+  OracleOptions O;
+  O.Levels = {stack::Level::Verilog};
+  O.CompareCompiled = true;
+
+  std::vector<std::string> Files = listCorpus(SILVER_FUZZ_CORPUS_DIR);
+  ASSERT_FALSE(Files.empty())
+      << "no corpus files under " << SILVER_FUZZ_CORPUS_DIR;
+
+  std::vector<ReplayFailure> Failures = replayCorpus(SILVER_FUZZ_CORPUS_DIR, O);
+  for (const ReplayFailure &F : Failures)
+    ADD_FAILURE() << F.Path << ": " << F.Reason;
+}
+
 TEST(CorpusReplay, EveryFileParsesAndSerializesStably) {
   for (const std::string &Path : listCorpus(SILVER_FUZZ_CORPUS_DIR)) {
     Result<CaseSpec> C = loadCase(Path);

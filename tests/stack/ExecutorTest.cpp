@@ -344,6 +344,56 @@ void expectReplenishedRunMatchesUnbudgeted(Level L) {
   EXPECT_EQ(RefDigest->MemoryBytes, Digest->MemoryBytes);
 }
 
+// The compiled simulator backend (hdl/compile) must be observationally
+// identical to the AST interpreter at the Verilog level: same Observed
+// (including instruction and cycle counts), same retire stream, same
+// final StateDigest.  On hosts without a usable C++ compiler the
+// compiled run transparently falls back to the interpreter, so the
+// comparison holds vacuously — and the run must still succeed.
+TEST(Executor, CompiledHdlBackendMatchesInterpreterAtVerilog) {
+  RunSpec InterpSpec = helloSpec();
+  RunSpec CompiledSpec = helloSpec();
+  CompiledSpec.Exec.Hdl = HdlBackendKind::Compiled;
+
+  auto RunVerilog = [](const RunSpec &Spec, obs::TraceSink &Sink,
+                       StateDigest &Digest) -> Result<Outcome> {
+    Result<Executor> ExecOr = Executor::create(Spec);
+    if (!ExecOr)
+      return ExecOr.error();
+    Executor Exec = ExecOr.take();
+    Exec.attach(&Sink);
+    if (Result<void> B = Exec.begin(Level::Verilog); !B)
+      return B.error();
+    Result<RunStatus> S = Exec.step(UINT64_MAX);
+    if (!S)
+      return S.error();
+    Result<StateDigest> D = Exec.sessionState();
+    if (!D)
+      return D.error();
+    Digest = *D;
+    return Exec.finish();
+  };
+
+  obs::TraceSink InterpSink, CompiledSink;
+  StateDigest InterpDigest, CompiledDigest;
+  Result<Outcome> I = RunVerilog(InterpSpec, InterpSink, InterpDigest);
+  ASSERT_TRUE(I) << I.error().str();
+  Result<Outcome> C = RunVerilog(CompiledSpec, CompiledSink, CompiledDigest);
+  ASSERT_TRUE(C) << C.error().str();
+
+  ASSERT_EQ(I->Status, RunStatus::Completed);
+  ASSERT_EQ(C->Status, RunStatus::Completed);
+  expectSameObserved(I->Behaviour, C->Behaviour);
+  EXPECT_EQ(I->Behaviour.Cycles, C->Behaviour.Cycles);
+  EXPECT_EQ(InterpSink.retireStream(), CompiledSink.retireStream());
+  EXPECT_EQ(InterpDigest.Pc, CompiledDigest.Pc);
+  EXPECT_EQ(InterpDigest.Carry, CompiledDigest.Carry);
+  EXPECT_EQ(InterpDigest.Overflow, CompiledDigest.Overflow);
+  EXPECT_EQ(InterpDigest.Regs, CompiledDigest.Regs);
+  EXPECT_EQ(InterpDigest.MemoryHash, CompiledDigest.MemoryHash);
+  EXPECT_EQ(InterpDigest.MemoryBytes, CompiledDigest.MemoryBytes);
+}
+
 TEST(Executor, ReplenishedTimeoutMatchesUnbudgetedAtMachine) {
   expectReplenishedRunMatchesUnbudgeted(Level::Machine);
 }

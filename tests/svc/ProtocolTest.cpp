@@ -151,11 +151,17 @@ TEST(Protocol, BadBackendRejected) {
   R.Kind = RequestKind::Submit;
   R.Job = sampleSpec();
   std::vector<uint8_t> Full = encodeRequest(R);
-  // The backend ordinal is the last byte of the encoded spec; corrupt
-  // it past BackendKind::Jit and the decoder must refuse.
-  ASSERT_EQ(Full.back(), static_cast<uint8_t>(stack::BackendKind::Jit));
-  Full.back() = 200;
-  EXPECT_FALSE(bool(decodeRequest(Full)));
+  // The spec ends with the backend ordinal followed by the hdl backend
+  // ordinal; corrupt either past its enum range and the decoder must
+  // refuse.
+  ASSERT_EQ(Full.back(), static_cast<uint8_t>(stack::HdlBackendKind::Interp));
+  ASSERT_EQ(Full[Full.size() - 2], static_cast<uint8_t>(stack::BackendKind::Jit));
+  std::vector<uint8_t> BadHdl = Full;
+  BadHdl.back() = 200;
+  EXPECT_FALSE(bool(decodeRequest(BadHdl)));
+  std::vector<uint8_t> BadBackend = Full;
+  BadBackend[BadBackend.size() - 2] = 200;
+  EXPECT_FALSE(bool(decodeRequest(BadBackend)));
 }
 
 } // namespace
