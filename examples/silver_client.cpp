@@ -51,11 +51,16 @@ int usage() {
       "         [--args=\"...\"]\n"
       "         [--stdin-file=FILE] [--priority=N] [--slice=N]\n"
       "         [--max-steps=N] [--wall-ms=N] [--wait-ms=N] [--json]\n"
-      "  status JOBID [--wait-ms=N] [--json]\n"
-      "  resume JOBID [--slice=N] [--wait-ms=N] [--json]\n"
+      "         [--client=ID] [--live]\n"
+      "  status JOBID [--wait-ms=N] [--json] [--digest]\n"
+      "  resume JOBID [--slice=N] [--wait-ms=N] [--json] [--digest]\n"
       "  cancel JOBID\n"
+      "  stream JOBID [--from=N]\n"
       "  stats\n"
-      "  drain\n");
+      "  drain\n"
+      "  --client=ID   fairness tenant (per-client queue quota)\n"
+      "  --live        publish stdout incrementally for stream\n"
+      "  --digest      print the job's StateDigest as one canonical line\n");
   return 1;
 }
 
@@ -149,6 +154,26 @@ int reportJob(const svc::JobInfo &Info, const std::string &LevelName,
 
 std::string levelNameOf(stack::Level L) { return stack::levelName(L); }
 
+/// Prints the job's architectural StateDigest as one canonical line, so
+/// scripts can compare pre-crash and post-recovery machine states with a
+/// plain string equality (tests/svc/cluster_smoke.sh does exactly that).
+int reportDigest(const svc::JobInfo &Info) {
+  if (!Info.Outcome.HasDigest) {
+    std::fprintf(stderr, "silver-client: job %llu [%s] has no state digest\n",
+                 (unsigned long long)Info.Id, svc::jobStateName(Info.State));
+    return 1;
+  }
+  const stack::StateDigest &D = Info.Outcome.Digest;
+  std::printf("digest pc=%08x carry=%d overflow=%d regs=",
+              (unsigned)D.Pc, D.Carry ? 1 : 0, D.Overflow ? 1 : 0);
+  for (Word R : D.Regs)
+    std::printf("%08x", (unsigned)R);
+  std::printf(" memhash=%016llx membytes=%llu\n",
+              (unsigned long long)D.MemoryHash,
+              (unsigned long long)D.MemoryBytes);
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -162,6 +187,8 @@ int main(int Argc, char **Argv) {
   uint64_t JobId = 0;
   bool HaveJobId = false;
   bool Json = false;
+  bool Digest = false;
+  uint64_t StreamFrom = 0;
   svc::JobSpec Spec;
   uint64_t WaitMs = 60'000; // submit/status/resume block by default
   uint64_t ResumeSlice = 0;
@@ -209,14 +236,22 @@ int main(int Argc, char **Argv) {
       Spec.WallMsBudget = V;
     else if (startsWith(A, "--wait-ms=") && parseUnsigned(A.substr(10), V))
       WaitMs = V;
+    else if (startsWith(A, "--from=") && parseUnsigned(A.substr(7), V))
+      StreamFrom = V;
+    else if (startsWith(A, "--client="))
+      Spec.ClientId = A.substr(9);
+    else if (A == "--live")
+      Spec.LiveOutput = true;
     else if (A == "--json")
       Json = true;
+    else if (A == "--digest")
+      Digest = true;
     else if (!A.empty() && A[0] == '-' && A != "-")
       return usage();
     else if (Command.empty())
       Command = A;
     else if ((Command == "status" || Command == "resume" ||
-              Command == "cancel") &&
+              Command == "cancel" || Command == "stream") &&
              !HaveJobId && parseUnsigned(A, JobId))
       HaveJobId = true;
     else if (Command == "submit" && File.empty())
@@ -281,6 +316,8 @@ int main(int Argc, char **Argv) {
       return fail(R.error().str());
     if (!R->Ok)
       return fail(R->Error);
+    if (Digest)
+      return reportDigest(R->Info);
     return reportJob(R->Info, levelNameOf(Spec.Level), Json);
   }
 
@@ -295,7 +332,31 @@ int main(int Argc, char **Argv) {
       return fail(R.error().str());
     if (!R->Ok)
       return fail(R->Error);
+    if (Digest)
+      return reportDigest(R->Info);
     return reportJob(R->Info, levelNameOf(R->Info.Level), Json);
+  }
+
+  if (Command == "stream") {
+    if (!HaveJobId)
+      return usage();
+    Result<svc::Response> R =
+        C.stream(JobId, StreamFrom, [](uint64_t, const std::string &Data) {
+          std::fwrite(Data.data(), 1, Data.size(), stdout);
+          std::fflush(stdout);
+        });
+    if (!R)
+      return fail(R.error().str());
+    if (!R->Ok)
+      return fail(R->Error);
+    std::fprintf(stderr, "silver-client: job %llu %s after stream\n",
+                 (unsigned long long)R->Info.Id,
+                 svc::jobStateName(R->Info.State));
+    if (R->Info.State == svc::JobState::Completed)
+      return R->Info.Outcome.Behaviour.ExitCode;
+    // Paused streams are a clean handoff point (resume continues them),
+    // not a failure.
+    return R->Info.State == svc::JobState::Paused ? 0 : 1;
   }
 
   if (Command == "stats" || Command == "drain") {

@@ -135,7 +135,10 @@ struct IsaSession final : Executor::SessionBase {
     return Halted ? RunStatus::Completed : RunStatus::Paused;
   }
 
-  uint64_t instructions() const override { return Steps; }
+  // Matches collect().Instructions (startup prefix included): the
+  // service journals one and replays against the other, so the two
+  // counts must be the same coordinate system.
+  uint64_t instructions() const override { return Steps + Boot.StartupSteps; }
 
   Observed collect() const override {
     Observed O;

@@ -55,6 +55,15 @@ struct StateDigest {
   uint64_t MemoryBytes = 0;
 };
 
+inline bool operator==(const StateDigest &A, const StateDigest &B) {
+  return A.Pc == B.Pc && A.Carry == B.Carry && A.Overflow == B.Overflow &&
+         A.Regs == B.Regs && A.MemoryHash == B.MemoryHash &&
+         A.MemoryBytes == B.MemoryBytes;
+}
+inline bool operator!=(const StateDigest &A, const StateDigest &B) {
+  return !(A == B);
+}
+
 /// Why an execution stopped.
 enum class RunStatus : uint8_t {
   Completed, ///< the program halted / terminated
@@ -134,9 +143,11 @@ public:
   /// continues where it stopped.  An error on a completed session.
   Result<void> replenish(uint64_t ExtraInstructions, uint64_t ExtraCycles = 0);
 
-  /// Instructions retired so far by the active session (the same count
-  /// step() charges against the budget; excludes the ISA startup
-  /// prefix).  Valid between begin() and finish().
+  /// Instructions retired so far by the active session, in the same
+  /// coordinate system as sessionBehaviour().Instructions (the ISA
+  /// startup prefix included) — a journaled pause point taken from one
+  /// can be replayed against the other.  Valid between begin() and
+  /// finish().
   Result<uint64_t> sessionInstructions() const;
 
   /// Snapshots the observable behaviour of the active session so far

@@ -52,12 +52,14 @@ public:
   CacheStats stats() const;
   void clear();
 
-private:
   /// Canonical key: the source text plus a serialization of every
   /// compile-relevant option (exact, not a hash — a collision would
-  /// silently serve the wrong program).
+  /// silently serve the wrong program).  Public because the cluster
+  /// dispatcher routes jobs by this key, so every submission of the
+  /// same program lands on the shard whose cache is already hot.
   static std::string keyOf(const RunSpec &Spec);
 
+private:
   size_t Capacity;
   mutable std::mutex Mu;
   CacheStats Stats;

@@ -143,3 +143,31 @@ Result<Response> Client::drain() {
   R.Kind = RequestKind::Drain;
   return roundTrip(R);
 }
+
+Result<Response> Client::stream(
+    uint64_t JobId, uint64_t Offset,
+    const std::function<void(uint64_t, const std::string &)> &OnData) {
+  if (Fd == -1)
+    return Error("not connected");
+  Request R;
+  R.Kind = RequestKind::Stream;
+  R.JobId = JobId;
+  R.StreamOffset = Offset;
+  if (Result<void> W = writeFrame(Fd, encodeRequest(R)); !W)
+    return W.error();
+  std::vector<uint8_t> Payload;
+  while (true) {
+    Result<bool> Got = readFrame(Fd, Payload);
+    if (!Got)
+      return Got.error();
+    if (!*Got)
+      return Error("server closed the connection mid-stream");
+    Result<Response> Resp = decodeResponse(Payload);
+    if (!Resp)
+      return Resp;
+    if (Resp->Frame != DataFrame)
+      return Resp; // the final frame (or a protocol-level error)
+    if (OnData)
+      OnData(Resp->StreamOffset, Resp->StreamData);
+  }
+}

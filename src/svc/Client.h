@@ -30,6 +30,7 @@
 #include "svc/Protocol.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace silver {
@@ -62,6 +63,16 @@ public:
   /// Asks the server to drain and shut down; the response carries the
   /// final stats snapshot.
   Result<Response> drain();
+
+  /// Streams a job's stdout from byte \p Offset: \p OnData is invoked
+  /// once per data frame with (offset, bytes), in order and without
+  /// gaps; returns the final frame (its Info is the job's snapshot at
+  /// stream end — Paused means more output may exist after a resume).
+  /// Blocks until the server ends the stream; an error means the
+  /// connection itself failed mid-stream.
+  Result<Response>
+  stream(uint64_t JobId, uint64_t Offset,
+         const std::function<void(uint64_t, const std::string &)> &OnData);
 
   /// Sends an arbitrary request (the CLI's escape hatch).
   Result<Response> roundTrip(const Request &R);

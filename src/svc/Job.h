@@ -66,6 +66,15 @@ struct JobSpec {
   /// the wire format and the prepare-cache key.  Compiled degrades to
   /// the interpreter on hosts without a usable C++ compiler.
   stack::HdlBackendKind Hdl = stack::HdlBackendKind::Interp;
+  /// Fairness key: jobs sharing a ClientId share one tenant's queue
+  /// quota and one round-robin slot per priority lane (svc/JobQueue.h).
+  /// Empty is a valid tenant (the anonymous client).
+  std::string ClientId;
+  /// Publish stdout incrementally (one delta per worker chunk) so a
+  /// Stream request delivers output while the job runs instead of at
+  /// settle.  Off by default: live publishing snapshots the session's
+  /// output every chunk, which costs a copy of stdout-so-far.
+  bool LiveOutput = false;
 };
 
 enum class JobState : uint8_t {

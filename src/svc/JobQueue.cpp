@@ -1,4 +1,4 @@
-//===- svc/JobQueue.cpp - Bounded priority job queue --------------------------===//
+//===- svc/JobQueue.cpp - Bounded fair priority job queue ---------------------===//
 //
 // Part of SilverStack, a C++ reproduction of "Verified Compilation on a
 // Verified Processor" (PLDI 2019).
@@ -8,31 +8,66 @@
 #include "svc/JobQueue.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace silver;
 using namespace silver::svc;
 
-JobQueue::PushResult JobQueue::push(uint64_t JobId, uint8_t Priority) {
+static size_t quotaOf(size_t MaxDepth, double Share) {
+  if (Share >= 1.0 || Share <= 0.0)
+    return MaxDepth;
+  // Every tenant always gets at least one slot, or a small queue with a
+  // small share could admit nothing at all.
+  return std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(static_cast<double>(MaxDepth) * Share)));
+}
+
+JobQueue::JobQueue(size_t MaxDepthIn, double MaxClientShare)
+    : MaxDepth(MaxDepthIn ? MaxDepthIn : 1),
+      Quota(quotaOf(MaxDepth, MaxClientShare)) {}
+
+JobQueue::PushResult JobQueue::push(uint64_t JobId, uint8_t Priority,
+                                    const std::string &Client) {
   std::lock_guard<std::mutex> Lock(Mu);
   if (Closed)
     return PushResult::Closed;
   if (Size >= MaxDepth)
     return PushResult::Full;
-  unsigned Lane = std::min<unsigned>(Priority, NumPriorities - 1);
-  Lanes[Lane].push_back(JobId);
+  if (Quota < MaxDepth && ClientCounts[Client] >= Quota)
+    return PushResult::Quota;
+  Lane &L = Lanes[std::min<unsigned>(Priority, NumPriorities - 1)];
+  auto It = L.Index.find(Client);
+  if (It == L.Index.end()) {
+    L.Buckets.push_back(Bucket{Client, {}});
+    It = L.Index.emplace(Client, std::prev(L.Buckets.end())).first;
+  }
+  It->second->Items.push_back(JobId);
+  ++ClientCounts[Client];
   ++Size;
   Cv.notify_one();
   return PushResult::Ok;
 }
 
 std::optional<uint64_t> JobQueue::popLocked() {
-  for (std::deque<uint64_t> &Lane : Lanes) {
-    if (!Lane.empty()) {
-      uint64_t Id = Lane.front();
-      Lane.pop_front();
-      --Size;
-      return Id;
+  for (Lane &L : Lanes) {
+    if (L.Buckets.empty())
+      continue;
+    Bucket &B = L.Buckets.front();
+    uint64_t Id = B.Items.front();
+    B.Items.pop_front();
+    auto CC = ClientCounts.find(B.Client);
+    if (CC != ClientCounts.end() && --CC->second == 0)
+      ClientCounts.erase(CC);
+    // One job served: this client goes to the back of the rotation (or
+    // out of it when drained), so the next pop serves the next tenant.
+    if (B.Items.empty()) {
+      L.Index.erase(B.Client);
+      L.Buckets.pop_front();
+    } else {
+      L.Buckets.splice(L.Buckets.end(), L.Buckets, L.Buckets.begin());
     }
+    --Size;
+    return Id;
   }
   return std::nullopt;
 }
@@ -62,4 +97,10 @@ bool JobQueue::closed() const {
 size_t JobQueue::depth() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Size;
+}
+
+size_t JobQueue::clientDepth(const std::string &Client) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = ClientCounts.find(Client);
+  return It == ClientCounts.end() ? 0 : It->second;
 }

@@ -1,4 +1,4 @@
-//===- svc/JobQueue.h - Bounded priority job queue --------------*- C++ -*-===//
+//===- svc/JobQueue.h - Bounded fair priority job queue ---------*- C++ -*-===//
 //
 // Part of SilverStack, a C++ reproduction of "Verified Compilation on a
 // Verified Processor" (PLDI 2019).
@@ -7,10 +7,27 @@
 ///
 /// \file
 /// The admission queue between the service front door and the worker
-/// pool: NumPriorities FIFO lanes, a bound on total depth, and explicit
-/// backpressure — a push against a full queue is *rejected with a
-/// status*, never blocked and never silently dropped, so the caller can
-/// turn it into a Rejected response and the client can back off.
+/// pool: NumPriorities lanes, a bound on total depth, per-client
+/// fairness, and explicit backpressure — a push against a full queue (or
+/// an over-quota tenant) is *rejected with a status*, never blocked and
+/// never silently dropped, so the caller can turn it into a Rejected
+/// response and the client can back off.
+///
+/// Fairness has two independent mechanisms:
+///
+///   - Round-robin service order.  Within a lane, jobs are grouped by
+///     ClientId and the lane serves one job per client per turn (FIFO
+///     within a client).  A tenant that enqueues 50 jobs ahead of a
+///     tenant that enqueues 1 no longer delays that 1 by 50 service
+///     times — at equal priority, every waiting client is at most one
+///     full rotation from the head.  Always on; for a single client it
+///     degenerates to the old FIFO exactly.
+///
+///   - Admission quota.  MaxClientShare caps the fraction of MaxDepth
+///     any one ClientId may occupy (across all lanes); a push beyond the
+///     cap returns PushResult::Quota while other tenants still fit.  The
+///     default share of 1.0 disables the cap (single-tenant deployments
+///     keep the plain depth bound).
 ///
 /// pop() serves the lowest-numbered non-empty lane (priority 0 first)
 /// and blocks until an item arrives or the queue is closed; after
@@ -27,20 +44,28 @@
 #include <array>
 #include <condition_variable>
 #include <deque>
+#include <list>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
 
 namespace silver {
 namespace svc {
 
 class JobQueue {
 public:
-  explicit JobQueue(size_t MaxDepth) : MaxDepth(MaxDepth ? MaxDepth : 1) {}
+  /// \p MaxClientShare in (0, 1]: the fraction of MaxDepth one ClientId
+  /// may occupy (at least one slot is always granted); 1.0 disables the
+  /// per-client cap.
+  explicit JobQueue(size_t MaxDepth, double MaxClientShare = 1.0);
 
-  enum class PushResult : uint8_t { Ok, Full, Closed };
+  enum class PushResult : uint8_t { Ok, Full, Closed, Quota };
 
-  /// Enqueues \p JobId on lane \p Priority (clamped to NumPriorities-1).
-  PushResult push(uint64_t JobId, uint8_t Priority);
+  /// Enqueues \p JobId on lane \p Priority (clamped to NumPriorities-1)
+  /// under tenant \p Client (empty is the anonymous tenant).
+  PushResult push(uint64_t JobId, uint8_t Priority,
+                  const std::string &Client = std::string());
 
   /// Blocks until an item is available or the queue is closed and
   /// drained; nullopt means shut down.
@@ -54,14 +79,31 @@ public:
 
   bool closed() const;
   size_t depth() const;
+  /// Jobs currently queued under \p Client (tests and stats).
+  size_t clientDepth(const std::string &Client) const;
+  size_t clientQuota() const { return Quota; }
 
 private:
+  /// One tenant's FIFO within a lane; lanes serve their buckets
+  /// round-robin (front bucket yields one job, then rotates to the
+  /// back).
+  struct Bucket {
+    std::string Client;
+    std::deque<uint64_t> Items;
+  };
+  struct Lane {
+    std::list<Bucket> Buckets; ///< round-robin order, front is next
+    std::unordered_map<std::string, std::list<Bucket>::iterator> Index;
+  };
+
   std::optional<uint64_t> popLocked();
 
   const size_t MaxDepth;
+  const size_t Quota; ///< per-client queued-job cap (MaxDepth * share)
   mutable std::mutex Mu;
   std::condition_variable Cv;
-  std::array<std::deque<uint64_t>, NumPriorities> Lanes;
+  std::array<Lane, NumPriorities> Lanes;
+  std::unordered_map<std::string, size_t> ClientCounts;
   size_t Size = 0;
   bool Closed = false;
 };

@@ -7,12 +7,16 @@
 
 #include "svc/Protocol.h"
 
+#include "svc/Wire.h"
+
 #include <cerrno>
 #include <cstring>
 #include <unistd.h>
 
 using namespace silver;
 using namespace silver::svc;
+using wire::Reader;
+using wire::Writer;
 
 const char *silver::svc::requestKindName(RequestKind K) {
   switch (K) {
@@ -28,196 +32,11 @@ const char *silver::svc::requestKindName(RequestKind K) {
     return "stats";
   case RequestKind::Drain:
     return "drain";
+  case RequestKind::Stream:
+    return "stream";
   }
   return "?";
 }
-
-namespace {
-
-//===----------------------------------------------------------------------===//
-// Payload primitives
-//===----------------------------------------------------------------------===//
-
-struct Writer {
-  std::vector<uint8_t> Buf;
-
-  void u8(uint8_t V) { Buf.push_back(V); }
-  void u32(uint32_t V) {
-    for (int I = 0; I != 4; ++I)
-      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void u64(uint64_t V) {
-    for (int I = 0; I != 8; ++I)
-      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void str(const std::string &S) {
-    u32(static_cast<uint32_t>(S.size()));
-    Buf.insert(Buf.end(), S.begin(), S.end());
-  }
-  void strs(const std::vector<std::string> &V) {
-    u32(static_cast<uint32_t>(V.size()));
-    for (const std::string &S : V)
-      str(S);
-  }
-};
-
-struct Reader {
-  const uint8_t *Data;
-  size_t Len;
-  size_t At = 0;
-  bool Bad = false;
-
-  bool need(size_t N) {
-    if (Len - At < N) {
-      Bad = true;
-      return false;
-    }
-    return true;
-  }
-  uint8_t u8() {
-    if (!need(1))
-      return 0;
-    return Data[At++];
-  }
-  uint32_t u32() {
-    if (!need(4))
-      return 0;
-    uint32_t V = 0;
-    for (int I = 0; I != 4; ++I)
-      V |= static_cast<uint32_t>(Data[At++]) << (8 * I);
-    return V;
-  }
-  uint64_t u64() {
-    if (!need(8))
-      return 0;
-    uint64_t V = 0;
-    for (int I = 0; I != 8; ++I)
-      V |= static_cast<uint64_t>(Data[At++]) << (8 * I);
-    return V;
-  }
-  std::string str() {
-    uint32_t N = u32();
-    if (Bad || !need(N))
-      return {};
-    std::string S(reinterpret_cast<const char *>(Data + At), N);
-    At += N;
-    return S;
-  }
-  std::vector<std::string> strs() {
-    uint32_t N = u32();
-    std::vector<std::string> V;
-    for (uint32_t I = 0; I != N && !Bad; ++I)
-      V.push_back(str());
-    return V;
-  }
-  /// Every byte must be consumed: trailing garbage means the peer and we
-  /// disagree about the message shape.
-  bool done() const { return !Bad && At == Len; }
-};
-
-//===----------------------------------------------------------------------===//
-// Message bodies
-//===----------------------------------------------------------------------===//
-
-void putSpec(Writer &W, const JobSpec &S) {
-  W.str(S.Source);
-  W.u8(static_cast<uint8_t>(S.Level));
-  W.strs(S.CommandLine);
-  W.str(S.StdinData);
-  W.u64(S.MaxSteps);
-  W.u64(S.MaxCycles);
-  W.u64(S.SliceInstructions);
-  W.u64(S.WallMsBudget);
-  W.u8(S.Priority);
-  W.u8(static_cast<uint8_t>(S.Backend));
-  W.u8(static_cast<uint8_t>(S.Hdl));
-}
-
-JobSpec getSpec(Reader &R) {
-  JobSpec S;
-  S.Source = R.str();
-  S.Level = static_cast<stack::Level>(R.u8());
-  S.CommandLine = R.strs();
-  S.StdinData = R.str();
-  S.MaxSteps = R.u64();
-  S.MaxCycles = R.u64();
-  S.SliceInstructions = R.u64();
-  S.WallMsBudget = R.u64();
-  S.Priority = R.u8();
-  S.Backend = static_cast<stack::BackendKind>(R.u8());
-  S.Hdl = static_cast<stack::HdlBackendKind>(R.u8());
-  return S;
-}
-
-void putObserved(Writer &W, const stack::Observed &O) {
-  W.str(O.StdoutData);
-  W.str(O.StderrData);
-  W.u8(O.ExitCode);
-  W.u8(O.Terminated);
-  W.u64(O.Instructions);
-  W.u64(O.Cycles);
-}
-
-stack::Observed getObserved(Reader &R) {
-  stack::Observed O;
-  O.StdoutData = R.str();
-  O.StderrData = R.str();
-  O.ExitCode = R.u8();
-  O.Terminated = R.u8() != 0;
-  O.Instructions = R.u64();
-  O.Cycles = R.u64();
-  return O;
-}
-
-void putDigest(Writer &W, const stack::StateDigest &D) {
-  W.u64(D.Pc);
-  W.u8(D.Carry);
-  W.u8(D.Overflow);
-  for (Word Reg : D.Regs)
-    W.u32(Reg);
-  W.u64(D.MemoryHash);
-  W.u64(D.MemoryBytes);
-}
-
-stack::StateDigest getDigest(Reader &R) {
-  stack::StateDigest D;
-  D.Pc = static_cast<Word>(R.u64());
-  D.Carry = R.u8() != 0;
-  D.Overflow = R.u8() != 0;
-  for (Word &Reg : D.Regs)
-    Reg = R.u32();
-  D.MemoryHash = R.u64();
-  D.MemoryBytes = R.u64();
-  return D;
-}
-
-void putInfo(Writer &W, const JobInfo &I) {
-  W.u64(I.Id);
-  W.u8(static_cast<uint8_t>(I.State));
-  W.u8(static_cast<uint8_t>(I.Level));
-  W.u8(I.Priority);
-  W.u64(I.SlicesRun);
-  putObserved(W, I.Outcome.Behaviour);
-  W.u8(I.Outcome.HasDigest);
-  putDigest(W, I.Outcome.Digest);
-  W.str(I.Outcome.Error);
-}
-
-JobInfo getInfo(Reader &R) {
-  JobInfo I;
-  I.Id = R.u64();
-  I.State = static_cast<JobState>(R.u8());
-  I.Level = static_cast<stack::Level>(R.u8());
-  I.Priority = R.u8();
-  I.SlicesRun = R.u64();
-  I.Outcome.Behaviour = getObserved(R);
-  I.Outcome.HasDigest = R.u8() != 0;
-  I.Outcome.Digest = getDigest(R);
-  I.Outcome.Error = R.str();
-  return I;
-}
-
-} // namespace
 
 std::vector<uint8_t> silver::svc::encodeRequest(const Request &R) {
   Writer W;
@@ -225,7 +44,8 @@ std::vector<uint8_t> silver::svc::encodeRequest(const Request &R) {
   W.u64(R.JobId);
   W.u64(R.WaitMs);
   W.u64(R.SliceInstructions);
-  putSpec(W, R.Job);
+  W.u64(R.StreamOffset);
+  wire::putSpec(W, R.Job);
   return std::move(W.Buf);
 }
 
@@ -234,13 +54,14 @@ Result<Request> silver::svc::decodeRequest(const std::vector<uint8_t> &P) {
   Request Req;
   uint8_t Kind = R.u8();
   if (Kind < static_cast<uint8_t>(RequestKind::Submit) ||
-      Kind > static_cast<uint8_t>(RequestKind::Drain))
+      Kind > static_cast<uint8_t>(RequestKind::Stream))
     return Error("protocol: unknown request kind " + std::to_string(Kind));
   Req.Kind = static_cast<RequestKind>(Kind);
   Req.JobId = R.u64();
   Req.WaitMs = R.u64();
   Req.SliceInstructions = R.u64();
-  Req.Job = getSpec(R);
+  Req.StreamOffset = R.u64();
+  Req.Job = wire::getSpec(R);
   if (!R.done())
     return Error("protocol: malformed request payload");
   if (static_cast<uint8_t>(Req.Job.Level) >
@@ -259,8 +80,11 @@ std::vector<uint8_t> silver::svc::encodeResponse(const Response &R) {
   Writer W;
   W.u8(R.Ok);
   W.str(R.Error);
-  putInfo(W, R.Info);
+  wire::putInfo(W, R.Info);
   W.str(R.StatsJson);
+  W.u8(R.Frame);
+  W.u64(R.StreamOffset);
+  W.str(R.StreamData);
   return std::move(W.Buf);
 }
 
@@ -269,10 +93,16 @@ Result<Response> silver::svc::decodeResponse(const std::vector<uint8_t> &P) {
   Response Resp;
   Resp.Ok = R.u8() != 0;
   Resp.Error = R.str();
-  Resp.Info = getInfo(R);
+  Resp.Info = wire::getInfo(R);
   Resp.StatsJson = R.str();
+  Resp.Frame = R.u8();
+  Resp.StreamOffset = R.u64();
+  Resp.StreamData = R.str();
   if (!R.done())
     return Error("protocol: malformed response payload");
+  if (Resp.Frame > DataFrame)
+    return Error("protocol: unknown response frame kind " +
+                 std::to_string(Resp.Frame));
   return Resp;
 }
 

@@ -54,22 +54,42 @@ enum class RequestKind : uint8_t {
   Cancel = 4, ///< cancel JobId (queued, paused, or mid-run)
   Stats = 5,  ///< service-wide metrics as JSON
   Drain = 6,  ///< stop admissions, finish in-flight work, then respond
+  Stream = 7, ///< subscribe to JobId's stdout: data frames, then a
+              ///< final response (the one request with a multi-frame
+              ///< reply; see Response::Frame)
 };
 const char *requestKindName(RequestKind K);
 
 struct Request {
   RequestKind Kind = RequestKind::Status;
-  uint64_t JobId = 0;  ///< Status / Resume / Cancel
-  uint64_t WaitMs = 0; ///< Submit/Status/Resume: block until settled
+  uint64_t JobId = 0;  ///< Status / Resume / Cancel / Stream
+  uint64_t WaitMs = 0; ///< Submit/Status/Resume/Stream: block this long
   uint64_t SliceInstructions = 0; ///< Resume: the new slice grant
-  JobSpec Job;                    ///< Submit
+  uint64_t StreamOffset = 0; ///< Stream: resume the byte stream here
+  JobSpec Job;               ///< Submit
 };
+
+/// Every request is answered by exactly one *final* response
+/// (Frame == FinalFrame).  A Stream request is additionally preceded by
+/// zero or more data frames (Frame == DataFrame), each carrying the next
+/// StreamData bytes of the job's stdout starting at StreamOffset.  The
+/// sender never interleaves frames of different requests on one
+/// connection, so the reader's loop is: data frames until a final frame.
+constexpr uint8_t FinalFrame = 0;
+constexpr uint8_t DataFrame = 1;
+/// Cap on StreamData bytes per data frame: keeps a slow consumer's
+/// memory bounded and lets the blocking socket write provide the
+/// backpressure (the producer job is decoupled and never blocks on it).
+constexpr uint32_t MaxStreamChunk = 1u << 20;
 
 struct Response {
   bool Ok = false;
   std::string Error;     ///< set when !Ok
-  JobInfo Info;          ///< Submit / Status / Resume / Cancel
+  JobInfo Info;          ///< Submit / Status / Resume / Cancel / Stream
   std::string StatsJson; ///< Stats / Drain
+  uint8_t Frame = FinalFrame; ///< FinalFrame or DataFrame
+  uint64_t StreamOffset = 0;  ///< DataFrame: offset of StreamData[0]
+  std::string StreamData;     ///< DataFrame: the next stdout bytes
 };
 
 std::vector<uint8_t> encodeRequest(const Request &R);

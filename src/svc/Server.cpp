@@ -21,7 +21,11 @@ using namespace silver;
 using namespace silver::svc;
 
 Server::Server(Service &Svc, ServerOptions OptsIn)
-    : Svc(Svc), Opts(std::move(OptsIn)) {}
+    : Owned(std::make_unique<ServiceHandler>(Svc)), Handler(*Owned),
+      Opts(std::move(OptsIn)) {}
+
+Server::Server(RequestHandler &H, ServerOptions OptsIn)
+    : Handler(H), Opts(std::move(OptsIn)) {}
 
 Server::~Server() { stop(); }
 
@@ -157,12 +161,25 @@ void Server::serveConnection(int Fd) {
     if (!Got || !*Got)
       break; // protocol error or clean hangup: drop the connection
     Result<Request> Req = decodeRequest(Payload);
+    if (Req && Req->Kind == RequestKind::Stream) {
+      // Multi-frame reply: data frames then one final frame, pushed by
+      // the handler (handle() is one-request-one-response).
+      FrameSink Send = [Fd](const Response &R) {
+        return writeFrame(Fd, encodeResponse(R));
+      };
+      auto Stopping = [this] {
+        return StopFlag.load(std::memory_order_acquire);
+      };
+      if (!Handler.handleStream(*Req, Send, Stopping))
+        break;
+      continue;
+    }
     Response Resp;
     if (!Req) {
       Resp.Ok = false;
       Resp.Error = "bad request: " + Req.error().str();
     } else {
-      Resp = dispatch(*Req);
+      Resp = Handler.handle(*Req);
     }
     if (!writeFrame(Fd, encodeResponse(Resp)))
       break;
@@ -178,7 +195,61 @@ void Server::serveConnection(int Fd) {
   LiveConns.erase(Fd);
 }
 
-Response Server::dispatch(const Request &R) {
+//===----------------------------------------------------------------------===//
+// ServiceHandler: the single-shard personality
+//===----------------------------------------------------------------------===//
+
+Result<void> ServiceHandler::handleStream(const Request &R,
+                                          const FrameSink &Send,
+                                          const std::function<bool()> &Stopping) {
+  uint64_t Offset = R.StreamOffset;
+  while (!Stopping()) {
+    // Bounded waits so stop() is noticed even while the job is silent.
+    Result<Service::StreamChunk> C =
+        Svc.streamOutput(R.JobId, Offset, /*WaitMs=*/200, MaxStreamChunk);
+    if (!C) {
+      Response Resp;
+      Resp.Ok = false;
+      Resp.Error = C.error().str();
+      Resp.StreamOffset = Offset;
+      return Send(Resp);
+    }
+    if (!C->Data.empty()) {
+      Response Resp;
+      Resp.Ok = true;
+      Resp.Frame = DataFrame;
+      Resp.StreamOffset = C->Offset;
+      Resp.StreamData = std::move(C->Data);
+      // The blocking socket write IS the backpressure: a slow consumer
+      // stalls its connection thread only — workers publish into the
+      // service-side buffer and move on.
+      if (Result<void> W = Send(Resp); !W)
+        return W;
+      Svc.noteStreamFrame();
+      Offset = Resp.StreamOffset + Resp.StreamData.size();
+      continue;
+    }
+    if (C->State == JobState::Queued || C->State == JobState::Running)
+      continue; // still producing: wait for more
+    // Parked or terminal with everything delivered: close the stream
+    // with the job's latest snapshot (State tells a paused job apart
+    // from a finished one).
+    Response Resp;
+    Resp.Ok = true;
+    Resp.Frame = FinalFrame;
+    Resp.StreamOffset = Offset;
+    if (std::optional<JobInfo> Info = Svc.status(R.JobId))
+      Resp.Info = *Info;
+    return Send(Resp);
+  }
+  Response Resp;
+  Resp.Ok = false;
+  Resp.Error = "server stopping";
+  Resp.StreamOffset = Offset;
+  return Send(Resp);
+}
+
+Response ServiceHandler::handle(const Request &R) {
   Response Resp;
   switch (R.Kind) {
   case RequestKind::Submit: {
@@ -247,6 +318,11 @@ Response Server::dispatch(const Request &R) {
     Resp.StatsJson = Svc.statsJson();
     return Resp;
   }
+  case RequestKind::Stream:
+    // Intercepted in serveConnection; reaching here is a logic error.
+    Resp.Ok = false;
+    Resp.Error = "stream requests are handled per-connection";
+    return Resp;
   }
   Resp.Ok = false;
   Resp.Error = "unhandled request kind";

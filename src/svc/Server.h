@@ -8,18 +8,25 @@
 /// \file
 /// The socket front-end of silverd: accepts connections on a Unix-domain
 /// socket (or TCP on loopback behind ServerOptions::Tcp), reads framed
-/// Requests, dispatches them to an svc::Service, and writes framed
-/// Responses — one connection-handling thread per client, matching the
-/// blocking protocol (every request gets exactly one in-order response).
+/// Requests, dispatches them to a RequestHandler, and writes framed
+/// Responses — one connection-handling thread per client.  Every request
+/// gets exactly one in-order response, except Stream requests, whose
+/// reply is a sequence of data frames closed by one final frame (the
+/// handler pushes them through a FrameSink).
+///
+/// The handler is an interface so the same transport serves two
+/// personalities: ServiceHandler (a single execution shard — plain
+/// silverd) and cluster::Dispatcher (the shard router of
+/// `silverd --dispatch=N`).
 ///
 /// Shutdown paths:
 ///   - stop():  closes the listener and shuts down live connections;
 ///     in-flight service jobs are untouched (the silverd process decides
 ///     whether to drain).
-///   - a Drain request: the handling thread calls Service::drain()
-///     (finishing all in-flight work), responds with final stats, then
-///     requests server stop — the silverd SIGTERM path sends this to
-///     itself via the client library.
+///   - a Drain request: the handler drains its backing work (finishing
+///     all in-flight jobs), responds with final stats, then the
+///     transport stops the server — the silverd SIGTERM path sends this
+///     to itself via the client library.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +37,8 @@
 #include "svc/Service.h"
 
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -38,6 +47,40 @@
 
 namespace silver {
 namespace svc {
+
+/// Writes one response frame to the requesting connection; an error
+/// means the socket died and the stream should be abandoned.
+using FrameSink = std::function<Result<void>(const Response &)>;
+
+/// What the transport serves.  One instance handles every connection
+/// concurrently — implementations synchronize their own state.
+class RequestHandler {
+public:
+  virtual ~RequestHandler() = default;
+
+  /// All one-request-one-response kinds (everything but Stream).
+  virtual Response handle(const Request &R) = 0;
+
+  /// A Stream request: push zero or more data frames, then exactly one
+  /// final frame, through \p Send.  \p Stopping turns true when the
+  /// server is shutting down — poll it between blocking waits and cut
+  /// the stream short (any final frame is acceptable then).  An error
+  /// return means the connection is dead and will be dropped.
+  virtual Result<void> handleStream(const Request &R, const FrameSink &Send,
+                                    const std::function<bool()> &Stopping) = 0;
+};
+
+/// The single-shard personality: adapts an svc::Service.
+class ServiceHandler : public RequestHandler {
+public:
+  explicit ServiceHandler(Service &Svc) : Svc(Svc) {}
+  Response handle(const Request &R) override;
+  Result<void> handleStream(const Request &R, const FrameSink &Send,
+                            const std::function<bool()> &Stopping) override;
+
+private:
+  Service &Svc;
+};
 
 struct ServerOptions {
   /// Unix-domain socket path (the default transport).  A stale socket
@@ -50,8 +93,12 @@ struct ServerOptions {
 
 class Server {
 public:
+  /// Single-shard convenience: wraps \p Svc in an owned ServiceHandler.
   /// \p Svc must outlive the server.
   Server(Service &Svc, ServerOptions Opts);
+  /// Serves an arbitrary handler (the dispatcher front-end).  \p H must
+  /// outlive the server.
+  Server(RequestHandler &H, ServerOptions Opts);
   ~Server(); ///< stop() + join
 
   Server(const Server &) = delete;
@@ -79,9 +126,9 @@ public:
 private:
   void acceptLoop();
   void serveConnection(int Fd);
-  Response dispatch(const Request &R);
 
-  Service &Svc;
+  std::unique_ptr<RequestHandler> Owned; ///< the Service convenience path
+  RequestHandler &Handler;
   ServerOptions Opts;
   int ListenFd = -1;
   uint16_t BoundPort = 0;

@@ -11,10 +11,14 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
 
 using namespace silver;
 using namespace silver::svc;
 
+using cluster::Record;
+using cluster::RecordKind;
 using Clock = std::chrono::steady_clock;
 
 //===----------------------------------------------------------------------===//
@@ -35,6 +39,23 @@ struct Service::Job {
   /// Observed counts are cumulative across slices).
   uint64_t AccountedInstructions = 0;
   uint64_t AccountedCycles = 0;
+  /// Cumulative stdout so far, for streamOutput(): grown incrementally
+  /// per worker chunk when Spec.LiveOutput, synced at every slice
+  /// boundary regardless.
+  std::string Stream;
+  /// Deterministic-replay coordinates for a session recovered from the
+  /// journal (the live Executor died with the old process): re-run to
+  /// ReplayTarget retired instructions, check the digest, continue.
+  /// Mirrors the latest Pause record while the process lives.
+  uint64_t ReplayTarget = 0;
+  bool HasReplayDigest = false;
+  stack::StateDigest ReplayDigest;
+};
+
+struct Service::ReplayGoal {
+  uint64_t Target = 0; ///< retired-instruction count to catch up to
+  bool Verify = false;
+  stack::StateDigest Digest;
 };
 
 struct Service::Worker {
@@ -58,8 +79,12 @@ struct Service::SliceResult {
 
 Service::Service(ServiceOptions OptsIn)
     : Opts(OptsIn), Cache(Opts.PrepareCacheCapacity),
-      Queue(Opts.QueueDepth), StartedAt(Clock::now()) {
+      Queue(Opts.QueueDepth, Opts.MaxClientShare), StartedAt(Clock::now()) {
   Opts.ChunkInstructions = std::max<uint64_t>(1, Opts.ChunkInstructions);
+  // Replay-and-re-admit happens strictly before any worker exists, so
+  // recovery needs no locks and recovered jobs are claimed exactly like
+  // fresh ones.
+  recoverFromJournal();
   WorkerState.reserve(Opts.Workers);
   Threads.reserve(Opts.Workers);
   for (unsigned I = 0; I != Opts.Workers; ++I)
@@ -92,11 +117,12 @@ JobInfo Service::submit(const JobSpec &Spec) {
     return Info;
   }
   uint64_t Id = NextId;
-  JobQueue::PushResult P = Queue.push(Id, Info.Priority);
+  JobQueue::PushResult P = Queue.push(Id, Info.Priority, Spec.ClientId);
   if (P != JobQueue::PushResult::Ok) {
     Info.State = JobState::Rejected;
-    Info.Outcome.Error = P == JobQueue::PushResult::Full
-                             ? "queue full"
+    Info.Outcome.Error = P == JobQueue::PushResult::Full ? "queue full"
+                         : P == JobQueue::PushResult::Quota
+                             ? "client quota exceeded"
                              : "service is shutting down";
     ++Count.Rejected;
     return Info;
@@ -113,6 +139,12 @@ JobInfo Service::submit(const JobSpec &Spec) {
   Jobs[Id] = std::move(J);
   ++Count.Submitted;
   ++ActiveCount;
+
+  Record Rec;
+  Rec.Kind = RecordKind::Submit;
+  Rec.JobId = Id;
+  Rec.Spec = Spec;
+  journalLocked(Rec);
   return Info;
 }
 
@@ -149,10 +181,11 @@ Result<JobInfo> Service::resume(uint64_t Id, uint64_t SliceInstructions) {
   if (J.Info.State != JobState::Paused)
     return Error(std::string("job is ") + jobStateName(J.Info.State) +
                  ", not paused");
-  JobQueue::PushResult P = Queue.push(Id, J.Info.Priority);
+  JobQueue::PushResult P = Queue.push(Id, J.Info.Priority, J.Spec.ClientId);
   if (P != JobQueue::PushResult::Ok)
-    return Error(P == JobQueue::PushResult::Full
-                     ? "queue full"
+    return Error(P == JobQueue::PushResult::Full ? "queue full"
+                 : P == JobQueue::PushResult::Quota
+                     ? "client quota exceeded"
                      : "service is shutting down");
   J.Info.State = JobState::Queued;
   J.SliceGrant =
@@ -160,6 +193,12 @@ Result<JobInfo> Service::resume(uint64_t Id, uint64_t SliceInstructions) {
   J.LastTouch = Clock::now();
   --PausedCount;
   ++ActiveCount;
+
+  Record Rec;
+  Rec.Kind = RecordKind::Resume;
+  Rec.JobId = Id;
+  Rec.SliceGrant = J.SliceGrant;
+  journalLocked(Rec);
   return J.Info;
 }
 
@@ -229,8 +268,20 @@ unsigned Service::evictIdleSessions() {
 // Settling (always under Mu)
 //===----------------------------------------------------------------------===//
 
+void Service::journalLocked(const Record &R) {
+  if (!Jrnl.isOpen())
+    return;
+  if (Result<void> A = Jrnl.append(R); !A)
+    ++JournalAppendErrors;
+}
+
 void Service::settleLocked(Job &J, JobState S) {
   J.Info.State = S;
+  Record Rec;
+  Rec.Kind = RecordKind::Settle;
+  Rec.JobId = J.Info.Id;
+  Rec.Final = S;
+  journalLocked(Rec);
   switch (S) {
   case JobState::Completed:
     ++Count.Completed;
@@ -284,6 +335,7 @@ void Service::workerMain(unsigned Index) {
     std::unique_ptr<stack::Executor> Exec;
     JobSpec Spec;
     uint64_t SliceGrant = 0;
+    ReplayGoal Replay;
     {
       std::lock_guard<std::mutex> Lock(Mu);
       auto It = Jobs.find(*IdOpt);
@@ -296,9 +348,16 @@ void Service::workerMain(unsigned Index) {
       Exec = std::move(J->Exec);
       Spec = J->Spec;
       SliceGrant = J->SliceGrant;
+      // No live session but journaled progress: a job recovered across a
+      // process death — catch up deterministically before the slice.
+      if (!Exec && J->ReplayTarget) {
+        Replay.Target = J->ReplayTarget;
+        Replay.Verify = J->HasReplayDigest;
+        Replay.Digest = J->ReplayDigest;
+      }
     }
 
-    SliceResult R = executeSlice(*J, Spec, std::move(Exec), SliceGrant,
+    SliceResult R = executeSlice(*J, Spec, std::move(Exec), SliceGrant, Replay,
                                  Opts.Instrument ? &W : nullptr);
 
     if (Opts.Instrument) {
@@ -312,12 +371,31 @@ void Service::workerMain(unsigned Index) {
       ++J->Info.SlicesRun;
       J->Info.Outcome = std::move(R.Outcome);
       accountLocked(*J, J->Info.Outcome.Behaviour);
+      const std::string &Stdout = J->Info.Outcome.Behaviour.StdoutData;
+      if (Stdout.size() > J->Stream.size()) {
+        StreamBytes += Stdout.size() - J->Stream.size();
+        J->Stream = Stdout;
+      }
       --ActiveCount;
       if (R.State == JobState::Paused) {
         J->Exec = std::move(R.Exec);
         J->Info.State = JobState::Paused;
         J->LastTouch = Clock::now();
         ++PausedCount;
+        // Mirror the park point so the job survives a process death from
+        // here: the journal gets the replay coordinates, the in-memory
+        // copy serves a recovery that happens after further resumes.
+        J->ReplayTarget = J->Info.Outcome.Behaviour.Instructions;
+        J->HasReplayDigest = J->Info.Outcome.HasDigest;
+        J->ReplayDigest = J->Info.Outcome.Digest;
+        Record Rec;
+        Rec.Kind = RecordKind::Pause;
+        Rec.JobId = J->Info.Id;
+        Rec.Instructions = J->ReplayTarget;
+        Rec.SlicesRun = J->Info.SlicesRun;
+        Rec.HasDigest = J->HasReplayDigest;
+        Rec.Digest = J->ReplayDigest;
+        journalLocked(Rec);
         Cv.notify_all();
       } else {
         settleLocked(*J, R.State);
@@ -331,8 +409,10 @@ void Service::workerMain(unsigned Index) {
 Service::SliceResult
 Service::executeSlice(Job &J, const JobSpec &Spec,
                       std::unique_ptr<stack::Executor> Exec,
-                      uint64_t SliceGrant, Worker *W) {
+                      uint64_t SliceGrant, const ReplayGoal &Replay,
+                      Worker *W) {
   SliceResult R;
+  const bool Fresh = !Exec;
 
   // First slice: compile (through the cache) and open the session.
   if (!Exec) {
@@ -381,6 +461,68 @@ Service::executeSlice(Job &J, const JobSpec &Spec,
     Exec->attach(&W->SliceCounters);
   }
 
+  // Journal recovery: the parked session died with the old process, so
+  // re-run the fresh one to the journaled retired-instruction count and
+  // check it lands on the journaled StateDigest — execution here is a
+  // deterministic function of the prepared image and the inputs, so a
+  // mismatch means the journal and the program disagree and the job
+  // must fail loudly rather than continue from the wrong state.  The
+  // slice budget and wall deadline apply to post-catch-up work only.
+  if (Fresh && Replay.Target) {
+    while (true) {
+      Result<uint64_t> Done = Exec->sessionInstructions();
+      if (!Done) {
+        R.State = JobState::Failed;
+        R.Outcome.Error = Done.error().str();
+        return R;
+      }
+      if (*Done > Replay.Target) {
+        R.State = JobState::Failed;
+        R.Outcome.Error =
+            "journal replay: session overshot the pause point (" +
+            std::to_string(*Done) + " > " + std::to_string(Replay.Target) +
+            " instructions)";
+        return R;
+      }
+      if (*Done == Replay.Target)
+        break;
+      uint64_t Chunk =
+          std::min(Replay.Target - *Done, Opts.ChunkInstructions);
+      Result<stack::RunStatus> S = Exec->step(Chunk);
+      if (!S) {
+        R.State = JobState::Failed;
+        R.Outcome.Error = "journal replay: " + S.error().str();
+        return R;
+      }
+      if (*S != stack::RunStatus::Paused) {
+        R.State = JobState::Failed;
+        R.Outcome.Error = "journal replay: session ended (" +
+                          std::string(stack::runStatusName(*S)) +
+                          ") before the journaled pause point at " +
+                          std::to_string(Replay.Target) + " instructions";
+        return R;
+      }
+      if (Spec.LiveOutput)
+        if (Result<stack::Observed> B = Exec->sessionBehaviour())
+          publishStream(J, B->StdoutData);
+    }
+    if (Replay.Verify) {
+      Result<stack::StateDigest> D = Exec->sessionState();
+      if (!D) {
+        R.State = JobState::Failed;
+        R.Outcome.Error = D.error().str();
+        return R;
+      }
+      if (*D != Replay.Digest) {
+        R.State = JobState::Failed;
+        R.Outcome.Error = "journal replay: state digest mismatch at "
+                          "instruction " +
+                          std::to_string(Replay.Target);
+        return R;
+      }
+    }
+  }
+
   Clock::time_point Deadline =
       Spec.WallMsBudget
           ? Clock::now() + std::chrono::milliseconds(Spec.WallMsBudget)
@@ -426,6 +568,13 @@ Service::executeSlice(Job &J, const JobSpec &Spec,
     if (Result<uint64_t> After = Exec->sessionInstructions())
       SliceLeft -= std::min(*After - *Before, SliceLeft);
 
+    // Live streaming: publish the cumulative stdout at every chunk
+    // boundary while the session is alive (terminal states publish via
+    // the settle path, which sees the final behaviour).
+    if (Spec.LiveOutput && *S == stack::RunStatus::Paused)
+      if (Result<stack::Observed> B = Exec->sessionBehaviour())
+        publishStream(J, B->StdoutData);
+
     switch (*S) {
     case stack::RunStatus::Completed:
       Park(JobState::Completed);
@@ -441,6 +590,221 @@ Service::executeSlice(Job &J, const JobSpec &Spec,
       break; // next chunk
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming
+//===----------------------------------------------------------------------===//
+
+void Service::publishStream(Job &J, const std::string &Cumulative) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Cumulative.size() > J.Stream.size()) {
+    StreamBytes += Cumulative.size() - J.Stream.size();
+    J.Stream = Cumulative;
+    Cv.notify_all();
+  }
+}
+
+Result<Service::StreamChunk> Service::streamOutput(uint64_t Id,
+                                                   uint64_t Offset,
+                                                   uint64_t WaitMs,
+                                                   size_t MaxBytes) const {
+  std::unique_lock<std::mutex> Lock(Mu);
+  auto Ready = [&] {
+    auto It = Jobs.find(Id);
+    if (It == Jobs.end())
+      return true; // unknown/pruned: report that now, not after a wait
+    const Job &J = *It->second;
+    return J.Stream.size() > Offset ||
+           (J.Info.State != JobState::Queued &&
+            J.Info.State != JobState::Running);
+  };
+  if (WaitMs)
+    Cv.wait_for(Lock, std::chrono::milliseconds(WaitMs), Ready);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return Error("unknown job " + std::to_string(Id));
+  const Job &J = *It->second;
+  StreamChunk C;
+  C.State = J.Info.State;
+  C.Offset = std::min<uint64_t>(Offset, J.Stream.size());
+  C.Data = J.Stream.substr(static_cast<size_t>(C.Offset), MaxBytes);
+  bool Terminal = J.Info.State != JobState::Queued &&
+                  J.Info.State != JobState::Running &&
+                  J.Info.State != JobState::Paused;
+  C.Final = Terminal && C.Offset + C.Data.size() == J.Stream.size();
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Journal recovery
+//===----------------------------------------------------------------------===//
+
+void Service::recoverFromJournal() {
+  if (Opts.JournalPath.empty())
+    return;
+  cluster::ReplayResult RR;
+  Result<cluster::Journal> Opened =
+      cluster::Journal::open(Opts.JournalPath, &RR, Opts.JournalSync);
+  if (!Opened) {
+    JournalDiagnostic = Opened.error().str();
+    std::fprintf(stderr, "silverd: %s; running without durability\n",
+                 JournalDiagnostic.c_str());
+    return;
+  }
+  Jrnl = Opened.take();
+  ReplayedRecords = RR.Records.size();
+  JournalTruncated = RR.Truncated;
+  if (RR.Truncated) {
+    JournalDiagnostic = RR.Diagnostic;
+    std::fprintf(stderr, "silverd: journal %s: %s\n",
+                 Opts.JournalPath.c_str(), RR.Diagnostic.c_str());
+  }
+  if (RR.Records.empty())
+    return;
+
+  // Fold the record sequence into per-job final states.  Settled jobs
+  // drop out (their outcomes died with the old process; history is not
+  // what the journal durably promises — pending work is).
+  struct Pending {
+    JobSpec Spec;
+    bool Paused = false;   ///< last lifecycle record was a Pause
+    uint64_t Target = 0;   ///< replay coordinates from that Pause
+    uint64_t SlicesRun = 0;
+    bool HasDigest = false;
+    stack::StateDigest Digest;
+    uint64_t Grant = 0;
+  };
+  std::map<uint64_t, Pending> Live; // ordered: re-admit oldest first
+  for (const Record &R : RR.Records) {
+    switch (R.Kind) {
+    case RecordKind::Submit: {
+      Pending P;
+      P.Spec = R.Spec;
+      P.Grant = R.Spec.SliceInstructions;
+      Live[R.JobId] = std::move(P);
+      break;
+    }
+    case RecordKind::Pause: {
+      auto It = Live.find(R.JobId);
+      if (It == Live.end())
+        break;
+      It->second.Paused = true;
+      It->second.Target = R.Instructions;
+      It->second.SlicesRun = R.SlicesRun;
+      It->second.HasDigest = R.HasDigest;
+      It->second.Digest = R.Digest;
+      break;
+    }
+    case RecordKind::Resume: {
+      auto It = Live.find(R.JobId);
+      if (It == Live.end())
+        break;
+      It->second.Paused = false;
+      It->second.Grant =
+          R.SliceGrant ? R.SliceGrant : It->second.Spec.SliceInstructions;
+      break;
+    }
+    case RecordKind::Settle:
+      Live.erase(R.JobId);
+      break;
+    }
+  }
+
+  // Startup compaction: rewrite the file as one minimal
+  // Submit(+Pause)(+Resume) chain per surviving job, before re-admission
+  // appends anything new.
+  std::vector<Record> Compacted;
+  for (const auto &Entry : Live) {
+    const Pending &P = Entry.second;
+    Record S;
+    S.Kind = RecordKind::Submit;
+    S.JobId = Entry.first;
+    S.Spec = P.Spec;
+    Compacted.push_back(std::move(S));
+    if (P.Target || P.Paused) {
+      Record Pa;
+      Pa.Kind = RecordKind::Pause;
+      Pa.JobId = Entry.first;
+      Pa.Instructions = P.Target;
+      Pa.SlicesRun = P.SlicesRun;
+      Pa.HasDigest = P.HasDigest;
+      Pa.Digest = P.Digest;
+      Compacted.push_back(std::move(Pa));
+      if (!P.Paused) {
+        Record Re;
+        Re.Kind = RecordKind::Resume;
+        Re.JobId = Entry.first;
+        Re.SliceGrant = P.Grant;
+        Compacted.push_back(std::move(Re));
+      }
+    }
+  }
+  if (Result<void> C = Jrnl.compact(Compacted); !C) {
+    ++JournalAppendErrors;
+    std::fprintf(stderr, "silverd: journal compaction failed: %s\n",
+                 C.error().str().c_str());
+  }
+
+  // Re-admit.  Queued jobs go back on the queue; paused jobs park with
+  // no live session but with replay coordinates, so a resume() rebuilds
+  // them deterministically.
+  uint64_t MaxId = 0;
+  for (auto &Entry : Live) {
+    uint64_t Id = Entry.first;
+    Pending &P = Entry.second;
+    MaxId = std::max(MaxId, Id);
+
+    auto J = std::make_unique<Job>();
+    J->Spec = std::move(P.Spec);
+    J->Info.Id = Id;
+    J->Info.Level = J->Spec.Level;
+    J->Info.Priority = std::min<uint8_t>(J->Spec.Priority, NumPriorities - 1);
+    J->Info.SlicesRun = P.SlicesRun;
+    J->SubmitAt = J->LastTouch = Clock::now();
+    J->SliceGrant = P.Grant;
+    J->ReplayTarget = P.Target;
+    J->HasReplayDigest = P.HasDigest;
+    J->ReplayDigest = P.Digest;
+    if (P.Paused) {
+      J->Info.State = JobState::Paused;
+      // Surface the journaled park point through status(): the digest a
+      // client recorded before the crash must still be visible after it.
+      J->Info.Outcome.HasDigest = P.HasDigest;
+      J->Info.Outcome.Digest = P.Digest;
+      J->Info.Outcome.Behaviour.Instructions = P.Target;
+      ++PausedCount;
+    } else {
+      JobQueue::PushResult Push =
+          Queue.push(Id, J->Info.Priority, J->Spec.ClientId);
+      if (Push == JobQueue::PushResult::Ok) {
+        J->Info.State = JobState::Queued;
+        ++ActiveCount;
+      } else {
+        J->Info.Outcome.Error = "journal recovery: could not re-queue job";
+        Jobs[Id] = std::move(J);
+        ++RecoveredJobs;
+        settleLocked(*Jobs[Id], JobState::Failed);
+        continue;
+      }
+    }
+    Jobs[Id] = std::move(J);
+    ++RecoveredJobs;
+  }
+  NextId = std::max(NextId, MaxId + 1);
+}
+
+Service::JournalStats Service::journalStats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  JournalStats S;
+  S.Enabled = Jrnl.isOpen();
+  S.ReplayedRecords = ReplayedRecords;
+  S.RecoveredJobs = RecoveredJobs;
+  S.AppendedRecords = Jrnl.appendedRecords();
+  S.AppendErrors = JournalAppendErrors;
+  S.TruncatedTail = JournalTruncated;
+  S.Diagnostic = JournalDiagnostic;
+  return S;
 }
 
 //===----------------------------------------------------------------------===//
@@ -488,6 +852,22 @@ std::string Service::statsJson() const {
   Out += ",\"misses\":" + std::to_string(CS.Misses);
   Out += ",\"evictions\":" + std::to_string(CS.Evictions);
   Out += ",\"entries\":" + std::to_string(CS.Entries);
+  Out += "}";
+
+  Out += ",\"journal\":{";
+  Out += std::string("\"enabled\":") + (Jrnl.isOpen() ? "true" : "false");
+  Out += ",\"replayed_records\":" + std::to_string(ReplayedRecords);
+  Out += ",\"recovered_jobs\":" + std::to_string(RecoveredJobs);
+  Out += ",\"appended_records\":" + std::to_string(Jrnl.appendedRecords());
+  Out += ",\"append_errors\":" + std::to_string(JournalAppendErrors);
+  Out += std::string(",\"truncated_tail\":") +
+         (JournalTruncated ? "true" : "false");
+  Out += "}";
+
+  Out += ",\"stream\":{";
+  Out += "\"frames_sent\":" +
+         std::to_string(StreamFrames.load(std::memory_order_relaxed));
+  Out += ",\"bytes_published\":" + std::to_string(StreamBytes);
   Out += "}";
 
   Out += ",\"latency\":{";

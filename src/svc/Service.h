@@ -43,6 +43,7 @@
 #include "svc/Job.h"
 #include "svc/JobQueue.h"
 #include "svc/Metrics.h"
+#include "svc/cluster/Journal.h"
 
 #include <atomic>
 #include <chrono>
@@ -78,6 +79,20 @@ struct ServiceOptions {
   /// Attach per-worker obs::Counters to every run (costs the observer
   /// dispatch on the hot path; off by default).
   bool Instrument = false;
+  /// Per-client fair-share admission cap, as a fraction of QueueDepth
+  /// (see JobQueue::JobQueue).  1.0 disables the quota; round-robin
+  /// service order between clients is always on.
+  double MaxClientShare = 1.0;
+  /// Write-ahead job journal (svc/cluster/Journal.h).  Empty disables
+  /// durability.  When set, every admission/pause/resume/settle appends
+  /// a record, and construction replays an existing file: queued and
+  /// paused jobs from a killed process are re-admitted, paused ones
+  /// tagged for deterministic replay to their journaled StateDigest.
+  std::string JournalPath;
+  /// fdatasync the journal after every append — survive machine crashes,
+  /// not just process kills.  Off by default (a SIGKILLed process's
+  /// completed write()s already survive in the page cache).
+  bool JournalSync = false;
 };
 
 class Service {
@@ -111,6 +126,39 @@ public:
   /// no-op returning its info.
   Result<JobInfo> cancel(uint64_t Id);
 
+  /// One chunk of a job's stdout stream (streamOutput()).
+  struct StreamChunk {
+    std::string Data;    ///< bytes [Offset, Offset + Data.size())
+    uint64_t Offset = 0; ///< where Data starts in the stdout stream
+    bool Final = false;  ///< job is terminal and Data reaches the end
+    JobState State = JobState::Queued; ///< job state at snapshot time
+  };
+
+  /// Returns the job's stdout bytes from \p Offset on (at most
+  /// \p MaxBytes), blocking up to \p WaitMs for more to arrive.  Jobs
+  /// submitted with LiveOutput publish incrementally at every worker
+  /// chunk; others publish at each slice boundary.  An Offset past the
+  /// current end returns an empty non-final chunk clamped to the end.
+  /// Errors only for ids never issued or pruned.
+  Result<StreamChunk> streamOutput(uint64_t Id, uint64_t Offset,
+                                   uint64_t WaitMs,
+                                   size_t MaxBytes = 1u << 20) const;
+
+  /// Server-side accounting hook: one streamed data frame went out.
+  void noteStreamFrame() { StreamFrames.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Durability counters (zero / disabled when JournalPath is empty).
+  struct JournalStats {
+    bool Enabled = false;
+    uint64_t ReplayedRecords = 0; ///< intact records found at startup
+    uint64_t RecoveredJobs = 0;   ///< jobs re-admitted from them
+    uint64_t AppendedRecords = 0;
+    uint64_t AppendErrors = 0;
+    bool TruncatedTail = false; ///< startup replay cut off a damaged tail
+    std::string Diagnostic;     ///< what the damage was, when Truncated
+  };
+  JournalStats journalStats() const;
+
   /// Service-wide metrics as a single-line JSON object.
   std::string statsJson() const;
 
@@ -138,12 +186,18 @@ private:
   struct Worker;
   struct SliceResult;
 
+  struct ReplayGoal; ///< deterministic-replay target for recovered jobs
+
   void workerMain(unsigned Index);
   SliceResult executeSlice(Job &J, const JobSpec &Spec,
                            std::unique_ptr<stack::Executor> Exec,
-                           uint64_t SliceGrant, Worker *W);
+                           uint64_t SliceGrant, const ReplayGoal &Replay,
+                           Worker *W);
   void settleLocked(Job &J, JobState S);
   void accountLocked(Job &J, const stack::Observed &B);
+  void journalLocked(const cluster::Record &R);
+  void recoverFromJournal();
+  void publishStream(Job &J, const std::string &Cumulative);
 
   ServiceOptions Opts;
   stack::PrepareCache Cache;
@@ -170,6 +224,20 @@ private:
   std::array<LevelStats, 5> Levels; ///< by stack::Level
   LatencyHistogram Latency;
   std::chrono::steady_clock::time_point StartedAt;
+
+  /// Durability state.  Jrnl appends happen under Mu (the record order
+  /// must match the state-transition order it mirrors).
+  cluster::Journal Jrnl;
+  uint64_t ReplayedRecords = 0;
+  uint64_t RecoveredJobs = 0;
+  uint64_t JournalAppendErrors = 0;
+  bool JournalTruncated = false;
+  std::string JournalDiagnostic;
+
+  /// Streaming accounting: frames counted by the server (lock-free),
+  /// published bytes counted under Mu.
+  std::atomic<uint64_t> StreamFrames{0};
+  uint64_t StreamBytes = 0;
 
   std::vector<std::unique_ptr<Worker>> WorkerState;
   std::vector<std::thread> Threads;

@@ -1,0 +1,233 @@
+//===- svc/Wire.h - Shared payload codec primitives -------------*- C++ -*-===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level codec shared by the wire protocol (svc/Protocol.h) and
+/// the write-ahead job journal (svc/cluster/Journal.h): little-endian
+/// integer primitives, length-prefixed strings, and the encoders for the
+/// job vocabulary (JobSpec, Observed, StateDigest, JobInfo).
+///
+/// Both consumers keep the same totality discipline: every field of a
+/// message is always encoded, in declaration order, and the Reader turns
+/// truncation at any byte into a deterministic decode failure (Bad) —
+/// never a misparse.  done() additionally rejects trailing garbage, so a
+/// payload either decodes completely or not at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SILVER_SVC_WIRE_H
+#define SILVER_SVC_WIRE_H
+
+#include "svc/Job.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace silver {
+namespace svc {
+namespace wire {
+
+struct Writer {
+  std::vector<uint8_t> Buf;
+
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+  void strs(const std::vector<std::string> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (const std::string &S : V)
+      str(S);
+  }
+};
+
+struct Reader {
+  const uint8_t *Data;
+  size_t Len;
+  size_t At = 0;
+  bool Bad = false;
+
+  bool need(size_t N) {
+    if (Len - At < N) {
+      Bad = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return Data[At++];
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(Data[At++]) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(Data[At++]) << (8 * I);
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (Bad || !need(N))
+      return {};
+    std::string S(reinterpret_cast<const char *>(Data + At), N);
+    At += N;
+    return S;
+  }
+  std::vector<std::string> strs() {
+    uint32_t N = u32();
+    std::vector<std::string> V;
+    for (uint32_t I = 0; I != N && !Bad; ++I)
+      V.push_back(str());
+    return V;
+  }
+  /// Every byte must be consumed: trailing garbage means the peer and we
+  /// disagree about the message shape.
+  bool done() const { return !Bad && At == Len; }
+};
+
+//===----------------------------------------------------------------------===//
+// Job vocabulary
+//===----------------------------------------------------------------------===//
+
+inline void putSpec(Writer &W, const JobSpec &S) {
+  W.str(S.Source);
+  W.u8(static_cast<uint8_t>(S.Level));
+  W.strs(S.CommandLine);
+  W.str(S.StdinData);
+  W.u64(S.MaxSteps);
+  W.u64(S.MaxCycles);
+  W.u64(S.SliceInstructions);
+  W.u64(S.WallMsBudget);
+  W.u8(S.Priority);
+  W.u8(static_cast<uint8_t>(S.Backend));
+  W.u8(static_cast<uint8_t>(S.Hdl));
+  W.str(S.ClientId);
+  W.u8(S.LiveOutput);
+}
+
+inline JobSpec getSpec(Reader &R) {
+  JobSpec S;
+  S.Source = R.str();
+  S.Level = static_cast<stack::Level>(R.u8());
+  S.CommandLine = R.strs();
+  S.StdinData = R.str();
+  S.MaxSteps = R.u64();
+  S.MaxCycles = R.u64();
+  S.SliceInstructions = R.u64();
+  S.WallMsBudget = R.u64();
+  S.Priority = R.u8();
+  S.Backend = static_cast<stack::BackendKind>(R.u8());
+  S.Hdl = static_cast<stack::HdlBackendKind>(R.u8());
+  S.ClientId = R.str();
+  S.LiveOutput = R.u8() != 0;
+  return S;
+}
+
+/// Shared by the request decoder and the journal replay: the enum fields
+/// of a decoded spec must land inside their ranges (a total decoder
+/// rejects, it never truncates into a neighbouring enumerator).
+inline bool specEnumsValid(const JobSpec &S) {
+  return static_cast<uint8_t>(S.Level) <=
+             static_cast<uint8_t>(stack::Level::Verilog) &&
+         static_cast<uint8_t>(S.Backend) <=
+             static_cast<uint8_t>(stack::BackendKind::Jit) &&
+         static_cast<uint8_t>(S.Hdl) <=
+             static_cast<uint8_t>(stack::HdlBackendKind::Compiled);
+}
+
+inline void putObserved(Writer &W, const stack::Observed &O) {
+  W.str(O.StdoutData);
+  W.str(O.StderrData);
+  W.u8(O.ExitCode);
+  W.u8(O.Terminated);
+  W.u64(O.Instructions);
+  W.u64(O.Cycles);
+}
+
+inline stack::Observed getObserved(Reader &R) {
+  stack::Observed O;
+  O.StdoutData = R.str();
+  O.StderrData = R.str();
+  O.ExitCode = R.u8();
+  O.Terminated = R.u8() != 0;
+  O.Instructions = R.u64();
+  O.Cycles = R.u64();
+  return O;
+}
+
+inline void putDigest(Writer &W, const stack::StateDigest &D) {
+  W.u64(D.Pc);
+  W.u8(D.Carry);
+  W.u8(D.Overflow);
+  for (Word Reg : D.Regs)
+    W.u32(Reg);
+  W.u64(D.MemoryHash);
+  W.u64(D.MemoryBytes);
+}
+
+inline stack::StateDigest getDigest(Reader &R) {
+  stack::StateDigest D;
+  D.Pc = static_cast<Word>(R.u64());
+  D.Carry = R.u8() != 0;
+  D.Overflow = R.u8() != 0;
+  for (Word &Reg : D.Regs)
+    Reg = R.u32();
+  D.MemoryHash = R.u64();
+  D.MemoryBytes = R.u64();
+  return D;
+}
+
+inline void putInfo(Writer &W, const JobInfo &I) {
+  W.u64(I.Id);
+  W.u8(static_cast<uint8_t>(I.State));
+  W.u8(static_cast<uint8_t>(I.Level));
+  W.u8(I.Priority);
+  W.u64(I.SlicesRun);
+  putObserved(W, I.Outcome.Behaviour);
+  W.u8(I.Outcome.HasDigest);
+  putDigest(W, I.Outcome.Digest);
+  W.str(I.Outcome.Error);
+}
+
+inline JobInfo getInfo(Reader &R) {
+  JobInfo I;
+  I.Id = R.u64();
+  I.State = static_cast<JobState>(R.u8());
+  I.Level = static_cast<stack::Level>(R.u8());
+  I.Priority = R.u8();
+  I.SlicesRun = R.u64();
+  I.Outcome.Behaviour = getObserved(R);
+  I.Outcome.HasDigest = R.u8() != 0;
+  I.Outcome.Digest = getDigest(R);
+  I.Outcome.Error = R.str();
+  return I;
+}
+
+} // namespace wire
+} // namespace svc
+} // namespace silver
+
+#endif // SILVER_SVC_WIRE_H

@@ -439,13 +439,12 @@ TEST(Executor, SessionBehaviourSnapshotsTheRunningPrefix) {
   EXPECT_GE(Mid->Instructions, 300u);
   EXPECT_LT(Mid->Instructions, 400u);
   EXPECT_FALSE(Mid->Terminated);
-  // sessionInstructions() is the budget-charged count (excludes the ISA
-  // startup prefix); the behaviour snapshot counts every retire, so it
-  // runs a few instructions ahead.
+  // sessionInstructions() and the behaviour snapshot share one
+  // coordinate system (startup prefix included), so a pause point taken
+  // from either can be replayed against the other.
   Result<uint64_t> N = Exec.sessionInstructions();
   ASSERT_TRUE(N);
-  EXPECT_LE(*N, Mid->Instructions);
-  EXPECT_GE(*N, 300u);
+  EXPECT_EQ(*N, Mid->Instructions);
   Result<Outcome> Out = Exec.finish();
   ASSERT_TRUE(Out);
 }

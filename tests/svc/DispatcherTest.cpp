@@ -1,0 +1,272 @@
+//===- tests/svc/DispatcherTest.cpp - cluster dispatcher ----------------------===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+// Drives a Dispatcher over real in-process shards: each shard is a
+// Service+Server pair on its own Unix socket, exactly what
+// `silverd --dispatch=N` forks as separate processes.  The process-level
+// version (fork, kill -9, respawn) runs in tests/svc/cluster_smoke.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/cluster/Dispatcher.h"
+
+#include "stack/Apps.h"
+#include "svc/Server.h"
+#include "svc/Service.h"
+
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <unistd.h>
+#include <vector>
+
+using namespace silver;
+using namespace silver::svc;
+using namespace silver::svc::cluster;
+
+namespace {
+
+/// N in-process shards plus a dispatcher over them.
+struct Cluster {
+  struct Shard {
+    std::unique_ptr<Service> Svc;
+    std::unique_ptr<Server> Srv;
+    std::string Socket;
+  };
+  std::vector<Shard> Shards;
+  std::unique_ptr<Dispatcher> Dispatch;
+  std::vector<size_t> DownEvents;
+
+  explicit Cluster(size_t N, const char *Tag) {
+    DispatcherOptions DOpts;
+    for (size_t I = 0; I != N; ++I) {
+      Shard S;
+      S.Socket = "/tmp/silver_dispatch_" + std::string(Tag) + "_" +
+                 std::to_string(::getpid()) + "_" + std::to_string(I) +
+                 ".sock";
+      S.Svc = std::make_unique<Service>(ServiceOptions{.Workers = 1});
+      ServerOptions SOpts;
+      SOpts.SocketPath = S.Socket;
+      S.Srv = std::make_unique<Server>(*S.Svc, SOpts);
+      EXPECT_TRUE(bool(S.Srv->start()));
+      DOpts.ShardSockets.push_back(S.Socket);
+      Shards.push_back(std::move(S));
+    }
+    DOpts.OnShardDown = [this](size_t I) { DownEvents.push_back(I); };
+    Dispatch = std::make_unique<Dispatcher>(std::move(DOpts));
+  }
+  ~Cluster() {
+    for (Shard &S : Shards)
+      S.Srv->stop();
+  }
+  void killShard(size_t I) {
+    Shards[I].Srv->stop();
+    ::unlink(Shards[I].Socket.c_str());
+  }
+};
+
+JobSpec helloJob() {
+  JobSpec S;
+  S.Source = stack::helloSource();
+  S.Level = stack::Level::Isa;
+  S.CommandLine = {"hello"};
+  return S;
+}
+
+JobSpec wcJob(unsigned Lines) {
+  JobSpec S;
+  S.Source = stack::wcSource();
+  S.Level = stack::Level::Isa;
+  S.CommandLine = {"wc"};
+  S.StdinData = stack::randomLines(Lines, 1);
+  return S;
+}
+
+Request submitRequest(const JobSpec &S, uint64_t WaitMs = 120'000) {
+  Request R;
+  R.Kind = RequestKind::Submit;
+  R.Job = S;
+  R.WaitMs = WaitMs;
+  return R;
+}
+
+TEST(Dispatcher, IdNamespacingRoundTrips) {
+  Cluster C(3, "ids");
+  for (uint64_t Local : {1ull, 2ull, 97ull})
+    for (size_t Shard = 0; Shard != 3; ++Shard) {
+      uint64_t Global = C.Dispatch->toGlobalId(Local, Shard);
+      EXPECT_EQ(C.Dispatch->shardOfId(Global), Shard);
+      EXPECT_EQ(C.Dispatch->toLocalId(Global), Local);
+    }
+}
+
+TEST(Dispatcher, RoutingIsDeterministicPerPrepareKey) {
+  Cluster C(2, "route");
+  std::optional<size_t> Hello = C.Dispatch->routeOf(helloJob());
+  ASSERT_TRUE(Hello.has_value());
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(C.Dispatch->routeOf(helloJob()), Hello)
+        << "same prepare key must route to the same shard";
+  // Routing keys only on what PrepareCache keys on: stdin and command
+  // line do not move a job off its hot shard.
+  JobSpec Wide = helloJob();
+  Wide.StdinData = "different stdin";
+  Wide.CommandLine = {"hello", "extra-arg"};
+  EXPECT_EQ(C.Dispatch->routeOf(Wide), Hello);
+}
+
+TEST(Dispatcher, SubmitRoutesAndNamespacesTheJobId) {
+  Cluster C(2, "submit");
+  std::optional<size_t> Owner = C.Dispatch->routeOf(helloJob());
+  ASSERT_TRUE(Owner.has_value());
+  Response R = C.Dispatch->handle(submitRequest(helloJob()));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Info.State, JobState::Completed);
+  EXPECT_EQ(R.Info.Outcome.Behaviour.StdoutData, "Hello, world!\n");
+  EXPECT_EQ(C.Dispatch->shardOfId(R.Info.Id), *Owner);
+
+  // Status through the dispatcher resolves the global id back to the
+  // owning shard and returns the same global id.
+  Request St;
+  St.Kind = RequestKind::Status;
+  St.JobId = R.Info.Id;
+  Response S = C.Dispatch->handle(St);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_EQ(S.Info.Id, R.Info.Id);
+  EXPECT_EQ(S.Info.State, JobState::Completed);
+}
+
+TEST(Dispatcher, RepeatSubmissionsKeepThePrepareCacheHot) {
+  Cluster C(2, "hot");
+  for (int I = 0; I != 3; ++I) {
+    Response R = C.Dispatch->handle(submitRequest(helloJob()));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    ASSERT_EQ(R.Info.State, JobState::Completed);
+  }
+  std::optional<size_t> Owner = C.Dispatch->routeOf(helloJob());
+  ASSERT_TRUE(Owner.has_value());
+  stack::PrepareCache::CacheStats CS =
+      C.Shards[*Owner].Svc->prepareCacheStats();
+  EXPECT_EQ(CS.Misses, 1u) << "all three submissions on the owner shard";
+  EXPECT_EQ(CS.Hits, 2u);
+}
+
+TEST(Dispatcher, SubmitFailsOverWhenTheOwnerDies) {
+  Cluster C(2, "failover");
+  std::optional<size_t> Owner = C.Dispatch->routeOf(helloJob());
+  ASSERT_TRUE(Owner.has_value());
+  C.killShard(*Owner);
+
+  Response R = C.Dispatch->handle(submitRequest(helloJob()));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Info.State, JobState::Completed);
+  EXPECT_EQ(C.Dispatch->shardOfId(R.Info.Id), 1 - *Owner)
+      << "job must land on the surviving shard";
+  EXPECT_FALSE(C.Dispatch->shardHealthy(*Owner));
+  EXPECT_EQ(C.Dispatch->healthyCount(), 1u);
+  ASSERT_EQ(C.DownEvents.size(), 1u) << "OnShardDown fires once per edge";
+  EXPECT_EQ(C.DownEvents[0], *Owner);
+  // Routing now avoids the dead shard for every key.
+  EXPECT_EQ(C.Dispatch->routeOf(helloJob()), 1 - *Owner);
+}
+
+TEST(Dispatcher, JobOnADownShardIsRejectedWithAStatus) {
+  Cluster C(2, "down");
+  Response R = C.Dispatch->handle(submitRequest(helloJob()));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  size_t Owner = C.Dispatch->shardOfId(R.Info.Id);
+  C.killShard(Owner);
+  C.Dispatch->checkHealth();
+
+  Request St;
+  St.Kind = RequestKind::Status;
+  St.JobId = R.Info.Id;
+  Response S = C.Dispatch->handle(St);
+  EXPECT_FALSE(S.Ok);
+  EXPECT_NE(S.Error.find("down"), std::string::npos) << S.Error;
+}
+
+TEST(Dispatcher, NoHealthyShardRejectsTheSubmission) {
+  Cluster C(2, "dead");
+  C.killShard(0);
+  C.killShard(1);
+  Response R = C.Dispatch->handle(submitRequest(helloJob()));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error, "no healthy shard available");
+  EXPECT_EQ(R.Info.State, JobState::Rejected);
+}
+
+TEST(Dispatcher, MarkHealthyReArmsARecoveredShard) {
+  Cluster C(2, "rearm");
+  C.Dispatch->checkHealth();
+  EXPECT_EQ(C.Dispatch->healthyCount(), 2u);
+  C.killShard(0);
+  C.Dispatch->checkHealth();
+  EXPECT_EQ(C.Dispatch->healthyCount(), 1u);
+  // "Respawn" the shard on the same socket and re-arm it.
+  C.Shards[0].Srv.reset();
+  C.Shards[0].Svc = std::make_unique<Service>(ServiceOptions{.Workers = 1});
+  ServerOptions SOpts;
+  SOpts.SocketPath = C.Shards[0].Socket;
+  C.Shards[0].Srv = std::make_unique<Server>(*C.Shards[0].Svc, SOpts);
+  ASSERT_TRUE(bool(C.Shards[0].Srv->start()));
+  C.Dispatch->markHealthy(0);
+  EXPECT_EQ(C.Dispatch->checkHealth(), 2u);
+}
+
+TEST(Dispatcher, StreamRelaysFramesAndRewritesTheFinalId) {
+  Cluster C(2, "stream");
+  JobSpec S = wcJob(20);
+  S.LiveOutput = true;
+  Response Sub = C.Dispatch->handle(submitRequest(S, /*WaitMs=*/0));
+  ASSERT_TRUE(Sub.Ok) << Sub.Error;
+
+  Request St;
+  St.Kind = RequestKind::Stream;
+  St.JobId = Sub.Info.Id;
+  std::string Got;
+  Response Final;
+  bool SawFinal = false;
+  Result<void> R = C.Dispatch->handleStream(
+      St,
+      [&](const Response &F) -> Result<void> {
+        if (F.Frame == DataFrame)
+          Got += F.StreamData;
+        else {
+          Final = F;
+          SawFinal = true;
+        }
+        return Result<void>();
+      },
+      [] { return false; });
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  ASSERT_TRUE(SawFinal);
+  ASSERT_TRUE(Final.Ok) << Final.Error;
+  EXPECT_EQ(Final.Info.State, JobState::Completed);
+  EXPECT_EQ(Final.Info.Id, Sub.Info.Id) << "final frame carries the global id";
+  EXPECT_EQ(Got, stack::wcSpec(stack::randomLines(20, 1)));
+}
+
+TEST(Dispatcher, MergedStatsEmbedsEveryShard) {
+  Cluster C(2, "stats");
+  Response Sub = C.Dispatch->handle(submitRequest(helloJob()));
+  ASSERT_TRUE(Sub.Ok) << Sub.Error;
+  Request St;
+  St.Kind = RequestKind::Stats;
+  Response R = C.Dispatch->handle(St);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_NE(R.StatsJson.find("\"schema\":\"silver-dispatch-stats-v1\""),
+            std::string::npos);
+  EXPECT_NE(R.StatsJson.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(R.StatsJson.find("\"healthy\":2"), std::string::npos);
+  // Each shard's own stats ride along, so one scrape sees the cluster.
+  size_t First = R.StatsJson.find("silverd-stats-v1");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(R.StatsJson.find("silverd-stats-v1", First + 1),
+            std::string::npos);
+  EXPECT_FALSE(C.Dispatch->draining());
+}
+
+} // namespace

@@ -87,6 +87,70 @@ TEST(JobQueue, BlockingPopWakesOnPush) {
   EXPECT_EQ(Got.load(), 42u);
 }
 
+TEST(JobQueue, RoundRobinInterleavesClientsWithinALane) {
+  JobQueue Q(16);
+  // Tenant a floods the lane before tenant b's single job arrives.
+  for (uint64_t Id = 1; Id <= 4; ++Id)
+    ASSERT_EQ(Q.push(Id, 1, "a"), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(10, 1, "b"), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(20, 1, "c"), JobQueue::PushResult::Ok);
+  std::vector<uint64_t> Order;
+  while (std::optional<uint64_t> Got = Q.tryPop())
+    Order.push_back(*Got);
+  // One job per client per rotation: b and c wait at most one full
+  // round behind a's head-of-line job, not behind all four.
+  EXPECT_EQ(Order, (std::vector<uint64_t>{1, 10, 20, 2, 3, 4}));
+}
+
+TEST(JobQueue, RoundRobinKeepsFifoWithinOneClient) {
+  JobQueue Q(16);
+  for (uint64_t Id = 1; Id <= 5; ++Id)
+    ASSERT_EQ(Q.push(Id, 0, "only"), JobQueue::PushResult::Ok);
+  // A single tenant degenerates to exactly the old FIFO.
+  for (uint64_t Id = 1; Id <= 5; ++Id)
+    EXPECT_EQ(*Q.tryPop(), Id);
+}
+
+TEST(JobQueue, PriorityStillBeatsFairness) {
+  JobQueue Q(16);
+  ASSERT_EQ(Q.push(1, 3, "a"), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(2, 0, "b"), JobQueue::PushResult::Ok);
+  // The urgent lane is served first regardless of rotation state.
+  EXPECT_EQ(*Q.tryPop(), 2u);
+  EXPECT_EQ(*Q.tryPop(), 1u);
+}
+
+TEST(JobQueue, QuotaCapsOneTenantWithoutStarvingOthers) {
+  // Depth 8, share 0.25 -> each tenant may hold ceil(8 * 0.25) = 2.
+  JobQueue Q(8, 0.25);
+  EXPECT_EQ(Q.clientQuota(), 2u);
+  ASSERT_EQ(Q.push(1, 0, "greedy"), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(2, 0, "greedy"), JobQueue::PushResult::Ok);
+  EXPECT_EQ(Q.push(3, 0, "greedy"), JobQueue::PushResult::Quota);
+  // Another tenant still fits: the queue is not full, just that tenant.
+  EXPECT_EQ(Q.push(10, 0, "polite"), JobQueue::PushResult::Ok);
+  EXPECT_EQ(Q.clientDepth("greedy"), 2u);
+  // Draining a greedy job frees its quota slot.
+  Q.tryPop();
+  EXPECT_EQ(Q.push(3, 2, "greedy"), JobQueue::PushResult::Ok);
+}
+
+TEST(JobQueue, QuotaSpansAllLanes) {
+  JobQueue Q(8, 0.25);
+  ASSERT_EQ(Q.push(1, 0, "t"), JobQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(2, 3, "t"), JobQueue::PushResult::Ok);
+  // The cap counts the tenant's jobs across every priority lane.
+  EXPECT_EQ(Q.push(3, 1, "t"), JobQueue::PushResult::Quota);
+}
+
+TEST(JobQueue, DefaultShareDisablesQuota) {
+  JobQueue Q(4);
+  for (uint64_t Id = 1; Id <= 4; ++Id)
+    ASSERT_EQ(Q.push(Id, 0, "one"), JobQueue::PushResult::Ok);
+  // Full, not Quota: the depth bound is the only limit at share 1.0.
+  EXPECT_EQ(Q.push(5, 0, "one"), JobQueue::PushResult::Full);
+}
+
 TEST(JobQueue, ConcurrentProducersConsumersLoseNothing) {
   JobQueue Q(1024);
   constexpr unsigned PerProducer = 100;

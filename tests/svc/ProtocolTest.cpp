@@ -26,6 +26,8 @@ JobSpec sampleSpec() {
   S.WallMsBudget = 250;
   S.Priority = 3;
   S.Backend = stack::BackendKind::Jit;
+  S.ClientId = "tenant-a";
+  S.LiveOutput = true;
   return S;
 }
 
@@ -49,6 +51,8 @@ TEST(Protocol, SubmitRoundTrip) {
   EXPECT_EQ(D->Job.WallMsBudget, R.Job.WallMsBudget);
   EXPECT_EQ(D->Job.Priority, R.Job.Priority);
   EXPECT_EQ(D->Job.Backend, stack::BackendKind::Jit);
+  EXPECT_EQ(D->Job.ClientId, "tenant-a");
+  EXPECT_TRUE(D->Job.LiveOutput);
 }
 
 TEST(Protocol, EveryRequestKindRoundTrips) {
@@ -150,18 +154,63 @@ TEST(Protocol, BadBackendRejected) {
   Request R;
   R.Kind = RequestKind::Submit;
   R.Job = sampleSpec();
+  R.Job.ClientId.clear();
+  R.Job.LiveOutput = false;
   std::vector<uint8_t> Full = encodeRequest(R);
-  // The spec ends with the backend ordinal followed by the hdl backend
-  // ordinal; corrupt either past its enum range and the decoder must
-  // refuse.
-  ASSERT_EQ(Full.back(), static_cast<uint8_t>(stack::HdlBackendKind::Interp));
-  ASSERT_EQ(Full[Full.size() - 2], static_cast<uint8_t>(stack::BackendKind::Jit));
+  // With an empty ClientId the spec's tail is: backend ordinal, hdl
+  // ordinal, u32 client-id length (0), live-output flag.  Corrupt
+  // either ordinal past its enum range and the decoder must refuse.
+  size_t HdlAt = Full.size() - 6;
+  size_t BackendAt = Full.size() - 7;
+  ASSERT_EQ(Full[HdlAt], static_cast<uint8_t>(stack::HdlBackendKind::Interp));
+  ASSERT_EQ(Full[BackendAt], static_cast<uint8_t>(stack::BackendKind::Jit));
   std::vector<uint8_t> BadHdl = Full;
-  BadHdl.back() = 200;
+  BadHdl[HdlAt] = 200;
   EXPECT_FALSE(bool(decodeRequest(BadHdl)));
   std::vector<uint8_t> BadBackend = Full;
-  BadBackend[BadBackend.size() - 2] = 200;
+  BadBackend[BackendAt] = 200;
   EXPECT_FALSE(bool(decodeRequest(BadBackend)));
+}
+
+TEST(Protocol, StreamRequestRoundTrips) {
+  Request R;
+  R.Kind = RequestKind::Stream;
+  R.JobId = 42;
+  R.WaitMs = 5000;
+  R.StreamOffset = 0xabcdef0123ull;
+  Result<Request> D = decodeRequest(encodeRequest(R));
+  ASSERT_TRUE(bool(D)) << D.error().str();
+  EXPECT_EQ(D->Kind, RequestKind::Stream);
+  EXPECT_EQ(D->JobId, 42u);
+  EXPECT_EQ(D->WaitMs, 5000u);
+  EXPECT_EQ(D->StreamOffset, 0xabcdef0123ull);
+}
+
+TEST(Protocol, DataFrameResponseRoundTrips) {
+  Response R;
+  R.Ok = true;
+  R.Frame = DataFrame;
+  R.StreamOffset = 1 << 16;
+  R.StreamData = std::string("chunk\0with\0nuls", 15);
+  Result<Response> D = decodeResponse(encodeResponse(R));
+  ASSERT_TRUE(bool(D)) << D.error().str();
+  EXPECT_TRUE(D->Ok);
+  EXPECT_EQ(D->Frame, DataFrame);
+  EXPECT_EQ(D->StreamOffset, uint64_t(1 << 16));
+  EXPECT_EQ(D->StreamData, std::string("chunk\0with\0nuls", 15));
+}
+
+TEST(Protocol, DataFrameTruncationIsAnErrorAtEveryLength) {
+  Response R;
+  R.Ok = true;
+  R.Frame = DataFrame;
+  R.StreamOffset = 77;
+  R.StreamData = "streamed bytes";
+  std::vector<uint8_t> Full = encodeResponse(R);
+  for (size_t Len = 0; Len != Full.size(); ++Len) {
+    std::vector<uint8_t> Cut(Full.begin(), Full.begin() + Len);
+    EXPECT_FALSE(bool(decodeResponse(Cut))) << "length " << Len;
+  }
 }
 
 } // namespace

@@ -160,6 +160,70 @@ TEST(Server, EightConcurrentClientsMixedLevelsNothingLost) {
   Srv.stop();
 }
 
+TEST(Server, StreamDeliversDataFramesThenAFinalResponse) {
+  Service Svc({.Workers = 1});
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath("stream");
+  Server Srv(Svc, Opts);
+  ASSERT_TRUE(bool(Srv.start()));
+
+  Client Submitter;
+  ASSERT_TRUE(bool(Submitter.connectUnix(Opts.SocketPath)));
+  JobSpec S = wcJob();
+  S.LiveOutput = true;
+  Result<Response> Sub = Submitter.submit(S, /*WaitMs=*/0);
+  ASSERT_TRUE(bool(Sub));
+  ASSERT_TRUE(Sub->Ok) << Sub->Error;
+  uint64_t Id = Sub->Info.Id;
+
+  // A second connection subscribes to the stream while the job runs.
+  Client Streamer;
+  ASSERT_TRUE(bool(Streamer.connectUnix(Opts.SocketPath)));
+  std::string Got;
+  uint64_t NextOffset = 0;
+  bool Contiguous = true;
+  Result<Response> Final =
+      Streamer.stream(Id, 0, [&](uint64_t Offset, const std::string &Data) {
+        Contiguous = Contiguous && Offset == NextOffset;
+        Got += Data;
+        NextOffset = Offset + Data.size();
+      });
+  ASSERT_TRUE(bool(Final)) << Final.error().str();
+  ASSERT_TRUE(Final->Ok) << Final->Error;
+  EXPECT_EQ(Final->Frame, FinalFrame);
+  EXPECT_EQ(Final->Info.State, JobState::Completed);
+  EXPECT_TRUE(Contiguous);
+  EXPECT_EQ(Got, stack::wcSpec(stack::randomLines(20, 1)));
+
+  // The server counted the outgoing data frames.
+  Result<Response> Stats = Streamer.stats();
+  ASSERT_TRUE(bool(Stats));
+  EXPECT_EQ(Stats->StatsJson.find("\"frames_sent\":0"), std::string::npos);
+  EXPECT_NE(Stats->StatsJson.find("\"stream\""), std::string::npos);
+  Srv.stop();
+}
+
+TEST(Server, StreamOfUnknownJobGetsAnErrorFinalFrame) {
+  Service Svc({.Workers = 1});
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath("streamerr");
+  Server Srv(Svc, Opts);
+  ASSERT_TRUE(bool(Srv.start()));
+  Client C;
+  ASSERT_TRUE(bool(C.connectUnix(Opts.SocketPath)));
+  Result<Response> R = C.stream(424242, 0, [](uint64_t, const std::string &) {
+    FAIL() << "no data frames for an unknown job";
+  });
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  EXPECT_FALSE(R->Ok);
+  EXPECT_FALSE(R->Error.empty());
+  // The connection survives the error final frame.
+  Result<Response> Stats = C.stats();
+  ASSERT_TRUE(bool(Stats));
+  EXPECT_TRUE(Stats->Ok);
+  Srv.stop();
+}
+
 TEST(Server, DrainRequestFinishesInFlightWorkAndStopsTheServer) {
   Service Svc({.Workers = 2});
   ServerOptions Opts;

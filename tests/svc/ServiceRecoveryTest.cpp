@@ -1,0 +1,237 @@
+//===- tests/svc/ServiceRecoveryTest.cpp - crash recovery via the journal -----===//
+//
+// Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+// Verified Processor" (PLDI 2019).
+//
+// The durability contract of the write-ahead journal, exercised the way
+// a crash exercises it: build a Service on a journal, drive jobs into
+// queued/paused states, destroy the Service object *without settling
+// them* (destruction is crash-equivalent for queued-with-no-workers and
+// paused jobs — nothing settles, nothing extra is journaled), then build
+// a fresh Service on the same file and require the recovered jobs to
+// finish with byte-identical output and a bit-identical StateDigest.
+// The end-to-end kill -9 version of the same story runs in
+// tests/svc/cluster_smoke.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Service.h"
+
+#include "stack/Apps.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+using namespace silver;
+using namespace silver::svc;
+
+namespace {
+
+struct TempJournal {
+  std::string Path;
+  explicit TempJournal(const std::string &Name) {
+    Path = testing::TempDir() + "silver-recovery-" + Name + "-" +
+           std::to_string(::getpid()) + ".jrnl";
+    std::remove(Path.c_str());
+  }
+  ~TempJournal() { std::remove(Path.c_str()); }
+};
+
+JobSpec helloJob(stack::Level Level) {
+  JobSpec S;
+  S.Source = stack::helloSource();
+  S.Level = Level;
+  S.CommandLine = {"hello"};
+  return S;
+}
+
+JobInfo submitAndWait(Service &Svc, const JobSpec &Spec,
+                      uint64_t TimeoutMs = 120'000) {
+  JobInfo Info = Svc.submit(Spec);
+  if (Info.State == JobState::Rejected)
+    return Info;
+  std::optional<JobInfo> Done = Svc.waitSettled(Info.Id, TimeoutMs);
+  return Done ? *Done : Info;
+}
+
+TEST(Recovery, QueuedJobsSurviveRestart) {
+  TempJournal P("queued");
+  uint64_t IdA = 0, IdB = 0;
+  {
+    ServiceOptions Opts;
+    Opts.Workers = 0; // nothing drains the queue: both jobs stay Queued
+    Opts.JournalPath = P.Path;
+    Service Svc(Opts);
+    IdA = Svc.submit(helloJob(stack::Level::Isa)).Id;
+    IdB = Svc.submit(helloJob(stack::Level::Machine)).Id;
+    ASSERT_NE(IdA, 0u);
+    ASSERT_NE(IdB, 0u);
+  } // "crash": queued jobs die with the process, journal survives
+
+  ServiceOptions Opts;
+  Opts.Workers = 2;
+  Opts.JournalPath = P.Path;
+  Service Svc(Opts);
+  Service::JournalStats JS = Svc.journalStats();
+  EXPECT_TRUE(JS.Enabled);
+  EXPECT_EQ(JS.RecoveredJobs, 2u);
+  EXPECT_GE(JS.ReplayedRecords, 2u);
+  for (uint64_t Id : {IdA, IdB}) {
+    std::optional<JobInfo> Done = Svc.waitSettled(Id, 120'000);
+    ASSERT_TRUE(Done.has_value()) << "job " << Id;
+    EXPECT_EQ(Done->State, JobState::Completed) << Done->Outcome.Error;
+    EXPECT_EQ(Done->Outcome.Behaviour.StdoutData, "Hello, world!\n");
+  }
+  // Recovered ids are not recycled for new submissions.
+  JobInfo Fresh = Svc.submit(helloJob(stack::Level::Isa));
+  EXPECT_GT(Fresh.Id, std::max(IdA, IdB));
+}
+
+/// Pause at \p Level, crash, restart, resume: the finished job must be
+/// byte- and digest-identical to an uninterrupted run.  This is the
+/// recovery invariant of DESIGN.md §15 at each digest-bearing level of
+/// Figure 1.
+void expectPausedRecoveryExact(stack::Level Level) {
+  // Uninterrupted reference run.
+  stack::StateDigest WholeDigest;
+  {
+    Service Ref({.Workers = 1});
+    JobInfo Whole = submitAndWait(Ref, helloJob(Level));
+    ASSERT_EQ(Whole.State, JobState::Completed) << Whole.Outcome.Error;
+    ASSERT_TRUE(Whole.Outcome.HasDigest);
+    WholeDigest = Whole.Outcome.Digest;
+  }
+
+  TempJournal P(std::string("paused-") + stack::levelName(Level));
+  uint64_t Id = 0;
+  stack::StateDigest PauseDigest;
+  uint64_t PauseInstructions = 0;
+  {
+    ServiceOptions Opts;
+    Opts.Workers = 1;
+    Opts.JournalPath = P.Path;
+    Service Svc(Opts);
+    JobSpec S = helloJob(Level);
+    S.SliceInstructions = 500; // hello runs ~1700 instructions
+    JobInfo Info = submitAndWait(Svc, S);
+    ASSERT_EQ(Info.State, JobState::Paused) << Info.Outcome.Error;
+    ASSERT_TRUE(Info.Outcome.HasDigest);
+    Id = Info.Id;
+    PauseDigest = Info.Outcome.Digest;
+    PauseInstructions = Info.Outcome.Behaviour.Instructions;
+  } // "crash" with the job parked: its live Executor is gone
+
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.JournalPath = P.Path;
+  Service Svc(Opts);
+  EXPECT_EQ(Svc.journalStats().RecoveredJobs, 1u);
+
+  // The recovered job surfaces as Paused, carrying the journaled pause
+  // coordinates.
+  std::optional<JobInfo> Parked = Svc.status(Id);
+  ASSERT_TRUE(Parked.has_value());
+  ASSERT_EQ(Parked->State, JobState::Paused);
+  ASSERT_TRUE(Parked->Outcome.HasDigest);
+  EXPECT_EQ(Parked->Outcome.Digest, PauseDigest);
+  EXPECT_EQ(Parked->Outcome.Behaviour.Instructions, PauseInstructions);
+
+  // Resume with a generous grant: the worker replays a fresh session to
+  // the journaled instruction count, verifies the digest, and runs on.
+  Result<JobInfo> R = Svc.resume(Id, 100'000'000);
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  std::optional<JobInfo> Done = Svc.waitSettled(Id, 120'000);
+  ASSERT_TRUE(Done.has_value());
+  ASSERT_EQ(Done->State, JobState::Completed) << Done->Outcome.Error;
+  EXPECT_EQ(Done->Outcome.Behaviour.StdoutData, "Hello, world!\n");
+  ASSERT_TRUE(Done->Outcome.HasDigest);
+  EXPECT_EQ(Done->Outcome.Digest, WholeDigest)
+      << "recovered run diverged from the uninterrupted run";
+}
+
+TEST(Recovery, PausedJobResumesExactlyAtMachine) {
+  expectPausedRecoveryExact(stack::Level::Machine);
+}
+TEST(Recovery, PausedJobResumesExactlyAtIsa) {
+  expectPausedRecoveryExact(stack::Level::Isa);
+}
+TEST(Recovery, PausedJobResumesExactlyAtRtl) {
+  expectPausedRecoveryExact(stack::Level::Rtl);
+}
+TEST(Recovery, PausedJobResumesExactlyAtVerilog) {
+  expectPausedRecoveryExact(stack::Level::Verilog);
+}
+
+TEST(Recovery, SettledJobsAreNotResurrected) {
+  TempJournal P("settled");
+  {
+    ServiceOptions Opts;
+    Opts.Workers = 1;
+    Opts.JournalPath = P.Path;
+    Service Svc(Opts);
+    JobInfo Info = submitAndWait(Svc, helloJob(stack::Level::Isa));
+    ASSERT_EQ(Info.State, JobState::Completed) << Info.Outcome.Error;
+  }
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.JournalPath = P.Path;
+  Service Svc(Opts);
+  Service::JournalStats JS = Svc.journalStats();
+  EXPECT_TRUE(JS.Enabled);
+  EXPECT_EQ(JS.RecoveredJobs, 0u);
+}
+
+TEST(Recovery, TamperedDigestFailsTheJobNotTheService) {
+  // A paused job whose journaled digest does not match the deterministic
+  // replay must settle as Failed with a diagnostic — the service must
+  // not silently resume from a state it cannot verify.
+  TempJournal P("tamper");
+  uint64_t Id = 0;
+  {
+    ServiceOptions Opts;
+    Opts.Workers = 1;
+    Opts.JournalPath = P.Path;
+    Service Svc(Opts);
+    JobSpec S = helloJob(stack::Level::Isa);
+    S.SliceInstructions = 500;
+    JobInfo Info = submitAndWait(Svc, S);
+    ASSERT_EQ(Info.State, JobState::Paused) << Info.Outcome.Error;
+    Id = Info.Id;
+  }
+  // Corrupt the journaled pause digest: rewrite the journal with a
+  // record whose MemoryHash is flipped.
+  {
+    cluster::ReplayResult Replay;
+    Result<cluster::Journal> J = cluster::Journal::open(P.Path, &Replay);
+    ASSERT_TRUE(bool(J));
+    std::vector<cluster::Record> Tampered = Replay.Records;
+    bool Flipped = false;
+    for (cluster::Record &R : Tampered)
+      if (R.Kind == cluster::RecordKind::Pause && R.HasDigest) {
+        R.Digest.MemoryHash ^= 1;
+        Flipped = true;
+      }
+    ASSERT_TRUE(Flipped) << "no pause record journaled";
+    ASSERT_TRUE(bool(J->compact(Tampered)));
+  }
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.JournalPath = P.Path;
+  Service Svc(Opts);
+  ASSERT_EQ(Svc.journalStats().RecoveredJobs, 1u);
+  Result<JobInfo> R = Svc.resume(Id, 100'000'000);
+  ASSERT_TRUE(bool(R)) << R.error().str();
+  std::optional<JobInfo> Done = Svc.waitSettled(Id, 120'000);
+  ASSERT_TRUE(Done.has_value());
+  EXPECT_EQ(Done->State, JobState::Failed);
+  EXPECT_NE(Done->Outcome.Error.find("digest mismatch"), std::string::npos)
+      << Done->Outcome.Error;
+  // The service itself is fine: fresh work still runs.
+  JobInfo Fresh = submitAndWait(Svc, helloJob(stack::Level::Isa));
+  EXPECT_EQ(Fresh.State, JobState::Completed) << Fresh.Outcome.Error;
+}
+
+} // namespace

@@ -1,0 +1,256 @@
+#!/usr/bin/env bash
+#===- tests/svc/cluster_smoke.sh - sharded silverd kill -9 smoke test ---------===#
+#
+# Part of SilverStack, a C++ reproduction of "Verified Compilation on a
+# Verified Processor" (PLDI 2019).
+#
+# The end-to-end crash-durability story of the cluster tier, against real
+# processes and real sockets (the in-process halves live in
+# tests/svc/ServiceRecoveryTest.cpp and tests/svc/DispatcherTest.cpp):
+#
+#   1. boots `silverd --dispatch=2` — a dispatcher front end owning the
+#      client socket plus two shard workers, each with its own
+#      write-ahead job journal
+#   2. records a reference StateDigest from an uninterrupted hello run
+#   3. fires 8 concurrent sliced submissions that all reach Paused, then
+#      SIGKILLs the shard that owns the digest job — mid-campaign, with
+#      every job parked on one shard or the other
+#   4. waits for the dispatcher's monitor to respawn the shard and
+#      replay its journal, and requires the paused job's digest to
+#      survive the kill byte-for-byte
+#   5. resumes all 8 jobs to completion and requires the recovered job's
+#      final digest to equal the uninterrupted reference — the
+#      deterministic-replay recovery invariant, across kill -9
+#   6. streams a --live job through the dispatcher's frame relay
+#   7. checks the merged silver-dispatch-stats-v1 metrics: journal
+#      replay counts, per-shard prepare-cache hits, stream frames
+#   8. SIGTERMs the dispatcher and requires a graceful cluster drain
+#
+# usage: cluster_smoke.sh SILVERD SILVER_CLIENT
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+SILVERD=${1:?usage: cluster_smoke.sh SILVERD SILVER_CLIENT}
+CLIENT=${2:?usage: cluster_smoke.sh SILVERD SILVER_CLIENT}
+
+WORK=$(mktemp -d /tmp/silver_cluster.XXXXXX)
+SOCK="$WORK/d.sock"
+DAEMON_PID=
+
+kill_shards() {
+  for PidFile in "$SOCK".shard*.pid; do
+    [ -f "$PidFile" ] && kill -9 "$(cat "$PidFile")" 2>/dev/null
+  done
+}
+
+fail() {
+  echo "cluster-smoke: FAIL: $*" >&2
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  kill_shards
+  exit 1
+}
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  kill_shards
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  for _ in $(seq 1 150); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+# A stdin workload: 40 lines of text (wc counts 80 tokens).
+seq 1 40 | sed 's/^/line /' > "$WORK/input.txt"
+
+#--- 1. boot the cluster ------------------------------------------------------
+"$SILVERD" --socket="$SOCK" --dispatch=2 --journal="$WORK/journal" \
+  --workers=2 --queue-depth=32 \
+  > "$WORK/silverd.out" 2> "$WORK/silverd.err" &
+DAEMON_PID=$!
+# The dispatcher only opens the front socket once both shards answer, so
+# the socket appearing means the whole cluster is up.
+wait_for_socket || fail "dispatcher did not create $SOCK"
+for s in 0 1; do
+  [ -f "$SOCK.shard$s.pid" ] || fail "no pid file for shard $s"
+done
+echo "cluster-smoke: dispatcher up (pid $DAEMON_PID), 2 shards"
+
+#--- 2. reference digest: an uninterrupted hello run --------------------------
+"$CLIENT" --socket="$SOCK" submit --builtin=hello --level=isa \
+  --wait-ms=180000 --digest > "$WORK/ref.digest" 2> "$WORK/ref.err" \
+  || fail "reference run failed: $(cat "$WORK/ref.err")"
+grep -q '^digest pc=' "$WORK/ref.digest" \
+  || fail "reference run printed no digest: $(cat "$WORK/ref.digest")"
+
+#--- 3. 8 concurrent sliced jobs, then SIGKILL the digest job's shard ---------
+# --slice=500 parks every job at its first pause point; paused jobs are
+# exactly what the write-ahead journal promises will survive a kill -9.
+CAMPAIGN="0 1 2 3 4 5 6 7"
+CLIENT_PIDS=()
+for i in $CAMPAIGN; do
+  case $i in
+    0|2|4|6) args=(submit --builtin=hello --level=isa) ;;
+    1|3|5|7) args=(submit --builtin=wc --stdin-file="$WORK/input.txt" \
+                   --level=isa) ;;
+  esac
+  "$CLIENT" --socket="$SOCK" "${args[@]}" --slice=500 --client="tenant$i" \
+    --wait-ms=180000 > "$WORK/pause$i.out" 2> "$WORK/pause$i.err" &
+  CLIENT_PIDS+=($!)
+done
+n=0
+for i in $CAMPAIGN; do
+  wait "${CLIENT_PIDS[$n]}" \
+    || fail "campaign client $i exited nonzero: $(cat "$WORK/pause$i.err")"
+  n=$((n + 1))
+done
+JOB_IDS=()
+for i in $CAMPAIGN; do
+  grep -q ' paused ' "$WORK/pause$i.out" \
+    || fail "campaign job $i did not pause: $(cat "$WORK/pause$i.out")"
+  JOB_IDS+=("$(awk '/^job /{print $2; exit}' "$WORK/pause$i.out")")
+done
+echo "cluster-smoke: 8 concurrent jobs paused (ids ${JOB_IDS[*]})"
+
+# Global job ids are namespaced local*2+shard, so the digest job's owner
+# shard is recoverable from its id — that is the shard we murder.
+DIGEST_JOB=${JOB_IDS[0]}
+VICTIM=$((DIGEST_JOB % 2))
+"$CLIENT" --socket="$SOCK" status "$DIGEST_JOB" --wait-ms=0 --digest \
+  > "$WORK/pre.digest" || fail "pre-kill digest status failed"
+grep -q '^digest pc=' "$WORK/pre.digest" \
+  || fail "paused job has no digest: $(cat "$WORK/pre.digest")"
+
+OLD_SHARD_PID=$(cat "$SOCK.shard$VICTIM.pid")
+kill -9 "$OLD_SHARD_PID" || fail "could not SIGKILL shard $VICTIM"
+echo "cluster-smoke: SIGKILLed shard $VICTIM (pid $OLD_SHARD_PID)"
+
+#--- 4. respawn + journal replay ----------------------------------------------
+NEW_SHARD_PID=$OLD_SHARD_PID
+for _ in $(seq 1 300); do
+  NEW_SHARD_PID=$(cat "$SOCK.shard$VICTIM.pid" 2>/dev/null \
+                  || echo "$OLD_SHARD_PID")
+  [ "$NEW_SHARD_PID" != "$OLD_SHARD_PID" ] \
+    && kill -0 "$NEW_SHARD_PID" 2>/dev/null && break
+  sleep 0.1
+done
+[ "$NEW_SHARD_PID" != "$OLD_SHARD_PID" ] \
+  || fail "shard $VICTIM was not respawned"
+STATS=
+for _ in $(seq 1 300); do
+  STATS=$("$CLIENT" --socket="$SOCK" stats 2>/dev/null)
+  echo "$STATS" | grep -q '"healthy":2' && break
+  sleep 0.1
+done
+echo "$STATS" | grep -q '"healthy":2' \
+  || fail "cluster never re-armed both shards: $STATS"
+grep -q 'died; respawning' "$WORK/silverd.err" \
+  || fail "dispatcher did not report the respawn"
+echo "cluster-smoke: shard $VICTIM respawned (pid $NEW_SHARD_PID), journal replayed"
+
+# The journaled park point survived the kill byte-for-byte.
+"$CLIENT" --socket="$SOCK" status "$DIGEST_JOB" --wait-ms=0 --digest \
+  > "$WORK/post.digest" || fail "post-kill digest status failed"
+cmp -s "$WORK/pre.digest" "$WORK/post.digest" \
+  || fail "paused digest changed across kill -9: pre=$(cat "$WORK/pre.digest") post=$(cat "$WORK/post.digest")"
+
+#--- 5. resume everything; recovered digest == uninterrupted reference --------
+CLIENT_PIDS=()
+n=0
+for i in $CAMPAIGN; do
+  if [ "$i" = 0 ]; then
+    "$CLIENT" --socket="$SOCK" resume "${JOB_IDS[$n]}" --slice=100000000 \
+      --wait-ms=180000 --digest \
+      > "$WORK/final0.digest" 2> "$WORK/resume0.err" &
+  else
+    "$CLIENT" --socket="$SOCK" resume "${JOB_IDS[$n]}" --slice=100000000 \
+      --wait-ms=180000 --json \
+      > "$WORK/resume$i.json" 2> "$WORK/resume$i.err" &
+  fi
+  CLIENT_PIDS+=($!)
+  n=$((n + 1))
+done
+n=0
+for i in $CAMPAIGN; do
+  wait "${CLIENT_PIDS[$n]}" \
+    || fail "resume of job $i failed: $(cat "$WORK/resume$i.err")"
+  n=$((n + 1))
+done
+for i in $CAMPAIGN; do
+  [ "$i" = 0 ] && continue
+  grep -q '"status":"completed"' "$WORK/resume$i.json" \
+    || fail "job $i not completed after resume: $(cat "$WORK/resume$i.json")"
+  case $i in
+    2|4|6) grep -q '"stdout":"Hello, world!\\n"' "$WORK/resume$i.json" \
+             || fail "job $i: wrong hello output" ;;
+    1|3|5|7) grep -q '"stdout":"80\\n"' "$WORK/resume$i.json" \
+             || fail "job $i: wrong wc output" ;;
+  esac
+done
+cmp -s "$WORK/ref.digest" "$WORK/final0.digest" \
+  || fail "recovered run diverged from the uninterrupted reference: ref=$(cat "$WORK/ref.digest") got=$(cat "$WORK/final0.digest")"
+echo "cluster-smoke: all 8 jobs completed; digest equality across kill -9 holds"
+
+#--- 6. live output streaming through the dispatcher relay --------------------
+"$CLIENT" --socket="$SOCK" submit --builtin=cat \
+  --stdin-file="$WORK/input.txt" --live --wait-ms=0 \
+  > "$WORK/cat.out" 2>&1 || fail "live cat submit failed: $(cat "$WORK/cat.out")"
+CAT_JOB=$(awk '/^job /{print $2; exit}' "$WORK/cat.out")
+[ -n "$CAT_JOB" ] || fail "no job id from live submit: $(cat "$WORK/cat.out")"
+"$CLIENT" --socket="$SOCK" stream "$CAT_JOB" \
+  > "$WORK/cat.streamed" 2> "$WORK/cat.stream.err" \
+  || fail "stream failed: $(cat "$WORK/cat.stream.err")"
+cmp -s "$WORK/input.txt" "$WORK/cat.streamed" \
+  || fail "streamed output does not match the program's stdin echo"
+echo "cluster-smoke: streamed $(wc -c < "$WORK/cat.streamed") bytes through the relay"
+
+#--- 7. merged metrics --------------------------------------------------------
+# Two more hello runs guarantee a prepare-cache hit on the owner shard
+# even if every earlier hello landed on the shard we killed.
+for _ in 1 2; do
+  "$CLIENT" --socket="$SOCK" submit --builtin=hello --level=isa \
+    --wait-ms=180000 > /dev/null 2>&1 || fail "post-recovery hello failed"
+done
+STATS=$("$CLIENT" --socket="$SOCK" stats) || fail "final stats request failed"
+echo "$STATS" | grep -q '"schema":"silver-dispatch-stats-v1"' \
+  || fail "stats is not the merged dispatch schema: $STATS"
+echo "$STATS" | grep -q '"shards":2' || fail "stats lost a shard: $STATS"
+echo "$STATS" | grep -q '"schema":"silverd-stats-v1"' \
+  || fail "merged stats embeds no per-shard stats: $STATS"
+echo "$STATS" | grep -Eq '"replayed_records":[1-9]' \
+  || fail "no shard reports a journal replay: $STATS"
+echo "$STATS" | grep -Eq '"recovered_jobs":[1-9]' \
+  || fail "no shard reports recovered jobs: $STATS"
+echo "$STATS" | grep -Eq '"hits":[1-9]' \
+  || fail "no shard reports prepare-cache hits: $STATS"
+echo "$STATS" | grep -Eq '"frames_sent":[1-9]' \
+  || fail "no shard reports stream frames sent: $STATS"
+echo "$STATS" | grep -Eq '"stream_relay_frames":[1-9]' \
+  || fail "dispatcher relayed no stream frames: $STATS"
+echo "cluster-smoke: merged stats record replay, cache hits and stream frames"
+
+#--- 8. graceful cluster drain ------------------------------------------------
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 1 300); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+  fail "dispatcher still alive 30s after SIGTERM"
+fi
+wait "$DAEMON_PID"
+RC=$?
+DAEMON_PID=
+[ "$RC" = 0 ] || fail "dispatcher exited $RC after SIGTERM"
+grep -q 'cluster drained, exiting' "$WORK/silverd.err" \
+  || fail "dispatcher did not report a cluster drain"
+echo "cluster-smoke: SIGTERM drained the cluster cleanly"
+
+echo "cluster-smoke: PASS"

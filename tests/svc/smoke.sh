@@ -7,9 +7,10 @@
 # Exercises the real daemon over its real socket:
 #
 #   1. boots silverd on a temp Unix socket
-#   2. fires 8 concurrent silver-client submissions (hello + wc mix,
-#      isa + machine levels) and requires every one to come back
-#      completed with the right stdout — zero lost, zero duplicated
+#   2. fires 10 concurrent silver-client submissions (hello + wc mix;
+#      isa + machine levels, the jit backend, and the compiled-HDL
+#      verilog tier) and requires every one to come back completed with
+#      the right stdout — zero lost, zero duplicated
 #   3. cross-checks the silver-client --json outcome shape against
 #      silverc --json for the same program (one parser, two producers)
 #   4. SIGTERMs the daemon with work in flight and requires a graceful
@@ -59,47 +60,55 @@ DAEMON_PID=$!
 wait_for_socket || fail "silverd did not create $SOCK"
 echo "smoke: silverd up (pid $DAEMON_PID)"
 
-#--- 2. 8 concurrent clients, mixed workloads and levels ----------------------
+#--- 2. 10 concurrent clients, mixed workloads, levels and backends -----------
+CLIENTS="0 1 2 3 4 5 6 7 8 9"
 CLIENT_PIDS=()
-for i in 0 1 2 3 4 5 6 7; do
-  case $((i % 4)) in
-    0) args=(submit --builtin=hello --level=isa) ;;
-    1) args=(submit --builtin=wc --stdin-file="$WORK/input.txt" --level=isa) ;;
-    2) args=(submit --builtin=hello --level=machine) ;;
-    3) args=(submit --builtin=wc --stdin-file="$WORK/input.txt" --level=machine) ;;
+for i in $CLIENTS; do
+  case $i in
+    0|4) args=(submit --builtin=hello --level=isa) ;;
+    1|5) args=(submit --builtin=wc --stdin-file="$WORK/input.txt" --level=isa) ;;
+    2|6) args=(submit --builtin=hello --level=machine) ;;
+    3|7) args=(submit --builtin=wc --stdin-file="$WORK/input.txt" --level=machine) ;;
+    # The jit execution backend and the compiled-HDL verilog tier ride
+    # the same daemon as the interpreter jobs.
+    8) args=(submit --builtin=wc --stdin-file="$WORK/input.txt" \
+             --level=isa --backend=jit) ;;
+    9) args=(submit --builtin=hello --level=verilog --hdl=compiled) ;;
   esac
   "$CLIENT" --socket="$SOCK" "${args[@]}" --json --wait-ms=120000 \
     > "$WORK/client$i.json" 2> "$WORK/client$i.err" &
   CLIENT_PIDS+=($!)
 done
 
-for i in 0 1 2 3 4 5 6 7; do
-  wait "${CLIENT_PIDS[$i]}" || fail "client $i exited nonzero: $(cat "$WORK/client$i.err")"
+n=0
+for i in $CLIENTS; do
+  wait "${CLIENT_PIDS[$n]}" || fail "client $i exited nonzero: $(cat "$WORK/client$i.err")"
+  n=$((n + 1))
 done
 
 # Every response is a completed outcome with the expected stdout — and
 # every client got exactly one response line.
-for i in 0 1 2 3 4 5 6 7; do
+for i in $CLIENTS; do
   [ "$(wc -l < "$WORK/client$i.json")" = 1 ] \
     || fail "client $i: expected exactly one response line"
   grep -q '"status":"completed"' "$WORK/client$i.json" \
     || fail "client $i not completed: $(cat "$WORK/client$i.json")"
-  case $((i % 4)) in
-    0|2) grep -q '"stdout":"Hello, world!\\n"' "$WORK/client$i.json" \
+  case $i in
+    0|2|4|6|9) grep -q '"stdout":"Hello, world!\\n"' "$WORK/client$i.json" \
            || fail "client $i: wrong hello output" ;;
     # 40 lines of "line N" = 80 space-separated tokens.
-    1|3) grep -q '"stdout":"80\\n"' "$WORK/client$i.json" \
+    1|3|5|7|8) grep -q '"stdout":"80\\n"' "$WORK/client$i.json" \
            || fail "client $i: wrong wc output" ;;
   esac
 done
-echo "smoke: 8 concurrent submissions all completed"
+echo "smoke: 10 concurrent submissions all completed (incl. jit + compiled hdl)"
 
-# No duplicated work: the daemon saw exactly the 8 jobs.
+# No duplicated work: the daemon saw exactly the 10 jobs.
 STATS=$("$CLIENT" --socket="$SOCK" stats) || fail "stats request failed"
-echo "$STATS" | grep -q '"submitted":8' \
-  || fail "expected 8 submitted jobs, got: $STATS"
-echo "$STATS" | grep -q '"completed":8' \
-  || fail "expected 8 completed jobs, got: $STATS"
+echo "$STATS" | grep -q '"submitted":10' \
+  || fail "expected 10 submitted jobs, got: $STATS"
+echo "$STATS" | grep -q '"completed":10' \
+  || fail "expected 10 completed jobs, got: $STATS"
 
 #--- 3. the one-outcome-shape contract vs silverc --json ----------------------
 if [ -n "$SILVERC" ]; then
@@ -138,10 +147,10 @@ DAEMON_PID=
 [ "$RC" = 0 ] || fail "silverd exited $RC after SIGTERM"
 grep -q 'drained, exiting' "$WORK/silverd.err" \
   || fail "silverd did not report a drain"
-# The final stats on stderr must account for all 11 jobs, none killed.
-grep -q '"submitted":11' "$WORK/silverd.err" \
+# The final stats on stderr must account for all 13 jobs, none killed.
+grep -q '"submitted":13' "$WORK/silverd.err" \
   || fail "final stats missing the async jobs: $(tail -1 "$WORK/silverd.err")"
-grep -q '"completed":11' "$WORK/silverd.err" \
+grep -q '"completed":13' "$WORK/silverd.err" \
   || fail "drain killed in-flight jobs: $(tail -1 "$WORK/silverd.err")"
 grep -q '"active":0' "$WORK/silverd.err" \
   || fail "jobs still active after drain"
